@@ -1,0 +1,685 @@
+(* Benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§4), plus protocol-level experiments for the
+   three sidecar protocols of §2 and ablations of the design choices
+   called out in DESIGN.md.
+
+   Usage: dune exec bench/main.exe [-- section ...]
+   Sections: table2 table3 fig5 fig6 freq proto_cc proto_ar proto_rx
+             cc_compare fairness sweep short_flows ablation extensions
+             (default: all of them, in that order).
+   Set BENCH_CSV_DIR=<dir> to also write the figure data as CSV. *)
+
+open Sidecar_quack
+module Time = Netsim.Sim_time
+
+let key = Identifier.key_of_int 0xBE7C
+let ids_b ~bits n = List.init n (fun i -> Identifier.of_counter key ~bits i)
+let ids n = ids_b ~bits:32 n
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark driver (Bechamel, OLS over the monotonic clock).   *)
+
+let ols =
+  Bechamel.Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |]
+
+(* [measure_ns ~name f] estimates the execution time of [f ()] in
+   nanoseconds: Bechamel samples with geometric run growth and fits
+   time = a * runs by ordinary least squares — the "average of 100
+   trials with warmup" of Table 2, done with a regression. *)
+let measure_ns ?(quota = 0.2) ~name f =
+  let open Bechamel in
+  let test = Test.make ~name (Staged.stage f) in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second quota) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] test in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ v acc ->
+      match Analyze.OLS.estimates v with Some (e :: _) -> e | _ -> acc)
+    res nan
+
+let section name = Printf.printf "\n=== %s ===\n%!" name
+
+(* Optional machine-readable output: set BENCH_CSV_DIR to also write
+   each figure's data as CSV (for replotting). *)
+let csv_file name ~header rows =
+  match Sys.getenv_opt "BENCH_CSV_DIR" with
+  | None -> ()
+  | Some dir ->
+      (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      let path = Filename.concat dir (name ^ ".csv") in
+      let oc = open_out path in
+      output_string oc (String.concat "," header ^ "\n");
+      List.iter (fun r -> output_string oc (String.concat "," r ^ "\n")) (List.rev rows);
+      close_out oc;
+      Printf.printf "(wrote %s)\n" path
+
+(* ------------------------------------------------------------------ *)
+(* Shared quACK scenario builders                                      *)
+
+let build_psum ~bits ~threshold ids =
+  let s = Psum.create ~bits ~threshold () in
+  List.iter (Psum.insert s) ids;
+  s
+
+(* A decode problem: n packets, the given indices missing. *)
+let decode_problem ~bits ~threshold ~n ~missing_idx =
+  let all = ids_b ~bits n in
+  let sent = build_psum ~bits ~threshold all in
+  let received = Psum.create ~bits ~threshold () in
+  List.iteri
+    (fun i id -> if not (List.mem i missing_idx) then Psum.insert received id)
+    all;
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  (diff, List.length missing_idx, all, Psum.field sent)
+
+let spread_missing n m = List.init m (fun i -> i * (n / (m + 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Table 2: strawmen vs power sums (n = 1000, t = 20, b = 32, c = 16) *)
+
+let table2 () =
+  section "Table 2: strawman comparison (n=1000, t=20, b=32, c=16)";
+  let n = 1000 and t = 20 and m = 20 in
+  let all = ids n in
+  (* --- power sums --- *)
+  let ps_construct =
+    measure_ns ~name:"psum-construct" (fun () -> build_psum ~bits:32 ~threshold:t all)
+  in
+  let diff, nm, cands, field =
+    decode_problem ~bits:32 ~threshold:t ~n ~missing_idx:(spread_missing n m)
+  in
+  let ps_decode =
+    measure_ns ~name:"psum-decode" (fun () ->
+        Decoder.decode ~field ~diff_sums:diff ~num_missing:nm ~candidates:cands ())
+  in
+  let ps_bits = (32 * t) + 16 in
+  (* --- strawman 1 --- *)
+  let s1_construct =
+    measure_ns ~name:"s1-construct" (fun () ->
+        let s = Strawman1.create ~bits:32 in
+        List.iter (Strawman1.insert s) all;
+        Strawman1.encode s)
+  in
+  let s1 = Strawman1.create ~bits:32 in
+  List.iteri (fun i id -> if i mod 50 <> 7 then Strawman1.insert s1 id) all;
+  let s1_payload = Strawman1.encode s1 in
+  let s1_decode =
+    measure_ns ~name:"s1-decode" (fun () ->
+        Strawman1.decode ~bits:32 s1_payload ~log:all)
+  in
+  let s1_bits = 32 * n in
+  (* --- strawman 2 --- *)
+  let s2_construct =
+    measure_ns ~name:"s2-construct" (fun () ->
+        let s = Strawman2.create ~bits:32 in
+        List.iter (Strawman2.insert s) all;
+        Strawman2.digest s)
+  in
+  (* measured cost of one subset attempt, then extrapolate C(1000,20)/2 *)
+  let bogus = String.make 32 '\000' in
+  let attempts = 20 in
+  let s2_attempt =
+    measure_ns ~name:"s2-attempt" (fun () ->
+        Strawman2.decode ~max_attempts:attempts ~digest:bogus ~log:all
+          ~num_missing:m ())
+    /. float_of_int attempts
+  in
+  let s2_days =
+    Strawman2.estimated_decode_days ~n ~m ~seconds_per_attempt:(s2_attempt /. 1e9)
+  in
+  let s2_bits = Strawman2.size_bits ~count_bits:16 in
+  Printf.printf "%-12s %18s %22s %14s\n" "" "Construction" "Decoding" "Size (bits)";
+  Printf.printf "%-12s %15.0f us %19.0f us %14d\n" "Strawman 1"
+    (s1_construct /. 1e3) (s1_decode /. 1e3) s1_bits;
+  Printf.printf "%-12s %15.0f us %16.2e days %11d\n" "Strawman 2"
+    (s2_construct /. 1e3) s2_days s2_bits;
+  Printf.printf "%-12s %15.0f us %19.0f us %14d\n" "Power Sums"
+    (ps_construct /. 1e3) (ps_decode /. 1e3) ps_bits;
+  Printf.printf
+    "\n(paper: S1 222us/126us/32000; S2 387ns/~7e6 days/272; PS 106us/61us/656)\n";
+  Printf.printf "power-sum quACK wire bytes: %d (paper: 82)\n"
+    (Wire.packed_size ~bits:32 ~threshold:t ~count_bits:16);
+  Printf.printf "amortized construction: %.0f ns/packet (paper: ~100 ns)\n"
+    (ps_construct /. float_of_int n)
+
+(* ------------------------------------------------------------------ *)
+(* Table 3: collision probability vs identifier bits (n = 1000)       *)
+
+let table3 () =
+  section "Table 3: collision probabilities (n=1000)";
+  Printf.printf "%-16s" "Identifier Bits";
+  List.iter (fun b -> Printf.printf "%12d" b) Collision.table3_bits;
+  Printf.printf "\n%-16s" "Collision Prob.";
+  List.iter
+    (fun b -> Printf.printf "%12.2g" (Collision.probability ~n:1000 ~bits:b))
+    Collision.table3_bits;
+  Printf.printf "\n%-16s" "Monte Carlo";
+  List.iter
+    (fun b ->
+      if b <= 16 then
+        Printf.printf "%12.2g" (Collision.monte_carlo ~trials:4000 ~n:1000 ~bits:b ())
+      else Printf.printf "%12s" "-")
+    Collision.table3_bits;
+  Printf.printf "\n(paper: 0.98  0.015  6.0e-05  2.3e-07)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 5: construction time (us) vs threshold, n = 1000              *)
+
+let fig5 () =
+  section "Fig. 5: construction time (us) vs threshold t (n=1000)";
+  let thresholds = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ] in
+  let widths = [ 16; 24; 32 ] in
+  Printf.printf "%-10s" "t";
+  List.iter (fun b -> Printf.printf "%10d-bit" b) widths;
+  Printf.printf "\n";
+  let rows = ref [] in
+  List.iter
+    (fun t ->
+      Printf.printf "%-10d" t;
+      let row = ref [ string_of_int t ] in
+      List.iter
+        (fun bits ->
+          let all = ids_b ~bits 1000 in
+          let ns =
+            measure_ns ~quota:0.1
+              ~name:(Printf.sprintf "construct-b%d-t%d" bits t)
+              (fun () -> build_psum ~bits ~threshold:t all)
+          in
+          row := Printf.sprintf "%.2f" (ns /. 1e3) :: !row;
+          Printf.printf "%14.1f" (ns /. 1e3))
+        widths;
+      rows := List.rev !row :: !rows;
+      Printf.printf "\n%!")
+    thresholds;
+  csv_file "fig5_construction_vs_threshold"
+    ~header:[ "t"; "us_16bit"; "us_24bit"; "us_32bit" ] !rows;
+  Printf.printf "(expected shape: linear in t; wider b costs more per sum)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 6: decoding time (us) vs missing packets, n = 1000, t = 20    *)
+
+let fig6 () =
+  section "Fig. 6: decoding time (us) vs missing packets m (n=1000, t=20)";
+  let missing = [ 0; 2; 5; 8; 10; 12; 15; 18; 20 ] in
+  let widths = [ 16; 24; 32 ] in
+  Printf.printf "%-10s" "m";
+  List.iter (fun b -> Printf.printf "%10d-bit" b) widths;
+  Printf.printf "\n";
+  let rows = ref [] in
+  List.iter
+    (fun m ->
+      Printf.printf "%-10d" m;
+      let row = ref [ string_of_int m ] in
+      List.iter
+        (fun bits ->
+          let diff, nm, cands, field =
+            decode_problem ~bits ~threshold:20 ~n:1000
+              ~missing_idx:(spread_missing 1000 m)
+          in
+          let ns =
+            measure_ns ~quota:0.1
+              ~name:(Printf.sprintf "decode-b%d-m%d" bits m)
+              (fun () ->
+                Decoder.decode ~field ~diff_sums:diff ~num_missing:nm
+                  ~candidates:cands ())
+          in
+          row := Printf.sprintf "%.2f" (ns /. 1e3) :: !row;
+          Printf.printf "%14.1f" (ns /. 1e3))
+        widths;
+      rows := List.rev !row :: !rows;
+      Printf.printf "\n%!")
+    missing;
+  csv_file "fig6_decoding_vs_missing"
+    ~header:[ "m"; "us_16bit"; "us_24bit"; "us_32bit" ] !rows;
+  Printf.printf "(expected shape: linear in m; m=0 is near-free)\n"
+
+(* ------------------------------------------------------------------ *)
+(* §4.3: communication frequency for the three protocols              *)
+
+let freq () =
+  section "Sec 4.3: communication frequency selection";
+  (* calibrate the per-(packet*sum) cost from this machine *)
+  let all = ids 1000 in
+  let ns_per_mult =
+    measure_ns ~name:"calibrate" (fun () -> build_psum ~bits:32 ~threshold:20 all)
+    /. (1000. *. 20.)
+  in
+  let l = Frequency.paper_link in
+  Printf.printf
+    "worked example: %.0f ms RTT, %.0f Mbit/s, %.1f%% loss, %d B MTU\n"
+    (l.Frequency.rtt_s *. 1e3)
+    (l.Frequency.rate_bps /. 1e6)
+    (l.Frequency.loss *. 100.) l.Frequency.mtu_bytes;
+  Printf.printf "  packets/RTT n = %d (paper: ~1000), threshold t = %d (paper: 20)\n"
+    (Frequency.packets_per_rtt l) (Frequency.threshold_for l);
+  let show name (p : Frequency.plan) =
+    Printf.printf
+      "  %-16s quACK every %6d pkts | t=%-3d | %3d B/quACK | %8.1f B/s overhead | %5.1f ns/pkt added\n"
+      name p.Frequency.interval_packets p.Frequency.threshold
+      p.Frequency.quack_bytes p.Frequency.overhead_bytes_per_s
+      p.Frequency.amortized_ns_per_packet
+  in
+  show "cc-division" (Frequency.cc_division ~ns_per_mult l);
+  show "ack-reduction" (Frequency.ack_reduction ~ns_per_mult ~every:32 ~threshold:20 ());
+  show "retransmission" (Frequency.retransmission ~ns_per_mult l);
+  Printf.printf "  ack-reduction vs strawman1 over 32 pkts: %d B vs %d B\n"
+    (Frequency.ack_reduction ~every:32 ~threshold:20 ()).Frequency.quack_bytes
+    (32 * 4)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol-level experiments (beyond the paper's microbenchmarks)    *)
+
+open Sidecar_protocols
+
+let fct_str = function
+  | Some f -> Printf.sprintf "%8.2f s" (Time.to_float_s f)
+  | None -> "   (none)"
+
+let flow_row name (r : Transport.Flow.result) =
+  Printf.printf "  %-22s %s | %7.2f Mbit/s | retx %4d | cc-events %3d | acks %5d\n"
+    name (fct_str r.Transport.Flow.fct) r.Transport.Flow.goodput_mbps
+    r.Transport.Flow.retransmissions r.Transport.Flow.congestion_events
+    r.Transport.Flow.acks_sent
+
+let proto_cc () =
+  section "Protocol: congestion-control division (sec 2.1)";
+  let cfg = Cc_division.default_config in
+  Printf.printf
+    "path: 100 Mbit/s 28 ms clean + 20 Mbit/s 2 ms @1%% loss; 2000 units\n";
+  flow_row "baseline e2e" (Cc_division.baseline cfg);
+  (* a loss-insensitive e2e controller can nearly match the division on
+     this path - the sidecar's value is precisely for the deployed
+     loss-based stacks that hosts cannot unilaterally replace (and for
+     the retransmission/ACK protocols a controller cannot address) *)
+  let bbr_base =
+    Path.baseline ~seed:cfg.Cc_division.seed ~units:cfg.Cc_division.units
+      ~mss:cfg.Cc_division.mss
+      ~cc:(fun ~mss () -> Transport.Bbr_lite.create ~mss ())
+      [ cfg.Cc_division.near; cfg.Cc_division.far ]
+  in
+  flow_row "baseline e2e (bbr)" bbr_base;
+  let rep = Cc_division.run cfg in
+  flow_row "sidecar cc-division" rep.Cc_division.flow;
+  Printf.printf
+    "  sidecar overhead: %d quACKs (%d B); proxy buffer peak %d pkts\n"
+    (rep.Cc_division.quacks_from_client + rep.Cc_division.quacks_from_proxy)
+    rep.Cc_division.quack_bytes rep.Cc_division.proxy_buffer_peak;
+  (* the plaintext upper bound: a traditional connection-splitting PEP *)
+  let pep = Split_pep.run Split_pep.default_config in
+  flow_row "split PEP (plaintext)" pep.Split_pep.client_flow;
+  Printf.printf
+    "  (split PEP reads/fabricates transport state - impossible for QUIC;\n\
+    \   shown as the upper bound the sidecar approaches without it)\n"
+
+let proto_ar () =
+  section "Protocol: ACK reduction (sec 2.2)";
+  let cfg = Ack_reduction.default_config in
+  Printf.printf "path: 50 Mbit/s 5 ms + 50 Mbit/s 25 ms, lossless; 2000 units\n";
+  let base, base_ack_bytes = Ack_reduction.baseline cfg in
+  flow_row "baseline (ack every 2)" base;
+  Printf.printf "    client ack bytes: %d\n" base_ack_bytes;
+  let rep = Ack_reduction.run cfg in
+  flow_row "sidecar ack-reduction" rep.Ack_reduction.flow;
+  Printf.printf
+    "    client acks %d (%d B) - %.1fx fewer; quACKs %d (%d B); freed early %d B\n"
+    rep.Ack_reduction.client_acks rep.Ack_reduction.client_ack_bytes
+    (float_of_int base.Transport.Flow.acks_sent
+    /. float_of_int (max 1 rep.Ack_reduction.client_acks))
+    rep.Ack_reduction.quacks rep.Ack_reduction.quack_bytes
+    rep.Ack_reduction.window_freed_early_bytes
+
+let proto_rx () =
+  section "Protocol: in-network retransmission (sec 2.3)";
+  let cfg = Retransmission.default_config in
+  Printf.printf
+    "path: 100M/20ms + 50M/1ms GE-lossy + 100M/9ms; reorder-tolerant endpoints\n";
+  flow_row "baseline e2e" (Retransmission.baseline cfg);
+  let rep = Retransmission.run cfg in
+  flow_row "sidecar in-net retx" rep.Retransmission.flow;
+  Printf.printf
+    "    proxy retx %d; quACKs %d (%d B); freq updates %d (final every %d); subpath loss %.2f%%\n"
+    rep.Retransmission.proxy_retransmissions rep.Retransmission.quacks
+    rep.Retransmission.quack_bytes rep.Retransmission.freq_updates
+    rep.Retransmission.final_quack_every
+    (100. *. rep.Retransmission.subpath_loss_observed)
+
+(* ------------------------------------------------------------------ *)
+(* Figure-style sweeps: who wins as the path degrades                 *)
+
+let sweep () =
+  section "Sweep: CC division - flow completion (s) vs far-segment loss";
+  let rows = ref [] in
+  Printf.printf "%-10s %12s %12s %12s\n" "loss" "baseline" "sidecar" "speedup";
+  List.iter
+    (fun loss ->
+      let cfg =
+        {
+          Cc_division.default_config with
+          Cc_division.units = 1500;
+          far =
+            Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+              ~loss:(if loss > 0. then Path.Bernoulli loss else Path.No_loss)
+              ();
+        }
+      in
+      let b = Cc_division.baseline cfg in
+      let sc = (Cc_division.run cfg).Cc_division.flow in
+      match (b.Transport.Flow.fct, sc.Transport.Flow.fct) with
+      | Some bf, Some sf ->
+          rows :=
+            [ Printf.sprintf "%.3f" loss;
+              Printf.sprintf "%.3f" (Time.to_float_s bf);
+              Printf.sprintf "%.3f" (Time.to_float_s sf) ]
+            :: !rows;
+          Printf.printf "%8.1f%% %12.2f %12.2f %11.1fx\n%!" (100. *. loss)
+            (Time.to_float_s bf) (Time.to_float_s sf)
+            (Time.to_float_s bf /. Time.to_float_s sf)
+      | _ -> Printf.printf "%8.1f%% %12s %12s\n%!" (100. *. loss) "-" "-")
+    [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05 ];
+  csv_file "sweep_cc_division_vs_loss"
+    ~header:[ "loss"; "baseline_fct_s"; "sidecar_fct_s" ] !rows;
+  Printf.printf "(expected: parity at zero loss, widening gap as loss grows)\n";
+
+  section "Sweep: in-network retransmission - FCT (s) vs subpath loss";
+  Printf.printf "%-10s %12s %12s %12s\n" "avg loss" "baseline" "sidecar" "e2e retx saved";
+  List.iter
+    (fun avg ->
+      let middle_loss =
+        if avg <= 0. then Path.No_loss
+        else
+          let p_bg = 0.2 in
+          let pi_bad = avg /. 0.3 in
+          Path.Gilbert
+            { p_good_to_bad = pi_bad *. p_bg /. (1. -. pi_bad);
+              p_bad_to_good = p_bg; loss_bad = 0.3 }
+      in
+      let cfg =
+        {
+          Retransmission.default_config with
+          Retransmission.units = 1500;
+          middle =
+            { Retransmission.default_config.Retransmission.middle with
+              Path.loss = middle_loss };
+        }
+      in
+      let b = Retransmission.baseline cfg in
+      let rep = Retransmission.run cfg in
+      let sc = rep.Retransmission.flow in
+      match (b.Transport.Flow.fct, sc.Transport.Flow.fct) with
+      | Some bf, Some sf ->
+          Printf.printf "%8.1f%% %12.2f %12.2f %10d\n%!" (100. *. avg)
+            (Time.to_float_s bf) (Time.to_float_s sf)
+            (b.Transport.Flow.retransmissions - sc.Transport.Flow.retransmissions)
+      | _ -> Printf.printf "%8.1f%% %12s %12s\n%!" (100. *. avg) "-" "-")
+    [ 0.0; 0.005; 0.014; 0.03; 0.06 ]
+
+(* ------------------------------------------------------------------ *)
+(* Short web-like flows through the CC-division proxy                 *)
+
+let short_flows () =
+  section "Workload: short web-like flows (lognormal sizes) through CC division";
+  let rng = Netsim.Rng.create 17 in
+  let sizes =
+    Array.init 24 (fun _ ->
+        (* clamp the heavy tail so the bench stays fast *)
+        min 800 (Netsim.Workload.sample_size rng Netsim.Workload.web_flows))
+  in
+  let run_one kind seed units =
+    let cfg =
+      { Cc_division.default_config with Cc_division.units; seed; until = Time.s 120 }
+    in
+    let fct =
+      match kind with
+      | `Baseline -> (Cc_division.baseline cfg).Transport.Flow.fct
+      | `Sidecar -> (Cc_division.run cfg).Cc_division.flow.Transport.Flow.fct
+    in
+    match fct with Some f -> Time.to_float_s f | None -> nan
+  in
+  let base = Array.mapi (fun i u -> run_one `Baseline (100 + i) u) sizes in
+  let side = Array.mapi (fun i u -> run_one `Sidecar (100 + i) u) sizes in
+  Printf.printf "  %d flows, sizes %s units\n" (Array.length sizes)
+    (Netsim.Workload.describe (Array.map float_of_int sizes));
+  Printf.printf "  baseline FCT (s): %s\n" (Netsim.Workload.describe base);
+  Printf.printf "  sidecar  FCT (s): %s\n" (Netsim.Workload.describe side);
+  let wins = ref 0 in
+  Array.iteri (fun i b -> if side.(i) < b then incr wins) base;
+  Printf.printf "  sidecar faster on %d of %d flows\n" !wins (Array.length sizes)
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of design choices                                        *)
+
+let ablation () =
+  section "Ablation: decoder strategy (plug-in O(n*m) vs factoring, t-only)";
+  let m = 20 in
+  Printf.printf "%-10s %16s %16s\n" "n" "plug-in (us)" "factor (us)";
+  List.iter
+    (fun n ->
+      let diff, nm, cands, field =
+        decode_problem ~bits:32 ~threshold:20 ~n ~missing_idx:(spread_missing n m)
+      in
+      let plug =
+        measure_ns ~quota:0.15 ~name:(Printf.sprintf "plug-%d" n) (fun () ->
+            Decoder.decode ~strategy:`Plug_in ~field ~diff_sums:diff
+              ~num_missing:nm ~candidates:cands ())
+      in
+      let fact =
+        measure_ns ~quota:0.15 ~name:(Printf.sprintf "factor-%d" n) (fun () ->
+            Decoder.decode ~strategy:`Factor ~field ~diff_sums:diff
+              ~num_missing:nm ~candidates:cands ())
+      in
+      Printf.printf "%-10d %16.1f %16.1f\n%!" n (plug /. 1e3) (fact /. 1e3))
+    [ 500; 1000; 4000; 16000 ];
+  Printf.printf
+    "(sec 4.3: for large n, the factoring decoder's cost depends only on t;\n\
+    \ the candidate match after factoring is still O(n) but hash-cheap)\n";
+
+  section "Ablation: wire size vs parameters";
+  Printf.printf "%-8s %-8s %-8s %10s\n" "b" "t" "c" "bytes";
+  List.iter
+    (fun (bits, t, c) ->
+      Printf.printf "%-8d %-8d %-8d %10d\n" bits t c
+        (Wire.packed_size ~bits ~threshold:t ~count_bits:c))
+    [ (32, 20, 16); (16, 20, 16); (24, 20, 16); (32, 10, 16); (32, 20, 0); (32, 50, 16) ];
+
+  section "Ablation: in-network retransmission without adaptive frequency";
+  let cfg = Retransmission.default_config in
+  let adaptive = Retransmission.run cfg in
+  let fixed = Retransmission.run { cfg with Retransmission.adaptive = false } in
+  Printf.printf "  %-14s fct %s, quACK bytes %8d\n" "adaptive"
+    (fct_str adaptive.Retransmission.flow.Transport.Flow.fct)
+    adaptive.Retransmission.quack_bytes;
+  Printf.printf "  %-14s fct %s, quACK bytes %8d\n" "fixed"
+    (fct_str fixed.Retransmission.flow.Transport.Flow.fct)
+    fixed.Retransmission.quack_bytes;
+
+  section "Ablation: bufferbloat - CC division with drop-tail vs CoDel far queue";
+  let base = Cc_division.default_config in
+  let with_codel c = { base.Cc_division.far with Path.codel = c } in
+  List.iter
+    (fun (label, codel) ->
+      let rep = Cc_division.run { base with Cc_division.far = with_codel codel } in
+      Printf.printf "  %-12s fct %s, proxy buffer peak %5d pkts\n" label
+        (fct_str rep.Cc_division.flow.Transport.Flow.fct)
+        rep.Cc_division.proxy_buffer_peak)
+    [ ("drop-tail", false); ("codel", true) ];
+  Printf.printf
+    "  (the PEP's deep buffering interacts with AQM at the bottleneck)\n";
+
+  section "Ablation: CC division quACK interval";
+  let base = Cc_division.default_config in
+  List.iter
+    (fun (label, interval) ->
+      let rep = Cc_division.run { base with Cc_division.quack_interval = interval } in
+      Printf.printf "  %-22s fct %s, sidecar bytes %8d\n" label
+        (fct_str rep.Cc_division.flow.Transport.Flow.fct)
+        rep.Cc_division.quack_bytes)
+    [
+      ("1/4 segment RTT (1ms)", Some (Time.ms 1));
+      ("segment RTT (4ms)", None);
+      ("4x segment RTT (16ms)", Some (Time.ms 16));
+      ("e2e RTT (60ms)", Some (Time.ms 60));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Congestion-controller comparison on the simulated transport         *)
+
+let cc_compare () =
+  section "Transport: congestion controllers vs loss rate (direct path)";
+  Printf.printf "%-10s %14s %14s %14s %14s  (goodput, Mbit/s; 3000 units, 20 Mbit/s, 40 ms RTT)\n"
+    "loss" "newreno" "cubic" "bbr-lite" "vegas";
+  List.iter
+    (fun loss ->
+      let run cc =
+        (Transport.Flow.direct ~units:3000
+           ~loss:(if loss > 0. then Netsim.Loss.bernoulli loss else Netsim.Loss.none)
+           ?cc ())
+          .Transport.Flow.goodput_mbps
+      in
+      let nr = run None in
+      let cu = run (Some (fun ~mss () -> Transport.Cubic.create ~mss ())) in
+      let bb = run (Some (fun ~mss () -> Transport.Bbr_lite.create ~mss ())) in
+      let vg = run (Some (fun ~mss () -> Transport.Vegas.create ~mss ())) in
+      Printf.printf "%8.1f%% %14.2f %14.2f %14.2f %14.2f\n%!" (100. *. loss) nr cu bb vg)
+    [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+
+(* ------------------------------------------------------------------ *)
+(* Fairness: two flows through one CC-division proxy                  *)
+
+let fairness () =
+  section "Fairness: two flows sharing the far segment";
+  let cfg = Fairness.default_config in
+  let show label (r : Fairness.report) =
+    Printf.printf "  %-12s jain %.3f, aggregate %6.2f Mbit/s" label
+      r.Fairness.jain_index r.Fairness.total_goodput_mbps;
+    Array.iteri
+      (fun i f -> Printf.printf " | flow%d %5.2f" i f.Fairness.goodput_mbps)
+      r.Fairness.flows;
+    Printf.printf "\n"
+  in
+  show "baseline" (Fairness.baseline cfg);
+  show "sidecar" (Fairness.run cfg)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper                                        *)
+
+let extensions () =
+  section "Extension: IBF quACK vs power sums (same decodable differences)";
+  let n = 1000 and t = 20 and m = 20 in
+  let all = ids n in
+  let missing_idx = spread_missing n m in
+  let cells = Ibf.capacity_hint ~differences:t in
+  let ibf_construct =
+    measure_ns ~name:"ibf-construct" (fun () ->
+        let f = Ibf.create ~cells () in
+        List.iter (Ibf.insert f) all;
+        f)
+  in
+  let sent_f = Ibf.create ~cells () in
+  let recv_f = Ibf.create ~cells () in
+  List.iteri
+    (fun i id ->
+      Ibf.insert sent_f id;
+      if not (List.mem i missing_idx) then Ibf.insert recv_f id)
+    all;
+  let ibf_decode =
+    measure_ns ~name:"ibf-decode" (fun () ->
+        Ibf.decode (Ibf.subtract ~sent:sent_f ~received:recv_f))
+  in
+  let ps_construct =
+    measure_ns ~name:"ps-construct2" (fun () -> build_psum ~bits:32 ~threshold:t all)
+  in
+  let diff, nm, cands, field = decode_problem ~bits:32 ~threshold:t ~n ~missing_idx in
+  let ps_decode =
+    measure_ns ~name:"ps-decode2" (fun () ->
+        Decoder.decode ~field ~diff_sums:diff ~num_missing:nm ~candidates:cands ())
+  in
+  Printf.printf "%-12s %16s %16s %12s %s\n" "" "construct (us)" "decode (us)"
+    "size (bits)" "notes";
+  Printf.printf "%-12s %16.1f %16.1f %12d %s\n" "power sums"
+    (ps_construct /. 1e3) (ps_decode /. 1e3)
+    ((32 * t) + 16) "t mults/packet; never fails below t";
+  Printf.printf "%-12s %16.1f %16.1f %12d %s\n" "IBF"
+    (ibf_construct /. 1e3) (ibf_decode /. 1e3)
+    (Ibf.size_bits sent_f) "k=3 updates/packet; probabilistic";
+
+  section "Extension: log-table field (the paper's 16-bit precomputation)";
+  let all16 = ids_b ~bits:16 1000 in
+  let generic =
+    measure_ns ~name:"f16-generic" (fun () -> build_psum ~bits:16 ~threshold:20 all16)
+  in
+  let field16 = Sidecar_field.Log_field.make (module Sidecar_field.Primes.F16) in
+  let tabled =
+    measure_ns ~name:"f16-table" (fun () ->
+        let s = Psum.create ~bits:16 ~field:field16 ~threshold:20 () in
+        List.iter (Psum.insert s) all16;
+        s)
+  in
+  Printf.printf "  16-bit construction, n=1000, t=20: generic %.1f us, log-table %.1f us\n"
+    (generic /. 1e3) (tabled /. 1e3);
+
+  section "Extension: analytic recovery model vs the simulator (paper ref [1])";
+  let e2e = { Analysis.loss = 0.; recovery_rtt = 0.060 } in
+  let inn = { Analysis.loss = 0.; recovery_rtt = 0.004 } in
+  Printf.printf
+    "  model: recovering on the 4 ms subpath instead of the 60 ms path\n\
+    \  cuts per-loss latency %.0fx; measured FCT gain at 1.4%% bursty loss: %.1fx\n"
+    (Analysis.speedup ~loss:0.015 ~e2e ~in_network:inn)
+    (let cfg = Retransmission.default_config in
+     match
+       ( (Retransmission.baseline cfg).Transport.Flow.fct,
+         (Retransmission.run cfg).Retransmission.flow.Transport.Flow.fct )
+     with
+     | Some b, Some s -> Time.to_float_s b /. Time.to_float_s s
+     | _ -> nan);
+  Printf.printf
+    "  (FCT mixes in congestion dynamics, so the model bounds, not equals, it)\n";
+
+  section "Extension: authenticated quACK frames (HMAC-SHA256)";
+  let s = build_psum ~bits:32 ~threshold:20 all in
+  let q = Quack.of_psum s in
+  let sign =
+    measure_ns ~name:"auth-sign" (fun () -> Wire.encode_authed ~key:"k" q)
+  in
+  let blob = Wire.encode_authed ~key:"k" q in
+  let verify =
+    measure_ns ~name:"auth-verify" (fun () -> Wire.decode_authed ~key:"k" blob)
+  in
+  Printf.printf
+    "  frame %d B (+%d B tag): sign %.1f us, verify %.1f us per quACK\n"
+    (String.length blob) Wire.auth_overhead (sign /. 1e3) (verify /. 1e3)
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [
+    ("table2", table2);
+    ("table3", table3);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("freq", freq);
+    ("proto_cc", proto_cc);
+    ("proto_ar", proto_ar);
+    ("proto_rx", proto_rx);
+    ("cc_compare", cc_compare);
+    ("fairness", fairness);
+    ("sweep", sweep);
+    ("short_flows", short_flows);
+    ("ablation", ablation);
+    ("extensions", extensions);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst sections
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown section %S; available: %s\n" name
+            (String.concat ", " (List.map fst sections));
+          exit 1)
+    requested

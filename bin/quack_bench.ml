@@ -1,0 +1,143 @@
+(* quack-bench: a CLI mirroring the authors' benchmark artifact
+   (github.com/ygina/quack): time quACK construction and decoding for
+   chosen parameters, reporting mean and stddev over trials.
+
+   Examples:
+     dune exec bin/quack_bench.exe -- construct -n 1000 -t 20 -b 32
+     dune exec bin/quack_bench.exe -- decode -n 1000 -t 20 -m 20 --trials 100
+     dune exec bin/quack_bench.exe -- decode --strategy factor -n 100000 *)
+
+open Cmdliner
+open Sidecar_quack
+
+let key = Identifier.key_of_int 0xB3
+
+let ids ~bits n = List.init n (fun i -> Identifier.of_counter key ~bits i)
+
+let time_s f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (Unix.gettimeofday () -. t0, r)
+
+let run_trials ~trials ~warmup f =
+  for _ = 1 to warmup do
+    ignore (f ())
+  done;
+  let samples = Array.init trials (fun _ -> fst (time_s f)) in
+  let mean = Array.fold_left ( +. ) 0. samples /. float_of_int trials in
+  let var =
+    Array.fold_left (fun a x -> a +. ((x -. mean) ** 2.)) 0. samples
+    /. float_of_int (max 1 (trials - 1))
+  in
+  (mean, sqrt var)
+
+let n_arg = Arg.(value & opt int 1000 & info [ "n"; "num-packets" ] ~doc:"Packets sent.")
+let t_arg = Arg.(value & opt int 20 & info [ "t"; "threshold" ] ~doc:"Threshold.")
+
+let b_arg =
+  Arg.(value & opt int 32 & info [ "b"; "bits" ] ~doc:"Identifier bits (8/16/24/32).")
+
+let trials_arg = Arg.(value & opt int 100 & info [ "trials" ] ~doc:"Timed trials.")
+let warmup_arg = Arg.(value & opt int 10 & info [ "warmup" ] ~doc:"Warm-up runs.")
+
+let construct_cmd =
+  let run n t b trials warmup =
+    let packets = ids ~bits:b n in
+    let mean, sd =
+      run_trials ~trials ~warmup (fun () ->
+          let s = Psum.create ~bits:b ~threshold:t () in
+          List.iter (Psum.insert s) packets;
+          s)
+    in
+    Printf.printf
+      "construct n=%d t=%d b=%d: %.1f us +/- %.1f (%.0f ns/packet) over %d trials\n"
+      n t b (1e6 *. mean) (1e6 *. sd)
+      (1e9 *. mean /. float_of_int n)
+      trials
+  in
+  Cmd.v
+    (Cmd.info "construct" ~doc:"Time quACK construction from n packets.")
+    Term.(const run $ n_arg $ t_arg $ b_arg $ trials_arg $ warmup_arg)
+
+let decode_cmd =
+  let run n t b m strategy trials warmup =
+    if m > t then (
+      Printf.eprintf "error: m (%d) must be <= t (%d)\n" m t;
+      exit 1);
+    let packets = ids ~bits:b n in
+    let sent = Psum.create ~bits:b ~threshold:t () in
+    let received = Psum.create ~bits:b ~threshold:t () in
+    let missing_idx = List.init m (fun i -> i * (n / (m + 1))) in
+    List.iteri
+      (fun i id ->
+        Psum.insert sent id;
+        if not (List.mem i missing_idx) then Psum.insert received id)
+      packets;
+    let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+    let field = Psum.field sent in
+    let strategy = if strategy = "factor" then `Factor else `Plug_in in
+    let mean, sd =
+      run_trials ~trials ~warmup (fun () ->
+          Decoder.decode ~strategy ~field ~diff_sums:diff ~num_missing:m
+            ~candidates:packets ())
+    in
+    Printf.printf "decode n=%d t=%d b=%d m=%d (%s): %.1f us +/- %.1f over %d trials\n"
+      n t b m
+      (match strategy with `Factor -> "factor" | `Plug_in -> "plug-in")
+      (1e6 *. mean) (1e6 *. sd) trials
+  in
+  let m_arg =
+    Arg.(value & opt int 20 & info [ "m"; "missing" ] ~doc:"Missing packets.")
+  in
+  let strategy_arg =
+    Arg.(value & opt string "plug-in"
+         & info [ "strategy" ] ~doc:"Decoder: plug-in or factor.")
+  in
+  Cmd.v
+    (Cmd.info "decode" ~doc:"Time decoding m missing packets from a quACK.")
+    Term.(const run $ n_arg $ t_arg $ b_arg $ m_arg $ strategy_arg $ trials_arg $ warmup_arg)
+
+let plan_cmd =
+  let run rtt_ms rate_mbps loss mtu budget =
+    let req =
+      {
+        Planner.default_requirements with
+        Planner.link =
+          {
+            Frequency.rtt_s = rtt_ms /. 1e3;
+            rate_bps = rate_mbps *. 1e6;
+            loss;
+            mtu_bytes = mtu;
+          };
+        max_indeterminate = budget;
+      }
+    in
+    List.iter
+      (fun (label, protocol) ->
+        match Planner.plan { req with Planner.protocol } with
+        | d -> Format.printf "%-16s %a@." label Planner.pp_decision d
+        | exception Invalid_argument msg -> Format.printf "%-16s %s@." label msg)
+      [
+        ("cc-division", Planner.Cc_division);
+        ("ack-reduction", Planner.Ack_reduction 32);
+        ("retransmission", Planner.Retransmission 20);
+      ]
+  in
+  let rtt = Arg.(value & opt float 60. & info [ "rtt" ] ~doc:"RTT, ms.") in
+  let rate = Arg.(value & opt float 200. & info [ "rate" ] ~doc:"Rate, Mbit/s.") in
+  let loss = Arg.(value & opt float 0.02 & info [ "loss" ] ~doc:"Max loss ratio.") in
+  let mtu = Arg.(value & opt int 1500 & info [ "mtu" ] ~doc:"Packet size, bytes.") in
+  let budget =
+    Arg.(value & opt float 1e-6
+         & info [ "indeterminate" ] ~doc:"Collision probability budget.")
+  in
+  Cmd.v
+    (Cmd.info "plan" ~doc:"Pick quACK parameters for a link (sec 4.2-4.3).")
+    Term.(const run $ rtt $ rate $ loss $ mtu $ budget)
+
+let () =
+  let info =
+    Cmd.info "quack-bench" ~version:"1.0.0"
+      ~doc:"Benchmark the quACK primitive (mirrors the paper's artifact)."
+  in
+  exit (Cmd.eval (Cmd.group info [ construct_cmd; decode_cmd; plan_cmd ]))

@@ -1,0 +1,224 @@
+(* sidecar-sim: command-line driver for the sidecar protocol
+   simulations.
+
+   Subcommands:
+     quack          one quACK encode/decode round trip with chosen params
+     cc-division    §2.1 scenario (with --baseline for the no-sidecar run)
+     ack-reduction  §2.2 scenario
+     retransmission §2.3 scenario
+
+   Example:
+     dune exec bin/sidecar_sim.exe -- cc-division --units 5000 --far-loss 0.02 *)
+
+open Cmdliner
+open Sidecar_protocols
+module Time = Netsim.Sim_time
+module Q = Sidecar_quack
+
+(* ------------------------------------------------------------------ *)
+(* Common options                                                      *)
+
+let units =
+  Arg.(value & opt int 2000 & info [ "units" ] ~docv:"N" ~doc:"Application units to transfer.")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc:"Simulation seed.")
+
+let baseline_flag =
+  Arg.(value & flag & info [ "baseline" ] ~doc:"Run the no-sidecar baseline instead.")
+
+let mbps =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. -> Ok (int_of_float (f *. 1e6))
+    | _ -> Error (`Msg "expected a positive rate in Mbit/s")
+  in
+  let print ppf v = Format.fprintf ppf "%g" (float_of_int v /. 1e6) in
+  Arg.conv (parse, print)
+
+let msarg =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f >= 0. -> Ok (Time.of_float_s (f /. 1e3))
+    | _ -> Error (`Msg "expected a delay in ms")
+  in
+  let print ppf v = Format.fprintf ppf "%g" (Time.to_float_ms v) in
+  Arg.conv (parse, print)
+
+let rate ~name ~default doc =
+  Arg.(value & opt mbps default & info [ name ] ~docv:"MBPS" ~doc)
+
+let delay ~name ~default doc =
+  Arg.(value & opt msarg default & info [ name ] ~docv:"MS" ~doc)
+
+let loss ~name ~default doc =
+  Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
+
+(* ------------------------------------------------------------------ *)
+(* quack: a single encode/decode round trip                            *)
+
+let quack_cmd =
+  let run n t b drops =
+    let key = Q.Identifier.key_of_int 7 in
+    let ids = List.init n (fun i -> Q.Identifier.of_counter key ~bits:b i) in
+    let rx = Q.Receiver_state.create ~bits:b ~threshold:t () in
+    List.iteri
+      (fun i id -> if not (List.mem i drops) then ignore (Q.Receiver_state.on_receive rx id))
+      ids;
+    let q = Q.Receiver_state.emit rx in
+    Format.printf "quACK: b=%d t=%d -> %d bytes on the wire@." b t
+      (String.length (Q.Wire.encode_packed q));
+    let sent = Q.Psum.create ~bits:b ~threshold:t () in
+    Q.Psum.insert_list sent ids;
+    match Q.Decoder.decode_between ~sent ~quack:q ~candidates:ids () with
+    | Ok { Q.Decoder.missing; unresolved } ->
+        Format.printf "decoded %d missing (%d unresolved):@." (List.length missing)
+          unresolved;
+        List.iter (fun id -> Format.printf "  %#010x@." id) missing;
+        if missing = [] then Format.printf "  (none)@."
+    | Error e -> Format.printf "decode failed: %a@." Q.Decoder.pp_error e
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n"; "count" ] ~doc:"Packets sent.") in
+  let t = Arg.(value & opt int 20 & info [ "t"; "threshold" ] ~doc:"Threshold (power sums).") in
+  let b = Arg.(value & opt int 32 & info [ "b"; "bits" ] ~doc:"Identifier bits (8/16/24/32).") in
+  let drops =
+    Arg.(value & opt (list int) [ 17; 202; 777 ]
+         & info [ "drop" ] ~docv:"I,J,..." ~doc:"Indices of dropped packets.")
+  in
+  Cmd.v
+    (Cmd.info "quack" ~doc:"One quACK construction/decoding round trip.")
+    Term.(const run $ n $ t $ b $ drops)
+
+(* ------------------------------------------------------------------ *)
+(* cc-division                                                         *)
+
+let cc_cmd =
+  let run units seed baseline near_rate near_delay far_rate far_delay far_loss =
+    let cfg =
+      {
+        Cc_division.default_config with
+        units;
+        seed;
+        near = Path.segment ~rate_bps:near_rate ~delay:near_delay ();
+        far =
+          Path.segment ~rate_bps:far_rate ~delay:far_delay
+            ~loss:(if far_loss > 0. then Path.Bernoulli far_loss else Path.No_loss)
+            ();
+      }
+    in
+    if baseline then
+      Format.printf "%a@." Transport.Flow.pp_result (Cc_division.baseline cfg)
+    else Format.printf "%a@." Cc_division.pp_report (Cc_division.run cfg)
+  in
+  Cmd.v
+    (Cmd.info "cc-division" ~doc:"Congestion-control division (paper sec 2.1).")
+    Term.(
+      const run $ units $ seed $ baseline_flag
+      $ rate ~name:"near-rate" ~default:100_000_000 "Server-proxy rate (Mbit/s)."
+      $ delay ~name:"near-delay" ~default:(Time.ms 28) "Server-proxy one-way delay (ms)."
+      $ rate ~name:"far-rate" ~default:20_000_000 "Proxy-client rate (Mbit/s)."
+      $ delay ~name:"far-delay" ~default:(Time.ms 2) "Proxy-client one-way delay (ms)."
+      $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability.")
+
+(* ------------------------------------------------------------------ *)
+(* ack-reduction                                                       *)
+
+let ar_cmd =
+  let run units seed baseline quack_every client_ack_every =
+    let cfg =
+      { Ack_reduction.default_config with units; seed; quack_every; client_ack_every }
+    in
+    if baseline then begin
+      let r, bytes = Ack_reduction.baseline cfg in
+      Format.printf "%a@.client ack bytes: %d@." Transport.Flow.pp_result r bytes
+    end
+    else Format.printf "%a@." Ack_reduction.pp_report (Ack_reduction.run cfg)
+  in
+  let quack_every =
+    Arg.(value & opt int 32 & info [ "quack-every" ] ~doc:"Proxy quACK interval (packets).")
+  in
+  let client_ack =
+    Arg.(value & opt int 32 & info [ "client-ack-every" ] ~doc:"Client e2e ACK interval.")
+  in
+  Cmd.v
+    (Cmd.info "ack-reduction" ~doc:"ACK reduction (paper sec 2.2).")
+    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ client_ack)
+
+(* ------------------------------------------------------------------ *)
+(* retransmission                                                      *)
+
+let rx_cmd =
+  let run units seed baseline quack_every adaptive avg_loss =
+    let middle_loss =
+      if avg_loss <= 0. then Path.No_loss
+      else
+        (* bursty loss with the requested average: pi_bad * 0.3 = avg *)
+        let p_bg = 0.2 in
+        let pi_bad = avg_loss /. 0.3 in
+        let p_gb = pi_bad *. p_bg /. (1. -. pi_bad) in
+        Path.Gilbert { p_good_to_bad = p_gb; p_bad_to_good = p_bg; loss_bad = 0.3 }
+    in
+    let cfg =
+      {
+        Retransmission.default_config with
+        units;
+        seed;
+        initial_quack_every = quack_every;
+        adaptive;
+        middle =
+          {
+            Retransmission.default_config.Retransmission.middle with
+            Path.loss = middle_loss;
+          };
+      }
+    in
+    if baseline then
+      Format.printf "%a@." Transport.Flow.pp_result (Retransmission.baseline cfg)
+    else Format.printf "%a@." Retransmission.pp_report (Retransmission.run cfg)
+  in
+  let quack_every =
+    Arg.(value & opt int 8 & info [ "quack-every" ] ~doc:"Initial quACK interval (packets).")
+  in
+  let adaptive =
+    Arg.(value & opt bool true & info [ "adaptive" ] ~doc:"Adapt the quACK frequency to loss.")
+  in
+  let avg_loss =
+    Arg.(value & opt float 0.0143
+         & info [ "subpath-loss" ] ~doc:"Average Gilbert-Elliott loss on the middle hop.")
+  in
+  Cmd.v
+    (Cmd.info "retransmission" ~doc:"In-network retransmission (paper sec 2.3).")
+    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ adaptive $ avg_loss)
+
+(* ------------------------------------------------------------------ *)
+(* fairness                                                            *)
+
+let fairness_cmd =
+  let run units seed baseline far_loss =
+    let cfg =
+      {
+        Fairness.default_config with
+        Fairness.units_per_flow = units;
+        seed;
+        far =
+          Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+            ~loss:(if far_loss > 0. then Path.Bernoulli far_loss else Path.No_loss)
+            ();
+      }
+    in
+    let rep = if baseline then Fairness.baseline cfg else Fairness.run cfg in
+    Format.printf "%a@." Fairness.pp_report rep
+  in
+  let units =
+    Arg.(value & opt int 1500 & info [ "units" ] ~doc:"Units per flow.")
+  in
+  Cmd.v
+    (Cmd.info "fairness" ~doc:"Two flows sharing the far segment (Jain index).")
+    Term.(const run $ units $ seed $ baseline_flag
+          $ loss ~name:"far-loss" ~default:0.005 "Shared-segment loss probability.")
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "Sidecar protocol simulations (HotNets '22 reproduction)." in
+  let info = Cmd.info "sidecar-sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ quack_cmd; cc_cmd; ar_cmd; rx_cmd; fairness_cmd ]))

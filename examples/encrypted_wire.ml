@@ -1,0 +1,73 @@
+(* The paranoid wire image, end to end.
+
+   This example shows exactly what each party can and cannot see:
+
+   - the ENDPOINTS share keys and seal/open packets (toy AEAD with
+     QUIC-style header protection);
+   - the SIDECAR sees only bytes; it extracts 32 pseudo-random bits
+     from the protected header region of each packet it forwards;
+   - one 82-byte quACK later, the sender knows which packets were
+     lost — having never shared a key with the sidecar, and with the
+     sidecar having never understood a single packet.
+
+   Run with: dune exec examples/encrypted_wire.exe *)
+
+open Sidecar_quack
+module Wi = Transport.Wire_image
+module Codec = Transport.Codec
+
+let () =
+  let key = Wi.key_gen ~seed:2024 in
+  let threshold = 16 in
+  let total = 500 in
+  let dropped = [ 31; 137; 255; 441 ] in
+
+  (* --- the server seals packets ----------------------------------- *)
+  let wires =
+    List.init total (fun pn ->
+        let plaintext = Codec.encode_frames ~seq:pn [ Codec.Data { offset = pn } ] in
+        Wi.seal key ~conn_id:0xC0FFEEL ~packet_number:pn ~plaintext)
+  in
+  Format.printf "server sealed %d packets (%d B each on the wire)@." total
+    (String.length (List.hd wires));
+
+  (* --- the server-side sidecar logs ids from the bytes ------------- *)
+  let sender_ss = Sender_state.create { Sender_state.default_config with threshold } in
+  List.iteri
+    (fun pn wire -> Sender_state.on_send sender_ss ~id:(Wi.extract_id wire ~bits:32) pn)
+    wires;
+
+  (* demonstrate opacity: the sidecar cannot open anything *)
+  let mallory = Wi.key_gen ~seed:666 in
+  (match Wi.open_ mallory (List.hd wires) with
+  | Error `Bad_tag -> Format.printf "(sidecar cannot decrypt: bad tag, as it should be)@."
+  | _ -> assert false);
+
+  (* --- the network drops a few; the client-side sidecar observes --- *)
+  let receiver_rx = Receiver_state.create ~threshold () in
+  List.iteri
+    (fun pn wire ->
+      if not (List.mem pn dropped) then
+        ignore (Receiver_state.on_receive receiver_rx (Wi.extract_id wire ~bits:32)))
+    wires;
+
+  (* --- the quACK crosses back; the sender decodes ------------------ *)
+  let quack = Receiver_state.emit receiver_rx in
+  Format.printf "quACK: %d bytes@." (Quack.size_bytes quack);
+  (match Sender_state.on_quack sender_ss quack with
+  | Ok report ->
+      Format.printf "sender decodes missing packet numbers: %s@."
+        (String.concat ", "
+           (List.map string_of_int (List.sort compare report.Sender_state.lost)))
+  | Error e -> Format.printf "decode error: %a@." Sender_state.pp_error e);
+
+  (* --- only the client can actually read the data ------------------ *)
+  let sample = List.nth wires 7 in
+  match Wi.open_ key sample with
+  | Ok (pn, plaintext) -> (
+      match Codec.decode_frames plaintext with
+      | Ok (seq, [ Codec.Data { offset } ]) ->
+          Format.printf "client opened pn=%d seq=%d offset=%d — contents intact@."
+            pn seq offset
+      | _ -> assert false)
+  | Error _ -> assert false

@@ -1,0 +1,67 @@
+(* Multipath quACKs (§5: "how would a proxy interact with multipath
+   transport protocols?").
+
+   Power sums are linear, so per-path sidecar state composes: a
+   receiver with two interfaces keeps one sketch per path and merges
+   them (sums add, counts add) into a single connection-level quACK.
+   The sender decodes against its full transmission log and learns the
+   missing multiset across both paths — without knowing or caring
+   which path carried which packet.
+
+   Run with: dune exec examples/multipath.exe *)
+
+open Sidecar_quack
+
+let () =
+  let threshold = 24 in
+  let key = Identifier.key_of_int 99 in
+
+  (* the sender logs 1200 packets, scheduled across two paths *)
+  let sender = Sender_state.create { Sender_state.default_config with threshold } in
+  let packets =
+    List.init 1200 (fun i ->
+        let id = Identifier.of_counter key ~bits:32 i in
+        let path = if i mod 3 = 0 then `Wifi else `Cellular in
+        (i, id, path))
+  in
+  List.iter
+    (fun (i, id, path) ->
+      Sender_state.on_send sender ~id
+        (Printf.sprintf "pkt-%d via %s" i
+           (match path with `Wifi -> "wifi" | `Cellular -> "cellular")))
+    packets;
+
+  (* each path drops its own packets *)
+  let wifi_drops = [ 0; 300; 600 ] (* indices divisible by 3 travel wifi *) in
+  let cell_drops = [ 100; 500 ] in
+  let arrives (i, _, path) =
+    match path with
+    | `Wifi -> not (List.mem i wifi_drops)
+    | `Cellular -> not (List.mem i cell_drops)
+  in
+
+  (* the receiver keeps one power-sum sketch per interface *)
+  let wifi_rx = Psum.create ~threshold () in
+  let cell_rx = Psum.create ~threshold () in
+  List.iter
+    (fun ((_, id, path) as p) ->
+      if arrives p then
+        match path with
+        | `Wifi -> Psum.insert wifi_rx id
+        | `Cellular -> Psum.insert cell_rx id)
+    packets;
+  Format.printf "wifi interface saw %d packets; cellular saw %d@."
+    (Psum.count wifi_rx) (Psum.count cell_rx);
+
+  (* merge: sums add, counts add — one quACK for the whole connection *)
+  let merged = Psum.merge wifi_rx cell_rx in
+  let quack = Quack.of_psum merged in
+  Format.printf "merged quACK covers %d packets in %d bytes@." quack.Quack.count
+    (Quack.size_bytes quack);
+
+  match Sender_state.on_quack sender quack with
+  | Ok report ->
+      Format.printf "sender decoded %d missing across both paths:@."
+        (List.length report.Sender_state.lost);
+      List.iter (fun meta -> Format.printf "  %s@." meta) report.Sender_state.lost
+  | Error e -> Format.printf "decode failed: %a@." Sender_state.pp_error e

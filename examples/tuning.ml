@@ -1,0 +1,83 @@
+(* Parameter tuning walk-through (§3.2, §4.2, §4.3).
+
+   A quACK has three knobs: the threshold t, the identifier width b,
+   and the communication frequency. This example walks the trade-off
+   space the way §4 of the paper does.
+
+   Run with: dune exec examples/tuning.exe *)
+
+open Sidecar_quack
+
+let () =
+  (* -- 1. identifier width b: collision probability ----------------- *)
+  Format.printf "1. identifier width b -> chance a packet's fate is indeterminate@.";
+  Format.printf "   (n = 1000 outstanding packets)@.";
+  List.iter
+    (fun bits ->
+      Format.printf "   b = %2d: collision probability %.2g@." bits
+        (Collision.probability ~n:1000 ~bits))
+    Collision.table3_bits;
+  Format.printf
+    "   -> 32-bit identifiers make ambiguity negligible; 16-bit saves@.\
+    \      half the quACK size at a 1.5%% ambiguity cost.@.@.";
+
+  (* -- 2. threshold t: wire size vs decodable losses ---------------- *)
+  Format.printf "2. threshold t -> quACK wire size (b = 32, c = 16)@.";
+  List.iter
+    (fun t ->
+      Format.printf "   t = %3d: %4d bytes, decodes up to %d missing per quACK@."
+        t (Wire.packed_size ~bits:32 ~threshold:t ~count_bits:16) t)
+    [ 5; 10; 20; 50; 100 ];
+  Format.printf
+    "   -> t must cover the worst-case losses between two quACKs;@.\
+    \      everything above that is wasted bytes.@.@.";
+
+  (* -- 3. frequency: the worked example of sec 4.3 ------------------ *)
+  Format.printf "3. frequency: the paper's worked example@.";
+  let l = Frequency.paper_link in
+  Format.printf
+    "   link: %.0f ms RTT, %.0f Mbit/s, <=%.0f%% loss, %d B packets@."
+    (l.Frequency.rtt_s *. 1e3)
+    (l.Frequency.rate_bps /. 1e6)
+    (l.Frequency.loss *. 100.) l.Frequency.mtu_bytes;
+  Format.printf "   one quACK per RTT covers n = %d packets -> t = %d@."
+    (Frequency.packets_per_rtt l) (Frequency.threshold_for l);
+  let plan = Frequency.cc_division l in
+  Format.printf "   cc-division:    %d B per quACK, %.0f B/s of upstream overhead@."
+    plan.Frequency.quack_bytes plan.Frequency.overhead_bytes_per_s;
+  let ar = Frequency.ack_reduction ~every:32 ~threshold:20 () in
+  Format.printf
+    "   ack-reduction:  quACK every %d pkts, %d B each (count omitted)@."
+    ar.Frequency.interval_packets ar.Frequency.quack_bytes;
+  let rx = Frequency.retransmission l in
+  Format.printf
+    "   retransmission: adaptively every %d pkts at %.1f%% loss (target %d missing)@.@."
+    rx.Frequency.interval_packets (l.Frequency.loss *. 100.) 20;
+
+  (* -- 4. the adaptation rule in action ----------------------------- *)
+  Format.printf "4. frequency adaptation as the loss ratio moves@.";
+  let interval = ref 1000 in
+  List.iter
+    (fun loss ->
+      interval :=
+        Frequency.adapt_interval ~current:!interval ~observed_loss:loss
+          ~target_missing:20;
+      Format.printf "   observed %4.1f%% loss -> quACK every %5d packets@."
+        (100. *. loss) !interval)
+    [ 0.02; 0.08; 0.30; 0.02; 0.0 ];
+  Format.printf
+    "   -> heavier loss, faster feedback; clean links quACK rarely.@."
+
+(* -- 5. or let the planner do it ----------------------------------- *)
+let () =
+  Format.printf "@.5. the planner, end to end@.";
+  let show label req =
+    Format.printf "   %-28s %a@." label Planner.pp_decision (Planner.plan req)
+  in
+  show "cc-division (paper link)" Planner.default_requirements;
+  show "ack-reduction every 32"
+    { Planner.default_requirements with Planner.protocol = Planner.Ack_reduction 32 };
+  show "retransmission, target 20"
+    { Planner.default_requirements with Planner.protocol = Planner.Retransmission 20 };
+  show "loose budget (5% indeterminate ok)"
+    { Planner.default_requirements with Planner.max_indeterminate = 0.05 }

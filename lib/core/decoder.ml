@@ -1,0 +1,75 @@
+module Modular = Sidecar_field.Modular
+module Newton = Sidecar_field.Newton
+module Roots = Sidecar_field.Roots
+
+type strategy = [ `Plug_in | `Factor ]
+type outcome = { missing : int list; unresolved : int }
+type error = [ `Threshold_exceeded of int * int ]
+
+let pp_error ppf (`Threshold_exceeded (m, t)) =
+  Format.fprintf ppf "threshold exceeded: %d missing > t = %d" m t
+
+let decode ?(strategy = `Plug_in) ~field ~diff_sums ~num_missing ~candidates () =
+  let module F = (val field : Modular.S) in
+  let t = Array.length diff_sums in
+  if num_missing < 0 || num_missing > t then
+    Error (`Threshold_exceeded (num_missing, t))
+  else if num_missing = 0 then Ok { missing = []; unresolved = 0 }
+  else begin
+    let module N = Newton.Make (F) in
+    let module P = N.P in
+    let sums = Array.init num_missing (fun i -> F.of_int diff_sums.(i)) in
+    let poly = N.polynomial_of_power_sums sums in
+    match strategy with
+    | `Plug_in ->
+        let rec scan f acc = function
+          | [] -> (List.rev acc, P.degree f)
+          | c :: rest ->
+              if P.degree f < 1 then (List.rev acc, 0)
+              else begin
+                match P.deflate f (F.of_int c) with
+                | Some q -> scan q (c :: acc) rest
+                | None -> scan f acc rest
+              end
+        in
+        let missing, unresolved = scan poly [] candidates in
+        Ok { missing; unresolved }
+    | `Factor ->
+        let module R = Roots.Make (F) in
+        let roots = R.find_all poly in
+        (* Match roots to candidates by reduced value; one candidate
+           occurrence consumes one root occurrence. *)
+        let avail : (int, int list ref) Hashtbl.t = Hashtbl.create 64 in
+        let record c =
+          let key = F.of_int c in
+          match Hashtbl.find_opt avail key with
+          | Some l -> l := c :: !l
+          | None -> Hashtbl.add avail key (ref [ c ])
+        in
+        List.iter record candidates;
+        let take r =
+          match Hashtbl.find_opt avail r with
+          | Some ({ contents = c :: rest } as l) ->
+              l := rest;
+              Some c
+          | Some { contents = [] } | None -> None
+        in
+        let missing, unresolved =
+          List.fold_left
+            (fun (acc, unresolved) r ->
+              match take r with
+              | Some c -> (c :: acc, unresolved)
+              | None -> (acc, unresolved + 1))
+            ([], 0) roots
+        in
+        Ok { missing = List.rev missing; unresolved }
+  end
+
+let decode_between ?strategy ?count_bits ~sent ~quack ~candidates () =
+  let q = match count_bits with
+    | None -> quack
+    | Some c -> { quack with Quack.count_bits = c }
+  in
+  let num_missing = Quack.missing_count q ~sender_count:(Psum.count sent) in
+  let diff_sums = Psum.difference ~sent ~received_sums:q.Quack.sums in
+  decode ?strategy ~field:(Psum.field sent) ~diff_sums ~num_missing ~candidates ()

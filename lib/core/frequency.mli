@@ -1,0 +1,55 @@
+(** Communication-frequency models for the three sidecar protocols
+    (§4.3): how a deployment chooses how often to quACK, and what that
+    costs. These are the closed-form calculations behind the paper's
+    worked example (60 ms RTT, 200 Mbit/s, 2% loss, 1500 B MTU →
+    n ≈ 1000 packets and t = 20 per RTT). *)
+
+type link = {
+  rtt_s : float;  (** round-trip time, seconds *)
+  rate_bps : float;  (** bottleneck rate, bits per second *)
+  loss : float;  (** max loss ratio the quACK must absorb *)
+  mtu_bytes : int;  (** packet size *)
+}
+
+val paper_link : link
+(** The worked example of §4.3. *)
+
+val packets_per_rtt : link -> int
+(** [rate * rtt / (mtu * 8)], the [n] of a once-per-RTT quACK. *)
+
+val threshold_for : link -> int
+(** [ceil (n * loss)] — the [t] needed to absorb the worst-case loss
+    within one reporting interval. *)
+
+(** Per-protocol plans. *)
+
+type plan = {
+  interval_packets : int;  (** quACK every this many received packets *)
+  threshold : int;
+  quack_bytes : int;
+  overhead_bytes_per_s : float;  (** quACK bytes per second upstream *)
+  amortized_ns_per_packet : float;
+      (** construction cost per data packet at the given threshold,
+          from a caller-measured per-(packet·power-sum) cost *)
+}
+
+val cc_division : ?ns_per_mult:float -> ?bits:int -> ?count_bits:int -> link -> plan
+(** Once per RTT (§2.1 does not ACK for reliability). *)
+
+val ack_reduction :
+  ?ns_per_mult:float -> ?bits:int -> every:int -> threshold:int -> unit -> plan
+(** QuACK every [every] packets (e.g. 32); the count field is omitted
+    because it is always [every] (§4.3). Overhead is per-interval. *)
+
+val retransmission :
+  ?ns_per_mult:float -> ?bits:int -> ?count_bits:int -> ?target_missing:int ->
+  link -> plan
+(** Adaptive: pick the interval so the expected number of missing
+    packets per quACK equals [target_missing] (default 20) at the
+    link's loss ratio. *)
+
+val adapt_interval :
+  current:int -> observed_loss:float -> target_missing:int -> int
+(** One step of the sender-side frequency adaptation: the next
+    interval (in packets) given the loss observed over the last
+    interval. Clamped to [16, 1 lsl 20]. *)

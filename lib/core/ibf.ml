@@ -1,0 +1,128 @@
+type t = {
+  k : int;
+  salt : int;
+  bits : int;
+  counts : int array;
+  id_sums : int array;  (* xor of inserted ids *)
+  hash_sums : int array;  (* xor of check-hashes of inserted ids *)
+  mutable total : int;
+}
+
+(* Two independent hash families derived from the shared salt: [slot]
+   picks cells, [check] is the 32-bit purity check. *)
+let mix salt x =
+  let m1 = (0x2545F491 lsl 32) lor 0x4F6CDD1D in
+  let m2 = (0x27220A95 lsl 32) lor 0xFE4D31C5 in
+  let x = (x lxor salt) land max_int in
+  let x = (x lxor (x lsr 33)) * m1 land max_int in
+  let x = (x lxor (x lsr 29)) * m2 land max_int in
+  x lxor (x lsr 32)
+
+let check_hash salt id = mix (salt lxor 0x5EED) id land 0xFFFFFFFF
+
+let slots t id =
+  (* k distinct cells via open addressing on successive hashes *)
+  let out = Array.make t.k 0 in
+  let n = Array.length t.counts in
+  let used j limit = Array.exists (fun v -> v = j) (Array.sub out 0 limit) in
+  let h = ref (mix t.salt id) in
+  for i = 0 to t.k - 1 do
+    let rec place j = if used j i then place ((j + 1) mod n) else j in
+    out.(i) <- place (!h mod n);
+    h := mix (t.salt + i + 1) !h
+  done;
+  out
+
+let create ?(k = 3) ?(salt = 0x1DF) ?(bits = 32) ~cells () =
+  if k < 1 then invalid_arg "Ibf.create: k must be >= 1";
+  if cells < k then invalid_arg "Ibf.create: need at least k cells";
+  {
+    k;
+    salt;
+    bits;
+    counts = Array.make cells 0;
+    id_sums = Array.make cells 0;
+    hash_sums = Array.make cells 0;
+    total = 0;
+  }
+
+let cells t = Array.length t.counts
+let k t = t.k
+let count t = t.total
+
+let update t id delta =
+  let h = check_hash t.salt id in
+  Array.iter
+    (fun j ->
+      t.counts.(j) <- t.counts.(j) + delta;
+      t.id_sums.(j) <- t.id_sums.(j) lxor id;
+      t.hash_sums.(j) <- t.hash_sums.(j) lxor h)
+    (slots t id);
+  t.total <- t.total + delta
+
+let insert t id = update t (Identifier.mask ~bits:t.bits id) 1
+let remove t id = update t (Identifier.mask ~bits:t.bits id) (-1)
+
+let subtract ~sent ~received =
+  if
+    cells sent <> cells received
+    || sent.k <> received.k
+    || sent.salt <> received.salt
+  then invalid_arg "Ibf.subtract: mismatched filters";
+  let n = cells sent in
+  {
+    k = sent.k;
+    salt = sent.salt;
+    bits = sent.bits;
+    counts = Array.init n (fun i -> sent.counts.(i) - received.counts.(i));
+    id_sums = Array.init n (fun i -> sent.id_sums.(i) lxor received.id_sums.(i));
+    hash_sums =
+      Array.init n (fun i -> sent.hash_sums.(i) lxor received.hash_sums.(i));
+    total = sent.total - received.total;
+  }
+
+let decode diff =
+  (* Work on copies; peel pure cells until none remain. *)
+  let t =
+    {
+      diff with
+      counts = Array.copy diff.counts;
+      id_sums = Array.copy diff.id_sums;
+      hash_sums = Array.copy diff.hash_sums;
+    }
+  in
+  let n = cells t in
+  let missing = ref [] and extra = ref [] in
+  let pure j =
+    (t.counts.(j) = 1 || t.counts.(j) = -1)
+    && t.hash_sums.(j) = check_hash t.salt t.id_sums.(j)
+  in
+  let queue = Queue.create () in
+  for j = 0 to n - 1 do
+    if pure j then Queue.push j queue
+  done;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    if pure j then begin
+      let id = t.id_sums.(j) in
+      let sign = t.counts.(j) in
+      if sign = 1 then missing := id :: !missing else extra := id :: !extra;
+      update t id (-sign);
+      (* re-examine the cells the peeled id touched *)
+      Array.iter (fun j' -> if pure j' then Queue.push j' queue) (slots t id)
+    end
+  done;
+  let leftovers = ref 0 in
+  for j = 0 to n - 1 do
+    if t.counts.(j) <> 0 || t.id_sums.(j) <> 0 || t.hash_sums.(j) <> 0 then
+      incr leftovers
+  done;
+  if !leftovers = 0 then Ok (List.rev !missing, List.rev !extra)
+  else Error (`Peel_stuck !leftovers)
+
+let size_bits t = cells t * (8 + t.bits + 32)
+
+(* Small filters need far more over-provisioning than the asymptotic
+   ~1.25x of the IBF literature; 3d + 12 keeps the peel-failure rate
+   under ~1% across d <= 64 (measured in the test suite). *)
+let capacity_hint ~differences = max 12 ((3 * differences) + 12)

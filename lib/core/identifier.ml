@@ -1,0 +1,22 @@
+type key = int
+
+let key_of_int k = k
+let mask ~bits x = if bits >= 62 then x land max_int else x land ((1 lsl bits) - 1)
+
+(* SplitMix64-style finalizer restricted to 62 bits so all arithmetic
+   stays on native ints. Good avalanche behaviour is all we need to
+   model encryption. The large constants are written in two halves to
+   fit OCaml's int literals. *)
+let mix x =
+  let m1 = (0x2545F491 lsl 32) lor 0x4F6CDD1D in
+  let m2 = (0x27220A95 lsl 32) lor 0xFE4D31C5 in
+  let x = x land max_int in
+  let x = (x lxor (x lsr 33)) * m1 land max_int in
+  let x = (x lxor (x lsr 29)) * m2 land max_int in
+  x lxor (x lsr 32)
+
+let of_counter key ~bits ctr = mask ~bits (mix (mix (key lxor 0x9E3779B9) lxor ctr))
+
+let of_bytes b ~off ~bits =
+  if Bytes.length b < off + 8 then invalid_arg "Identifier.of_bytes: need 8 bytes";
+  mask ~bits (Int64.to_int (Bytes.get_int64_le b off) land max_int)

@@ -1,0 +1,29 @@
+(** Packet identifiers.
+
+    A quACK refers to packets by [b] pseudo-random bits drawn from the
+    encrypted wire image (§3.2) — e.g. 32 bits of a QUIC packet's
+    encrypted header. Since retransmissions are re-encrypted, every
+    transmission gets a fresh identifier.
+
+    This module provides the model of that process used across the
+    repo: a keyed PRF from a transmission counter to a [b]-bit
+    identifier, plus extraction from raw bytes for code paths that
+    carry simulated ciphertext. *)
+
+type key
+(** PRF key, standing in for the connection's header-protection key. *)
+
+val key_of_int : int -> key
+
+val of_counter : key -> bits:int -> int -> int
+(** [of_counter key ~bits ctr] is the identifier of the [ctr]-th
+    transmission: a [bits]-bit pseudo-random value. Deterministic in
+    [(key, ctr)]; statistically uniform across counters. *)
+
+val of_bytes : bytes -> off:int -> bits:int -> int
+(** Extract an identifier from ciphertext bytes, little-endian,
+    masked to [bits] bits. @raise Invalid_argument when fewer than 8
+    bytes are available at [off]. *)
+
+val mask : bits:int -> int -> int
+(** Truncate an arbitrary integer to [bits] bits. *)

@@ -1,0 +1,83 @@
+type protocol = Cc_division | Ack_reduction of int | Retransmission of int
+
+type requirements = {
+  link : Frequency.link;
+  protocol : protocol;
+  max_indeterminate : float;
+  loss_margin : float;
+}
+
+let default_requirements =
+  {
+    link = Frequency.paper_link;
+    protocol = Cc_division;
+    max_indeterminate = 1e-6;
+    loss_margin = 1.5;
+  }
+
+type decision = {
+  bits : int;
+  threshold : int;
+  count_bits : int;
+  interval_packets : int;
+  quack_bytes : int;
+  overhead_fraction : float;
+  collision_probability : float;
+}
+
+let supported_widths = [ 8; 16; 24; 32 ]
+
+(* Outstanding packets a decode has to disambiguate among: roughly one
+   interval's worth plus a reordering margin. *)
+let outstanding ~interval = max 2 (interval * 2)
+
+let plan req =
+  let l = req.link in
+  if l.Frequency.rtt_s <= 0. || l.Frequency.rate_bps <= 0. || l.Frequency.mtu_bytes <= 0
+  then invalid_arg "Planner.plan: degenerate link";
+  if req.loss_margin < 1. then invalid_arg "Planner.plan: loss margin below 1";
+  let interval, count_bits =
+    match req.protocol with
+    | Cc_division -> (Frequency.packets_per_rtt l, 16)
+    | Ack_reduction n ->
+        if n < 1 then invalid_arg "Planner.plan: bad ack-reduction interval";
+        (n, 0)
+    | Retransmission target ->
+        if target < 1 then invalid_arg "Planner.plan: bad retransmission target";
+        let i =
+          if l.Frequency.loss <= 0. then Frequency.packets_per_rtt l
+          else int_of_float (float_of_int target /. l.Frequency.loss)
+        in
+        (max 16 i, 16)
+  in
+  let worst_losses = float_of_int interval *. l.Frequency.loss in
+  let threshold =
+    max 2 (int_of_float (Float.ceil (worst_losses *. req.loss_margin)))
+  in
+  let n = outstanding ~interval in
+  let bits =
+    let fits b = Collision.probability ~n ~bits:b <= req.max_indeterminate in
+    match List.find_opt fits supported_widths with
+    | Some b -> b
+    | None ->
+        invalid_arg
+          "Planner.plan: no supported identifier width meets the indeterminacy budget"
+  in
+  let quack_bytes = Wire.packed_size ~bits ~threshold ~count_bits in
+  let data_bytes = interval * l.Frequency.mtu_bytes in
+  {
+    bits;
+    threshold;
+    count_bits;
+    interval_packets = interval;
+    quack_bytes;
+    overhead_fraction = float_of_int quack_bytes /. float_of_int data_bytes;
+    collision_probability = Collision.probability ~n ~bits;
+  }
+
+let pp_decision ppf d =
+  Format.fprintf ppf
+    "b=%d t=%d c=%d; quACK every %d pkts = %d B (%.4f%% overhead); P(indeterminate)=%.2g"
+    d.bits d.threshold d.count_bits d.interval_packets d.quack_bytes
+    (100. *. d.overhead_fraction)
+    d.collision_probability

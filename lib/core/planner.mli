@@ -1,0 +1,43 @@
+(** Automatic parameter selection — §4's "how an end host could select
+    these parameters" as an executable planner.
+
+    Given the link characteristics and the application's tolerance for
+    indeterminate packets, pick the identifier width [b], threshold
+    [t], count width [c], and the quACK interval for each sidecar
+    protocol; report what the choice costs. *)
+
+type protocol =
+  | Cc_division  (** quACK once per RTT (§4.3) *)
+  | Ack_reduction of int  (** quACK every [n] packets; count omitted *)
+  | Retransmission of int  (** adaptive, targeting this many missing *)
+
+type requirements = {
+  link : Frequency.link;
+  protocol : protocol;
+  max_indeterminate : float;
+      (** acceptable per-packet collision probability, e.g. [1e-6] *)
+  loss_margin : float;
+      (** head-room multiplier on the worst-case losses per interval
+          the threshold must absorb (e.g. 1.5) *)
+}
+
+val default_requirements : requirements
+(** The paper's worked example (§4.3) with a [2.3e-7]-grade collision
+    budget and 1.5× loss margin. *)
+
+type decision = {
+  bits : int;
+  threshold : int;
+  count_bits : int;
+  interval_packets : int;
+  quack_bytes : int;
+  overhead_fraction : float;
+      (** sidecar bytes per data byte over one interval *)
+  collision_probability : float;  (** at the chosen width *)
+}
+
+val plan : requirements -> decision
+(** @raise Invalid_argument when no supported width meets the
+    indeterminacy budget or the link parameters are degenerate. *)
+
+val pp_decision : Format.formatter -> decision -> unit

@@ -1,0 +1,153 @@
+module Modular = Sidecar_field.Modular
+module Primes = Sidecar_field.Primes
+
+type t = {
+  field : (module Modular.S);
+  bits : int;
+  modulus : int;
+  threshold : int;
+  sums : int array;
+  mutable count : int;
+  (* The field operations are fetched once at creation so the per-packet
+     hot path does not re-project from the first-class module. *)
+  add : int -> int -> int;
+  sub : int -> int -> int;
+  mul : int -> int -> int;
+}
+
+let create ?(bits = 32) ?field ~threshold () =
+  if threshold < 0 then invalid_arg "Psum.create: negative threshold";
+  let field =
+    match field with Some f -> f | None -> Primes.field_for_bits bits
+  in
+  let module F = (val field) in
+  if F.bits <> bits then invalid_arg "Psum.create: field width mismatch";
+  {
+    field;
+    bits;
+    modulus = F.modulus;
+    threshold;
+    sums = Array.make threshold 0;
+    count = 0;
+    add = F.add;
+    sub = F.sub;
+    mul = F.mul;
+  }
+
+let bits t = t.bits
+let threshold t = t.threshold
+let modulus t = t.modulus
+let count t = t.count
+let field t = t.field
+
+(* Specialised hot loop for the default 32-bit field (p = 2^32 - 5):
+   the per-packet construction cost is the headline number of §4, so
+   the fold-reduction arithmetic is inlined here rather than reached
+   through the field's closures. *)
+let p32 = 4294967291
+let mask32 = 0xFFFFFFFF
+
+let[@inline] reduce32 x =
+  (* x < 2^50; two folds of x = hi*2^32 + lo ≡ 5*hi + lo (mod p) *)
+  let x = ((x lsr 32) * 5) + (x land mask32) in
+  let x = ((x lsr 32) * 5) + (x land mask32) in
+  if x >= p32 then x - p32 else x
+
+let[@inline] mul32 a b =
+  let upper = reduce32 ((a lsr 16) * b) in
+  reduce32 ((upper lsl 16) + ((a land 0xffff) * b))
+
+let insert_fast32 sums threshold x =
+  let pw = ref 1 in
+  for i = 0 to threshold - 1 do
+    pw := mul32 !pw x;
+    let s = Array.unsafe_get sums i + !pw in
+    Array.unsafe_set sums i (if s >= p32 then s - p32 else s)
+  done
+
+let remove_fast32 sums threshold x =
+  let pw = ref 1 in
+  for i = 0 to threshold - 1 do
+    pw := mul32 !pw x;
+    let s = Array.unsafe_get sums i - !pw in
+    Array.unsafe_set sums i (if s < 0 then s + p32 else s)
+  done
+
+let[@inline] residue t id =
+  if id >= 0 && id < t.modulus then id
+  else begin
+    let r = id mod t.modulus in
+    if r < 0 then r + t.modulus else r
+  end
+
+let insert t id =
+  let x = residue t id in
+  if t.modulus = p32 then insert_fast32 t.sums t.threshold x
+  else begin
+    let pw = ref 1 in
+    for i = 0 to t.threshold - 1 do
+      pw := t.mul !pw x;
+      t.sums.(i) <- t.add t.sums.(i) !pw
+    done
+  end;
+  t.count <- t.count + 1
+
+let remove t id =
+  let x = residue t id in
+  if t.modulus = p32 then remove_fast32 t.sums t.threshold x
+  else begin
+    let pw = ref 1 in
+    for i = 0 to t.threshold - 1 do
+      pw := t.mul !pw x;
+      t.sums.(i) <- t.sub t.sums.(i) !pw
+    done
+  end;
+  t.count <- t.count - 1
+
+let insert_list t ids = List.iter (insert t) ids
+let sums t = Array.copy t.sums
+
+let copy t = { t with sums = Array.copy t.sums }
+
+let reset t =
+  Array.fill t.sums 0 t.threshold 0;
+  t.count <- 0
+
+let set_state t ~sums ~count =
+  if Array.length sums <> t.threshold then
+    invalid_arg "Psum.set_state: threshold mismatch";
+  Array.iteri
+    (fun i s ->
+      if s < 0 || s >= t.modulus then
+        invalid_arg "Psum.set_state: sum out of field range"
+      else t.sums.(i) <- s)
+    sums;
+  t.count <- count
+
+let merge a b =
+  if a.bits <> b.bits || a.threshold <> b.threshold then
+    invalid_arg "Psum.merge: mismatched sketches";
+  let merged = copy a in
+  for i = 0 to a.threshold - 1 do
+    merged.sums.(i) <- a.add a.sums.(i) b.sums.(i)
+  done;
+  merged.count <- a.count + b.count;
+  merged
+
+let difference ~sent ~received_sums =
+  if Array.length received_sums > sent.threshold then
+    invalid_arg "Psum.difference: receiver advertises a larger threshold";
+  Array.mapi
+    (fun i r ->
+      if r < 0 || r >= sent.modulus then
+        invalid_arg "Psum.difference: received sum out of field range"
+      else sent.sub sent.sums.(i) r)
+    received_sums
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>psum{b=%d t=%d count=%d sums=[%a]}@]" t.bits
+    t.threshold t.count
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Format.pp_print_int)
+    (Array.to_list t.sums)

@@ -1,0 +1,23 @@
+type t = { bits : int; count_bits : int; sums : int array; count : int }
+
+let of_psum ?(count_bits = 16) psum =
+  if count_bits < 0 || count_bits > 62 then
+    invalid_arg "Quack.of_psum: count_bits must be in [0, 62]";
+  { bits = Psum.bits psum; count_bits; sums = Psum.sums psum; count = Psum.count psum }
+
+let threshold q = Array.length q.sums
+let size_bits q = (threshold q * q.bits) + q.count_bits
+let size_bytes q = (size_bits q + 7) / 8
+
+let wrap_count q n =
+  if q.count_bits = 0 || q.count_bits >= 62 then n
+  else n land ((1 lsl q.count_bits) - 1)
+
+let missing_count q ~sender_count =
+  if q.count_bits = 0 then invalid_arg "Quack.missing_count: count omitted"
+  else if q.count_bits >= 62 then sender_count - q.count
+  else (sender_count - q.count) land ((1 lsl q.count_bits) - 1)
+
+let pp ppf q =
+  Format.fprintf ppf "quack{b=%d t=%d c=%d count=%d}" q.bits (threshold q)
+    q.count_bits q.count

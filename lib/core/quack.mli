@@ -1,0 +1,34 @@
+(** A quACK value: what the receiver's sidecar actually transmits
+    (Fig. 2) — [t] power sums plus a (possibly truncated, possibly
+    omitted) element count. *)
+
+type t = {
+  bits : int;  (** identifier width [b] *)
+  count_bits : int;
+      (** width [c] of the count on the wire; [0] means the count is
+          omitted entirely (the ACK-reduction mode of §4.3 where the
+          count is always the fixed [n]). *)
+  sums : int array;  (** the [t] power sums, exponent [i+1] at index [i] *)
+  count : int;  (** receiver count, truncated to [count_bits] when wired *)
+}
+
+val of_psum : ?count_bits:int -> Psum.t -> t
+(** Snapshot a receiver sketch as a transmittable quACK.
+    [count_bits] defaults to 16 (the paper's [c]). *)
+
+val threshold : t -> int
+val size_bits : t -> int
+(** Wire size in bits: [t*b + c] (656 for t=20, b=32, c=16). *)
+
+val size_bytes : t -> int
+(** Wire size in whole bytes (82 for t=20, b=32, c=16). *)
+
+val wrap_count : t -> int -> int
+(** [wrap_count q n] truncates [n] to the quACK's count width; the
+    identity when the count is omitted or [count_bits >= 62]. *)
+
+val missing_count : t -> sender_count:int -> int
+(** Number of missing packets [m = sender_count - count] computed in
+    wrap-around arithmetic modulo [2^count_bits] (§3.2). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+type emit_policy = Manual | Every_packets of int
+
+type t = {
+  psum : Psum.t;
+  count_bits : int;
+  policy : emit_policy;
+  mutable since_emit : int;
+}
+
+let create ?(bits = 32) ?(count_bits = 16) ?(policy = Manual) ~threshold () =
+  (match policy with
+  | Every_packets k when k <= 0 ->
+      invalid_arg "Receiver_state.create: emit interval must be positive"
+  | Manual | Every_packets _ -> ());
+  { psum = Psum.create ~bits ~threshold (); count_bits; policy; since_emit = 0 }
+
+let emit t = Quack.of_psum ~count_bits:t.count_bits t.psum
+
+let on_receive t id =
+  Psum.insert t.psum id;
+  t.since_emit <- t.since_emit + 1;
+  match t.policy with
+  | Manual -> None
+  | Every_packets k ->
+      if t.since_emit >= k then begin
+        t.since_emit <- 0;
+        Some (emit t)
+      end
+      else None
+
+let received t = Psum.count t.psum
+let threshold t = Psum.threshold t.psum
+let bits t = Psum.bits t.psum

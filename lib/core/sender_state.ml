@@ -1,0 +1,295 @@
+module Modular = Sidecar_field.Modular
+
+type config = {
+  bits : int;
+  threshold : int;
+  count_bits : int;
+  strikes_to_lose : int;
+  strategy : Decoder.strategy;
+  tail_in_flight : bool;
+}
+
+let default_config =
+  {
+    bits = 32;
+    threshold = 20;
+    count_bits = 16;
+    strikes_to_lose = 1;
+    strategy = `Plug_in;
+    tail_in_flight = true;
+  }
+
+type 'meta report = {
+  acked : 'meta list;
+  lost : 'meta list;
+  suspect : 'meta list;
+  indeterminate : 'meta list;
+  in_flight : int;
+  unresolved : int;
+  stale : bool;
+}
+
+let empty_report =
+  { acked = []; lost = []; suspect = []; indeterminate = []; in_flight = 0;
+    unresolved = 0; stale = false }
+
+type error = [ `Threshold_exceeded of int * int | `Config_mismatch of string ]
+
+let pp_error ppf = function
+  | `Threshold_exceeded (m, t) ->
+      Format.fprintf ppf "threshold exceeded: %d missing > t = %d (reset required)" m t
+  | `Config_mismatch s -> Format.fprintf ppf "config mismatch: %s" s
+
+type 'meta entry = {
+  id : int;
+  meta : 'meta;
+  pos : int;  (* monotone send position, for in-flight reasoning *)
+  mutable strikes : int;
+}
+
+type 'meta t = {
+  cfg : config;
+  psum : Psum.t;
+  mutable log : 'meta entry list;  (* newest-first; reversed on decode *)
+  mutable log_len : int;
+  mutable last_receiver_count : int;
+  mutable next_pos : int;
+  mutable max_acked_pos : int;
+      (* newest send position ever confirmed received: packets sent
+         before it cannot be "still in transit" once it has arrived
+         (up to re-ordering, which the strike grace absorbs) *)
+}
+
+let create cfg =
+  if cfg.strikes_to_lose < 1 then
+    invalid_arg "Sender_state.create: strikes_to_lose must be >= 1";
+  {
+    cfg;
+    psum = Psum.create ~bits:cfg.bits ~threshold:cfg.threshold ();
+    log = [];
+    log_len = 0;
+    last_receiver_count = 0;
+    next_pos = 0;
+    max_acked_pos = -1;
+  }
+
+let config t = t.cfg
+
+let on_send t ~id meta =
+  Psum.insert t.psum id;
+  t.log <- { id; meta; pos = t.next_pos; strikes = 0 } :: t.log;
+  t.next_pos <- t.next_pos + 1;
+  t.log_len <- t.log_len + 1
+
+let sent t = Psum.count t.psum
+let outstanding t = t.log_len
+let outstanding_ids t = List.rev_map (fun e -> e.id) t.log
+
+let reset t =
+  Psum.reset t.psum;
+  t.log <- [];
+  t.log_len <- 0;
+  t.last_receiver_count <- 0;
+  t.next_pos <- 0;
+  t.max_acked_pos <- -1
+
+let resync_to t (q : Quack.t) =
+  if q.Quack.bits <> t.cfg.bits || Quack.threshold q <> t.cfg.threshold then
+    invalid_arg "Sender_state.resync_to: incompatible quACK";
+  let abandoned = List.rev_map (fun e -> e.meta) t.log in
+  let q = { q with Quack.count_bits = t.cfg.count_bits } in
+  let receiver_count =
+    Psum.count t.psum - Quack.missing_count q ~sender_count:(Psum.count t.psum)
+  in
+  Psum.set_state t.psum ~sums:q.Quack.sums ~count:receiver_count;
+  t.log <- [];
+  t.log_len <- 0;
+  t.last_receiver_count <- receiver_count;
+  abandoned
+
+let remove_entry t entry =
+  Psum.remove t.psum entry.id;
+  t.log <- List.filter (fun e -> e != entry) t.log;
+  t.log_len <- t.log_len - 1
+
+let declare_lost t ~id =
+  (* oldest occurrence = last in the newest-first list *)
+  let rec find_last best = function
+    | [] -> best
+    | e :: rest -> find_last (if e.id = id then Some e else best) rest
+  in
+  match find_last None t.log with
+  | None -> None
+  | Some e ->
+      remove_entry t e;
+      Some e.meta
+
+(* Subtract the power sums of [ids] from [diff] in place semantics
+   (returns a fresh array): used for in-flight suffix truncation. *)
+let subtract_ids ~field diff ids =
+  let module F = (val field : Modular.S) in
+  let diff = Array.map F.of_int diff in
+  let sub_one id =
+    let x = F.of_int id in
+    let pw = ref F.one in
+    for i = 0 to Array.length diff - 1 do
+      pw := F.mul !pw x;
+      diff.(i) <- F.sub diff.(i) !pw
+    done
+  in
+  List.iter sub_one ids;
+  diff
+
+let on_quack t (q : Quack.t) =
+  if q.Quack.bits <> t.cfg.bits then
+    Error (`Config_mismatch (Printf.sprintf "quACK bits %d, sender bits %d" q.Quack.bits t.cfg.bits))
+  else if Quack.threshold q > t.cfg.threshold then
+    Error (`Config_mismatch "receiver threshold exceeds sender threshold")
+  else begin
+    let sender_count = Psum.count t.psum in
+    let q = { q with Quack.count_bits = t.cfg.count_bits } in
+    let m = Quack.missing_count q ~sender_count in
+    let receiver_count = sender_count - m in
+    if receiver_count < t.last_receiver_count then Ok { empty_report with stale = true }
+    else begin
+      let t_eff = Quack.threshold q in
+      (* Oldest-first view of the log. *)
+      let entries = Array.of_list (List.rev t.log) in
+      let n = Array.length entries in
+      if m > n then
+        (* The receiver claims fewer receptions than is consistent with
+           our log: wrapped count or a foreign quACK. *)
+        Error (`Threshold_exceeded (m, t_eff))
+      else begin
+        let in_flight = if m > t_eff then m - t_eff else 0 in
+        let prefix_len = n - in_flight in
+        let diff = Psum.difference ~sent:t.psum ~received_sums:q.Quack.sums in
+        let diff =
+          if in_flight = 0 then diff
+          else begin
+            let suffix = ref [] in
+            for i = n - 1 downto prefix_len do
+              suffix := entries.(i).id :: !suffix
+            done;
+            subtract_ids ~field:(Psum.field t.psum) diff !suffix
+          end
+        in
+        let m_prefix = m - in_flight in
+        let candidates = ref [] in
+        for i = prefix_len - 1 downto 0 do
+          candidates := entries.(i).id :: !candidates
+        done;
+        match
+          Decoder.decode ~strategy:t.cfg.strategy ~field:(Psum.field t.psum)
+            ~diff_sums:diff ~num_missing:m_prefix ~candidates:!candidates ()
+        with
+        | Error (`Threshold_exceeded (m, tt)) -> Error (`Threshold_exceeded (m, tt))
+        | Ok { missing; unresolved } when unresolved > 0 ->
+            (* Conservative: something did not add up (identifier alias
+               at/above the modulus, wrapped count, corruption). Prune
+               nothing; surface what we saw. *)
+            ignore missing;
+            t.last_receiver_count <- max t.last_receiver_count receiver_count;
+            Ok { empty_report with unresolved; in_flight }
+        | Ok { missing; unresolved = _ } ->
+            (* Multiset of missing identifiers. *)
+            let miss_count : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+            List.iter
+              (fun id ->
+                match Hashtbl.find_opt miss_count id with
+                | Some r -> incr r
+                | None -> Hashtbl.add miss_count id (ref 1))
+              missing;
+            (* §3.3: a continuous suffix of missing packets is treated
+               as in transit, not missing — the newest transmissions
+               simply have not reached the receiver yet. Walk back from
+               the end of the covered prefix while entries decode as
+               missing, and withdraw them from the missing multiset. *)
+            let tail_in_flight = ref 0 in
+            let boundary = ref prefix_len in
+            let continue_tail = ref t.cfg.tail_in_flight in
+            while !continue_tail && !boundary > 0 do
+              let e = entries.(!boundary - 1) in
+              if e.pos <= t.max_acked_pos then continue_tail := false
+              else
+              match Hashtbl.find_opt miss_count e.id with
+              | Some r when !r > 0 ->
+                  decr r;
+                  if !r = 0 then Hashtbl.remove miss_count e.id;
+                  incr tail_in_flight;
+                  decr boundary
+              | Some _ | None -> continue_tail := false
+            done;
+            let prefix_len = !boundary in
+            (* Occurrences of each missing id within the prefix. *)
+            let occ : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+            for i = 0 to prefix_len - 1 do
+              let id = entries.(i).id in
+              if Hashtbl.mem miss_count id then
+                match Hashtbl.find_opt occ id with
+                | Some r -> incr r
+                | None -> Hashtbl.add occ id (ref 1)
+            done;
+            let acked = ref [] and lost = ref [] and suspect = ref [] in
+            let indeterminate = ref [] in
+            let keep = ref [] (* newest-first rebuild *) in
+            let keep_entry e = keep := e :: !keep in
+            (* Walk oldest-first; prepend to keep gives newest-first at
+               the end by reversing. *)
+            let classify i e =
+              if i >= prefix_len then keep_entry e (* in flight *)
+              else begin
+                match Hashtbl.find_opt miss_count e.id with
+                | None ->
+                    if e.pos > t.max_acked_pos then t.max_acked_pos <- e.pos;
+                    acked := e.meta :: !acked (* drop from log *)
+                | Some k ->
+                    let total = !(Hashtbl.find occ e.id) in
+                    if total = !k then begin
+                      (* definite missing *)
+                      e.strikes <- e.strikes + 1;
+                      if e.strikes >= t.cfg.strikes_to_lose then begin
+                        Psum.remove t.psum e.id;
+                        lost := e.meta :: !lost
+                      end
+                      else begin
+                        suspect := e.meta :: !suspect;
+                        keep_entry e
+                      end
+                    end
+                    else begin
+                      (* collision: k of total entries with this id are
+                         missing; fate of each is indeterminate. After
+                         the grace expires remove k oldest occurrences
+                         so the threshold resets (§3.3). *)
+                      e.strikes <- e.strikes + 1;
+                      if e.strikes >= t.cfg.strikes_to_lose && !k > 0 then begin
+                        decr k;
+                        Psum.remove t.psum e.id;
+                        lost := e.meta :: !lost;
+                        indeterminate := e.meta :: !indeterminate
+                      end
+                      else begin
+                        indeterminate := e.meta :: !indeterminate;
+                        keep_entry e
+                      end
+                    end
+              end
+            in
+            Array.iteri classify entries;
+            t.log <- !keep;
+            t.log_len <- List.length !keep;
+            t.last_receiver_count <- max t.last_receiver_count receiver_count;
+            Ok
+              {
+                acked = List.rev !acked;
+                lost = List.rev !lost;
+                suspect = List.rev !suspect;
+                indeterminate = List.rev !indeterminate;
+                in_flight = in_flight + !tail_in_flight;
+                unresolved = 0;
+                stale = false;
+              }
+      end
+    end
+  end

@@ -1,0 +1,55 @@
+type t = { bits : int; mutable ids : int list; mutable count : int }
+
+let create ~bits = { bits; ids = []; count = 0 }
+
+let insert t id =
+  t.ids <- id :: t.ids;
+  t.count <- t.count + 1
+
+let count t = t.count
+let size_bits t = t.bits * t.count
+
+let encode t =
+  if t.bits mod 8 <> 0 then invalid_arg "Strawman1.encode: width not byte-aligned";
+  let nb = t.bits / 8 in
+  let buf = Buffer.create (nb * t.count) in
+  List.iter
+    (fun id ->
+      for i = 0 to nb - 1 do
+        Buffer.add_char buf (Char.chr ((id lsr (8 * i)) land 0xff))
+      done)
+    (List.rev t.ids);
+  Buffer.contents buf
+
+let diff_against ~received ~log =
+  let seen : (int, int ref) Hashtbl.t = Hashtbl.create 1024 in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt seen id with
+      | Some r -> incr r
+      | None -> Hashtbl.add seen id (ref 1))
+    received;
+  List.filter
+    (fun id ->
+      match Hashtbl.find_opt seen id with
+      | Some r when !r > 0 ->
+          decr r;
+          false
+      | Some _ | None -> true)
+    log
+
+let decode ~bits payload ~log =
+  if bits mod 8 <> 0 then invalid_arg "Strawman1.decode: width not byte-aligned";
+  let nb = bits / 8 in
+  let n = String.length payload / nb in
+  let received = ref [] in
+  for i = n - 1 downto 0 do
+    let v = ref 0 in
+    for j = nb - 1 downto 0 do
+      v := (!v lsl 8) lor Char.code payload.[(i * nb) + j]
+    done;
+    received := !v :: !received
+  done;
+  diff_against ~received:!received ~log
+
+let missing t ~log = diff_against ~received:t.ids ~log

@@ -1,0 +1,28 @@
+(** Strawman 1 (§1, Table 2): echo the identifier of every received
+    packet; the sender computes a multiset difference against its log.
+
+    Decoding is cheap but the "quACK" costs [b·n] bits — 4000 bytes for
+    n = 1000 at b = 32, versus 82 bytes for power sums. Also, unlike
+    power sums, a lost echo loses information (the encoding here is a
+    full cumulative snapshot to stay comparable, which only makes its
+    size problem worse). *)
+
+type t
+(** Receiver state: the multiset of received identifiers. *)
+
+val create : bits:int -> t
+val insert : t -> int -> unit
+val count : t -> int
+val size_bits : t -> int
+(** Wire size of the snapshot: [b * count]. *)
+
+val encode : t -> string
+(** Identifiers packed at [b/8] bytes each (b must be byte-aligned). *)
+
+val decode :
+  bits:int -> string -> log:int list -> int list
+(** [decode ~bits payload ~log] returns the multiset difference
+    [log \ received] preserving log order. *)
+
+val missing : t -> log:int list -> int list
+(** In-memory variant of {!decode}. *)

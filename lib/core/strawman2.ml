@@ -1,0 +1,79 @@
+module Sha256 = Sidecar_hash.Sha256
+
+type t = { bits : int; mutable ids : int list; mutable count : int }
+
+let create ~bits = { bits; ids = []; count = 0 }
+
+let insert t id =
+  ignore t.bits;
+  t.ids <- id :: t.ids;
+  t.count <- t.count + 1
+
+let count t = t.count
+let digest t = Sha256.digest_int_list (List.sort Int.compare t.ids)
+let size_bits ~count_bits = 256 + count_bits
+
+type decode_result = Found of int list | Gave_up of int
+
+let hash_complement log_arr missing_idx =
+  (* Hash the sorted multiset of log entries whose index is not in
+     missing_idx (missing_idx is sorted ascending). *)
+  let n = Array.length log_arr in
+  let kept = ref [] in
+  let mi = ref missing_idx in
+  for i = 0 to n - 1 do
+    match !mi with
+    | j :: rest when j = i -> mi := rest
+    | _ -> kept := log_arr.(i) :: !kept
+  done;
+  Sha256.digest_int_list (List.sort Int.compare !kept)
+
+let decode ?max_attempts ~digest ~log ~num_missing () =
+  let exception Found_exn of int list in
+  let log_arr = Array.of_list log in
+  let n = Array.length log_arr in
+  let m = num_missing in
+  let max_attempts = Option.value max_attempts ~default:1_000_000 in
+  if m < 0 || m > n then Gave_up 0
+  else if m = 0 then
+    if String.equal (hash_complement log_arr []) digest then Found []
+    else Gave_up 1
+  else begin
+    let idx = Array.init m (fun i -> i) in
+    let attempts = ref 0 in
+    try
+      let continue = ref true in
+      while !continue && !attempts < max_attempts do
+        incr attempts;
+        let missing_idx = Array.to_list idx in
+        if String.equal (hash_complement log_arr missing_idx) digest then
+          raise (Found_exn (List.map (fun i -> log_arr.(i)) missing_idx));
+        let rec bump k =
+          if k < 0 then continue := false
+          else if idx.(k) < n - m + k then begin
+            idx.(k) <- idx.(k) + 1;
+            for j = k + 1 to m - 1 do
+              idx.(j) <- idx.(j - 1) + 1
+            done
+          end
+          else bump (k - 1)
+        in
+        bump (m - 1)
+      done;
+      Gave_up !attempts
+    with Found_exn ids -> Found ids
+  end
+
+let subsets_to_search ~n ~m =
+  let m = min m (n - m) in
+  if m < 0 then 0.
+  else begin
+    let acc = ref 1. in
+    for i = 1 to m do
+      acc := !acc *. float_of_int (n - m + i) /. float_of_int i
+    done;
+    !acc
+  end
+
+let estimated_decode_days ~n ~m ~seconds_per_attempt =
+  subsets_to_search ~n ~m /. 2. *. seconds_per_attempt /. 86_400.

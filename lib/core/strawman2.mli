@@ -1,0 +1,37 @@
+(** Strawman 2 (§1, Table 2): hash the sorted concatenation of all
+    received identifiers into one 256-bit digest (+ a count). Tiny on
+    the wire, but the sender must search subsets of its log for one
+    whose hash matches — [C(n, m)] candidate subsets, computationally
+    infeasible beyond toy sizes (the paper estimates ≈7e6 days for
+    n = 1000, m = 20). *)
+
+type t
+(** Receiver state. *)
+
+val create : bits:int -> t
+val insert : t -> int -> unit
+val count : t -> int
+
+val digest : t -> string
+(** 32-byte SHA-256 over the sorted identifier multiset. *)
+
+val size_bits : count_bits:int -> int
+(** Wire size: [256 + c] bits, independent of [n]. *)
+
+type decode_result =
+  | Found of int list  (** missing identifiers, in log order *)
+  | Gave_up of int  (** subsets tried before hitting the attempt cap *)
+
+val decode :
+  ?max_attempts:int -> digest:string -> log:int list -> num_missing:int ->
+  unit -> decode_result
+(** Enumerate [num_missing]-subsets of [log] in lexicographic index
+    order, hashing the sorted complement, until the digest matches.
+    [max_attempts] (default [1_000_000]) bounds the search. *)
+
+val subsets_to_search : n:int -> m:int -> float
+(** [C(n, m)] as a float (may be [infinity] for huge inputs). *)
+
+val estimated_decode_days : n:int -> m:int -> seconds_per_attempt:float -> float
+(** Expected time to enumerate half the subsets at the measured
+    per-attempt cost — how Table 2's "≈7e+06 days" row is produced. *)

@@ -1,0 +1,113 @@
+module Primes = Sidecar_field.Primes
+
+type error =
+  [ `Truncated
+  | `Bad_magic
+  | `Bad_version of int
+  | `Unsupported_bits of int
+  | `Sum_out_of_range of int ]
+
+let pp_error ppf = function
+  | `Truncated -> Format.pp_print_string ppf "truncated quACK"
+  | `Bad_magic -> Format.pp_print_string ppf "bad frame magic"
+  | `Bad_version v -> Format.fprintf ppf "unsupported frame version %d" v
+  | `Unsupported_bits b -> Format.fprintf ppf "unsupported identifier width %d" b
+  | `Sum_out_of_range i -> Format.fprintf ppf "power sum %d out of field range" i
+
+let check_byte_aligned what bits =
+  if bits mod 8 <> 0 || bits < 0 || bits > 32 then
+    invalid_arg (Printf.sprintf "Wire: %s width %d is not byte-aligned" what bits)
+
+let packed_size ~bits ~threshold ~count_bits =
+  ((bits * threshold) + count_bits + 7) / 8
+
+let put_le buf v nbytes =
+  for i = 0 to nbytes - 1 do
+    Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+  done
+
+let get_le s off nbytes =
+  let v = ref 0 in
+  for i = nbytes - 1 downto 0 do
+    v := (!v lsl 8) lor Char.code s.[off + i]
+  done;
+  !v
+
+let encode_packed (q : Quack.t) =
+  check_byte_aligned "identifier" q.bits;
+  if q.count_bits mod 8 <> 0 || q.count_bits < 0 || q.count_bits > 56 then
+    invalid_arg "Wire.encode_packed: count width not byte-aligned";
+  let buf = Buffer.create (packed_size ~bits:q.bits ~threshold:(Quack.threshold q) ~count_bits:q.count_bits) in
+  Array.iter (fun s -> put_le buf s (q.bits / 8)) q.sums;
+  if q.count_bits > 0 then put_le buf (Quack.wrap_count q q.count) (q.count_bits / 8);
+  Buffer.contents buf
+
+let decode_packed ~bits ~threshold ~count_bits s =
+  if bits mod 8 <> 0 || bits <= 0 || bits > 32 then Error (`Unsupported_bits bits)
+  else if count_bits mod 8 <> 0 || count_bits < 0 || count_bits > 56 then
+    Error (`Unsupported_bits count_bits)
+  else if String.length s < packed_size ~bits ~threshold ~count_bits then Error `Truncated
+  else begin
+    let modulus = Primes.modulus_for_bits bits in
+    let nb = bits / 8 in
+    let sums = Array.init threshold (fun i -> get_le s (i * nb) nb) in
+    let bad = ref (-1) in
+    Array.iteri (fun i v -> if v >= modulus && !bad < 0 then bad := i) sums;
+    if !bad >= 0 then Error (`Sum_out_of_range !bad)
+    else
+      let count =
+        if count_bits = 0 then 0 else get_le s (threshold * nb) (count_bits / 8)
+      in
+      Ok { Quack.bits; count_bits; sums; count }
+  end
+
+(* Framed format:
+   magic 'Q' 'K' | version 1 | bits u8 | count_bits u8 | threshold u16 LE
+   | packed payload *)
+let frame_overhead = 7
+let version = 1
+
+let encode_framed q =
+  let payload = encode_packed q in
+  let buf = Buffer.create (frame_overhead + String.length payload) in
+  Buffer.add_string buf "QK";
+  Buffer.add_char buf (Char.chr version);
+  Buffer.add_char buf (Char.chr q.Quack.bits);
+  Buffer.add_char buf (Char.chr q.Quack.count_bits);
+  put_le buf (Quack.threshold q) 2;
+  (* threshold is u16; larger thresholds are outside any sane config *)
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+let auth_overhead = 16
+
+let encode_authed ~key q =
+  let framed = encode_framed q in
+  framed ^ Sidecar_hash.Hmac.mac_truncated ~key ~len:auth_overhead framed
+
+let decode_framed s =
+  if String.length s < frame_overhead then Error `Truncated
+  else if String.sub s 0 2 <> "QK" then Error `Bad_magic
+  else begin
+    let v = Char.code s.[2] in
+    if v <> version then Error (`Bad_version v)
+    else
+      let bits = Char.code s.[3] in
+      let count_bits = Char.code s.[4] in
+      let threshold = get_le s 5 2 in
+      let payload = String.sub s 7 (String.length s - 7) in
+      decode_packed ~bits ~threshold ~count_bits payload
+  end
+
+let decode_authed ~key s =
+  let n = String.length s in
+  if n < frame_overhead + auth_overhead then Error `Truncated
+  else begin
+    let framed = String.sub s 0 (n - auth_overhead) in
+    let tag = String.sub s (n - auth_overhead) auth_overhead in
+    if not (Sidecar_hash.Hmac.verify ~key ~tag framed) then Error `Bad_tag
+    else
+      match decode_framed framed with
+      | Ok q -> Ok q
+      | Error (#error as e) -> Error (e :> [ error | `Bad_tag ])
+  end

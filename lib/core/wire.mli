@@ -1,0 +1,52 @@
+(** Wire codecs for quACKs.
+
+    Two formats:
+
+    - {e packed}: exactly [t*b + c] bits rounded up to whole bytes,
+      nothing else — the format whose size the paper reports (82 bytes
+      for t=20, b=32, c=16). Both sides must agree on [b], [t], [c]
+      out of band (they are sidecar-protocol configuration, §3.2).
+    - {e framed}: a self-describing header followed by the packed
+      payload, used by the simulator and CLI where a single byte
+      stream carries heterogeneous quACKs. *)
+
+type error =
+  [ `Truncated  (** fewer bytes than the parameters require *)
+  | `Bad_magic  (** framed decode: not a quACK frame *)
+  | `Bad_version of int
+  | `Unsupported_bits of int  (** packed widths must be multiples of 8 *)
+  | `Sum_out_of_range of int  (** sum index whose value >= modulus *) ]
+
+val pp_error : Format.formatter -> error -> unit
+
+val packed_size : bits:int -> threshold:int -> count_bits:int -> int
+(** Size in bytes of the packed encoding. *)
+
+val encode_packed : Quack.t -> string
+(** @raise Invalid_argument when [bits] or [count_bits] is not a
+    multiple of 8 (packing partial bytes is not supported; the paper
+    only uses byte-aligned widths). *)
+
+val decode_packed :
+  bits:int -> threshold:int -> count_bits:int -> string ->
+  (Quack.t, error) result
+(** Inverse of {!encode_packed} given the out-of-band parameters.
+    Validates that each sum lies below the prime modulus for [bits]. *)
+
+val encode_framed : Quack.t -> string
+val decode_framed : string -> (Quack.t, error) result
+
+val frame_overhead : int
+(** Bytes added by the framed header. *)
+
+val encode_authed : key:string -> Quack.t -> string
+(** Framed encoding followed by a 16-byte HMAC-SHA256 tag: lets a host
+    reject quACKs forged by an adversarial on-path element (§5's
+    "how do we handle adversarial proxies?"). The key is shared
+    between the sidecar peers out of band. *)
+
+val decode_authed :
+  key:string -> string -> (Quack.t, [ error | `Bad_tag ]) result
+
+val auth_overhead : int
+(** Bytes added on top of the framed encoding (the tag). *)

@@ -1,0 +1,43 @@
+module Make (F : Modular.S) = struct
+  module P = Poly.Make (F)
+
+  let elementary_from_power_sums (p : F.t array) : F.t array =
+    let m = Array.length p in
+    if m >= F.modulus then
+      invalid_arg "Newton: too many power sums for this field";
+    let e = Array.make (m + 1) F.zero in
+    e.(0) <- F.one;
+    for k = 1 to m do
+      (* k * e_k = sum_{i=1..k} (-1)^(i-1) * e_(k-i) * p_i *)
+      let acc = ref F.zero in
+      for i = 1 to k do
+        let term = F.mul e.(k - i) p.(i - 1) in
+        acc := if (i - 1) land 1 = 0 then F.add !acc term else F.sub !acc term
+      done;
+      e.(k) <- F.div !acc (F.of_int k)
+    done;
+    e
+
+  let polynomial_of_power_sums p =
+    let m = Array.length p in
+    let e = elementary_from_power_sums p in
+    (* f(x) = x^m - e1 x^(m-1) + e2 x^(m-2) - ... + (-1)^m e_m *)
+    let coeffs = Array.make (m + 1) F.zero in
+    for k = 0 to m do
+      let c = if k land 1 = 0 then e.(k) else F.neg e.(k) in
+      coeffs.(m - k) <- c
+    done;
+    P.of_coeffs coeffs
+
+  let power_sums_of_roots roots m =
+    let sums = Array.make m F.zero in
+    let add_root r =
+      let pw = ref F.one in
+      for i = 0 to m - 1 do
+        pw := F.mul !pw r;
+        sums.(i) <- F.add sums.(i) !pw
+      done
+    in
+    List.iter add_root roots;
+    sums
+end

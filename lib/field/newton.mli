@@ -1,0 +1,26 @@
+(** Newton's identities over a prime field: recover the monic
+    polynomial whose roots (a multiset) have the given power sums.
+
+    This is the decoding core of the power-sum quACK (§3.1): the sender
+    forms the differences [d_i] of its own power sums and the
+    receiver's, then the missing packets are exactly the roots of the
+    polynomial returned by {!val-polynomial_of_power_sums}. *)
+
+module Make (F : Modular.S) : sig
+  module P : module type of Poly.Make (F)
+
+  val elementary_from_power_sums : F.t array -> F.t array
+  (** [elementary_from_power_sums [|p1; ...; pm|]] returns
+      [[|e0; e1; ...; em|]] with [e0 = 1], via
+      [k*e_k = sum_{i=1..k} (-1)^(i-1) e_(k-i) p_i]. Requires the field
+      characteristic to exceed [m] (always true here: p is at least
+      251 and thresholds are small). *)
+
+  val polynomial_of_power_sums : F.t array -> P.t
+  (** Monic polynomial of degree [m] whose root multiset has the given
+      [m] power sums: [f(x) = sum_k (-1)^k e_k x^(m-k)]. *)
+
+  val power_sums_of_roots : F.t list -> int -> F.t array
+  (** [power_sums_of_roots roots m] computes the first [m] power sums
+      of the multiset — the inverse direction, used in tests. *)
+end

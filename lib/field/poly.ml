@@ -1,0 +1,143 @@
+module Make (F : Modular.S) = struct
+  type t = int array
+
+  let zero : t = [||]
+  let one : t = [| 1 |]
+  let x : t = [| 0; 1 |]
+
+  let normalize (a : t) : t =
+    let n = Array.length a in
+    let rec top i = if i >= 0 && a.(i) = 0 then top (i - 1) else i in
+    let d = top (n - 1) in
+    if d = n - 1 then a else Array.sub a 0 (d + 1)
+
+  let constant c = if F.equal c F.zero then zero else [| c |]
+  let of_coeffs a = normalize (Array.map F.of_int a)
+  let degree a = Array.length a - 1
+  let is_zero a = Array.length a = 0
+  let equal (a : t) (b : t) = a = b
+
+  let leading a =
+    if is_zero a then invalid_arg "Poly.leading: zero polynomial"
+    else a.(Array.length a - 1)
+
+  let eval a v =
+    let acc = ref F.zero in
+    for i = Array.length a - 1 downto 0 do
+      acc := F.add (F.mul !acc v) a.(i)
+    done;
+    !acc
+
+  let add a b =
+    let la = Array.length a and lb = Array.length b in
+    let n = max la lb in
+    normalize
+      (Array.init n (fun i ->
+           let ca = if i < la then a.(i) else F.zero
+           and cb = if i < lb then b.(i) else F.zero in
+           F.add ca cb))
+
+  let sub a b =
+    let la = Array.length a and lb = Array.length b in
+    let n = max la lb in
+    normalize
+      (Array.init n (fun i ->
+           let ca = if i < la then a.(i) else F.zero
+           and cb = if i < lb then b.(i) else F.zero in
+           F.sub ca cb))
+
+  let scale c a =
+    if F.equal c F.zero then zero else normalize (Array.map (F.mul c) a)
+
+  let mul a b =
+    if is_zero a || is_zero b then zero
+    else begin
+      let la = Array.length a and lb = Array.length b in
+      let r = Array.make (la + lb - 1) F.zero in
+      for i = 0 to la - 1 do
+        if a.(i) <> 0 then
+          for j = 0 to lb - 1 do
+            r.(i + j) <- F.add r.(i + j) (F.mul a.(i) b.(j))
+          done
+      done;
+      normalize r
+    end
+
+  let monic a = if is_zero a then a else scale (F.inv (leading a)) a
+
+  let divmod a b =
+    if is_zero b then raise Division_by_zero;
+    let db = degree b in
+    if degree a < db then (zero, a)
+    else begin
+      let r = Array.copy a in
+      let dq = degree a - db in
+      let q = Array.make (dq + 1) F.zero in
+      let inv_lead = F.inv (leading b) in
+      for k = dq downto 0 do
+        let c = F.mul r.(k + db) inv_lead in
+        q.(k) <- c;
+        if not (F.equal c F.zero) then
+          for j = 0 to db do
+            r.(k + j) <- F.sub r.(k + j) (F.mul c b.(j))
+          done
+      done;
+      (normalize q, normalize r)
+    end
+
+  let rec gcd a b = if is_zero b then monic a else gcd b (snd (divmod a b))
+
+  let derivative a =
+    if degree a <= 0 then zero
+    else
+      normalize
+        (Array.init (degree a) (fun i -> F.mul (F.of_int (i + 1)) a.(i + 1)))
+
+  let of_roots roots =
+    List.fold_left (fun acc r -> mul acc [| F.neg r; F.one |]) one roots
+
+  let deflate f r =
+    (* Synthetic division of f by (x - r): walking from the leading
+       coefficient down, carry = carry * r + coeff. The final carry is
+       f(r); intermediate carries are the quotient coefficients. *)
+    let d = degree f in
+    if d < 1 then None
+    else begin
+      let q = Array.make d F.zero in
+      let carry = ref F.zero in
+      for i = d downto 1 do
+        carry := F.add (F.mul !carry r) f.(i);
+        q.(i - 1) <- !carry
+      done;
+      let remainder = F.add (F.mul !carry r) f.(0) in
+      if F.equal remainder F.zero then Some (normalize q) else None
+    end
+
+  let mulmod a b ~modulus = snd (divmod (mul a b) modulus)
+
+  let powmod base k ~modulus =
+    if k < 0 then invalid_arg "Poly.powmod: negative exponent";
+    let rec go acc base k =
+      if k = 0 then acc
+      else
+        let acc = if k land 1 = 1 then mulmod acc base ~modulus else acc in
+        go acc (mulmod base base ~modulus) (k lsr 1)
+    in
+    go (snd (divmod one modulus)) (snd (divmod base modulus)) k
+
+  let pp ppf a =
+    if is_zero a then Format.pp_print_string ppf "0"
+    else begin
+      let first = ref true in
+      for i = degree a downto 0 do
+        if a.(i) <> 0 then begin
+          if not !first then Format.pp_print_string ppf " + ";
+          first := false;
+          match i with
+          | 0 -> Format.fprintf ppf "%d" a.(i)
+          | 1 -> if a.(i) = 1 then Format.pp_print_string ppf "x" else Format.fprintf ppf "%d*x" a.(i)
+          | _ -> if a.(i) = 1 then Format.fprintf ppf "x^%d" i else Format.fprintf ppf "%d*x^%d" a.(i) i
+        end
+      done
+    end
+end

@@ -1,0 +1,60 @@
+(** Dense univariate polynomials over a prime field.
+
+    Representation: [int array] of coefficients, index [i] holding the
+    coefficient of [x^i]. Normalised form has a non-zero leading
+    coefficient; the zero polynomial is [[||]]. *)
+
+module Make (F : Modular.S) : sig
+  type t = int array
+
+  val zero : t
+  val one : t
+  val x : t
+  (** The monomial [x]. *)
+
+  val constant : F.t -> t
+  val of_coeffs : int array -> t
+  (** Reduces every coefficient into the field and normalises. The
+      input array is not mutated. *)
+
+  val of_roots : F.t list -> t
+  (** Monic polynomial with exactly the given roots (with
+      multiplicity). *)
+
+  val degree : t -> int
+  (** [-1] for the zero polynomial. *)
+
+  val is_zero : t -> bool
+  val equal : t -> t -> bool
+  val leading : t -> F.t
+  (** @raise Invalid_argument on the zero polynomial. *)
+
+  val eval : t -> F.t -> F.t
+  (** Horner evaluation, O(degree) field multiplications. *)
+
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val scale : F.t -> t -> t
+  val mul : t -> t -> t
+  val monic : t -> t
+  (** Divide by the leading coefficient; zero stays zero. *)
+
+  val divmod : t -> t -> t * t
+  (** [divmod a b = (q, r)] with [a = q*b + r], [degree r < degree b].
+      @raise Division_by_zero when [b] is zero. *)
+
+  val gcd : t -> t -> t
+  (** Monic greatest common divisor. *)
+
+  val derivative : t -> t
+
+  val deflate : t -> F.t -> t option
+  (** [deflate f r] divides [f] by [(x - r)] via synthetic division.
+      [None] when [r] is not a root of [f]. *)
+
+  val mulmod : t -> t -> modulus:t -> t
+  val powmod : t -> int -> modulus:t -> t
+  (** Polynomial modular exponentiation, used by root finding. *)
+
+  val pp : Format.formatter -> t -> unit
+end

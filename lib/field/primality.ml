@@ -1,0 +1,67 @@
+(* Deterministic Miller-Rabin. The base set {2,3,5,7,11,13,17,19,23,29,
+   31,37} is a proven witness set for all n < 3.3e24 (Sorenson-Webster),
+   far beyond the < 2^62 range we use. Arithmetic below 2^32 uses the
+   overflow-safe Modular.mulmod; above that we fall back to a doubling
+   ladder multiplication that never overflows 63-bit ints. *)
+
+let mulmod_any a b p =
+  if p < 1 lsl 31 then a * b mod p
+  else if p < 1 lsl 32 then Modular.mulmod a b p
+  else begin
+    (* Russian-peasant multiplication mod p; p < 2^62 so a + a stays
+       below 2^63. *)
+    let rec go acc a b =
+      if b = 0 then acc
+      else
+        let acc = if b land 1 = 1 then (acc + a) mod p else acc in
+        go acc ((a + a) mod p) (b lsr 1)
+    in
+    go 0 (a mod p) b
+  end
+
+let powmod_any x k p =
+  let rec go acc base k =
+    if k = 0 then acc
+    else
+      let acc = if k land 1 = 1 then mulmod_any acc base p else acc in
+      go acc (mulmod_any base base p) (k lsr 1)
+  in
+  go 1 (x mod p) k
+
+let witnesses = [ 2; 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37 ]
+
+let is_prime n =
+  if n < 2 then false
+  else if n < 4 then true
+  else if n land 1 = 0 then false
+  else begin
+    (* n - 1 = d * 2^s with d odd *)
+    let rec split d s = if d land 1 = 0 then split (d lsr 1) (s + 1) else (d, s) in
+    let d, s = split (n - 1) 0 in
+    let strong_probable_prime a =
+      let a = a mod n in
+      if a = 0 then true
+      else begin
+        let x = powmod_any a d n in
+        if x = 1 || x = n - 1 then true
+        else
+          let rec square x i =
+            if i = 0 then false
+            else
+              let x = mulmod_any x x n in
+              if x = n - 1 then true else square x (i - 1)
+          in
+          square x (s - 1)
+      end
+    in
+    List.for_all strong_probable_prime witnesses
+  end
+
+let largest_prime_below n =
+  if n <= 2 then invalid_arg "Primality.largest_prime_below";
+  let rec down k = if is_prime k then k else down (k - 1) in
+  down (n - 1)
+
+let largest_prime_in_bits b =
+  if b < 2 || b > 62 then invalid_arg "Primality.largest_prime_in_bits";
+  largest_prime_below (1 lsl b)

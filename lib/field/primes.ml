@@ -1,0 +1,50 @@
+let table = Hashtbl.create 8
+
+let modulus_for_bits b =
+  match Hashtbl.find_opt table b with
+  | Some p -> p
+  | None ->
+      let p = Primality.largest_prime_in_bits b in
+      Hashtbl.add table b p;
+      p
+
+module F8 = Modular.Make (struct
+  let bits = 8
+  let modulus = 251
+end)
+
+module F16 = Modular.Make (struct
+  let bits = 16
+  let modulus = 65521
+end)
+
+module F24 = Modular.Make (struct
+  let bits = 24
+  let modulus = 16777213
+end)
+
+module F32 = Modular.Make (struct
+  let bits = 32
+  let modulus = 4294967291
+end)
+
+let () =
+  (* The preset moduli must agree with the computed largest primes. *)
+  assert (F8.modulus = modulus_for_bits 8);
+  assert (F16.modulus = modulus_for_bits 16);
+  assert (F24.modulus = modulus_for_bits 24);
+  assert (F32.modulus = modulus_for_bits 32)
+
+let field_for_bits b : (module Modular.S) =
+  match b with
+  | 8 -> (module F8)
+  | 16 -> (module F16)
+  | 24 -> (module F24)
+  | 32 -> (module F32)
+  | b when b >= 2 && b <= 32 ->
+      let p = modulus_for_bits b in
+      (module Modular.Make (struct
+        let bits = b
+        let modulus = p
+      end))
+  | _ -> invalid_arg "Primes.field_for_bits: width must be in [2, 32]"

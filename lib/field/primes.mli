@@ -1,0 +1,24 @@
+(** Preset prime fields for the identifier widths evaluated in the
+    paper (b = 8, 16, 24, 32), each using the largest prime expressible
+    in [b] bits (§3.2). *)
+
+val modulus_for_bits : int -> int
+(** Largest prime below [2^b]; memoised for b in [2, 62]. *)
+
+module F8 : Modular.S
+(** b = 8, p = 251. *)
+
+module F16 : Modular.S
+(** b = 16, p = 65521. *)
+
+module F24 : Modular.S
+(** b = 24, p = 16777213. *)
+
+module F32 : Modular.S
+(** b = 32, p = 4294967291. *)
+
+val field_for_bits : int -> (module Modular.S)
+(** [field_for_bits b] returns the preset field for b in {8,16,24,32}
+    and constructs a fresh one for any other b in [2, 62] whose modulus
+    fits {!Modular.Make}'s range (b <= 32).
+    @raise Invalid_argument for unsupported widths. *)

@@ -1,0 +1,90 @@
+module Make (F : Modular.S) = struct
+  module P = Poly.Make (F)
+  module Sq = Sqrt.Make (F)
+
+  let eval_roots f candidates =
+    let rec go f acc = function
+      | [] -> (List.rev acc, f)
+      | c :: rest ->
+          if P.degree f < 1 then (List.rev acc, f)
+          else begin
+            match P.deflate f c with
+            | Some q -> go q (c :: acc) rest
+            | None -> go f acc rest
+          end
+    in
+    go f [] candidates
+
+  (* 48-bit linear congruential generator (the java.util.Random
+     recurrence); we only need "random enough" field elements for
+     equal-degree splitting, and the constants fit in 63-bit ints. *)
+  let mix seed =
+    let mask48 = (1 lsl 48) - 1 in
+    let z = ref ((seed lxor 0x5DEECE66D) land mask48) in
+    fun () ->
+      z := ((!z * 0x5DEECE66D) + 0xB) land mask48;
+      !z lsr 16
+
+  let find_all ?(seed = 0x5DEECE66D) f =
+    if P.is_zero f then invalid_arg "Roots.find_all: zero polynomial";
+    let rand = mix seed in
+    let p = F.modulus in
+    (* Distinct roots of f are the roots of g = gcd(x^p - x, f). *)
+    let distinct_root_part f =
+      if P.degree f <= 1 then P.monic f
+      else
+        let xp = P.powmod P.x p ~modulus:f in
+        P.gcd (P.sub xp P.x) f
+    in
+    (* Equal-degree splitting restricted to products of distinct linear
+       factors: gcd((x+a)^((p-1)/2) - 1, g) splits g for random a. *)
+    let rec split g acc =
+      match P.degree g with
+      | d when d <= 0 -> acc
+      | 1 ->
+          (* monic x + c0: root is -c0 *)
+          let g = P.monic g in
+          F.neg g.(0) :: acc
+      | 2 when p mod 2 = 1 ->
+          (* Quadratic formula: since g divides x^p - x it splits into
+             linear factors, so the discriminant is a residue and
+             Tonelli-Shanks always succeeds. *)
+          let g = P.monic g in
+          let b = g.(1) and c = g.(0) in
+          let disc = F.sub (F.mul b b) (F.mul (F.of_int 4) c) in
+          begin
+            match Sq.sqrt disc with
+            | Some s ->
+                let inv2 = F.inv (F.of_int 2) in
+                let r1 = F.mul (F.sub s b) inv2 in
+                let r2 = F.mul (F.sub (F.neg s) b) inv2 in
+                r1 :: r2 :: acc
+            | None -> random_split g acc
+          end
+      | _ -> random_split g acc
+    and random_split g acc =
+      let a = F.of_int (rand ()) in
+      let h = P.powmod (P.of_coeffs [| F.to_int a; 1 |]) ((p - 1) / 2) ~modulus:g in
+      let d = P.gcd (P.sub h P.one) g in
+      let dd = P.degree d in
+      if dd > 0 && dd < P.degree g then
+        split d (split (fst (P.divmod g d)) acc)
+      else random_split g acc
+    in
+    let f = P.monic f in
+    let distinct = split (distinct_root_part f) [] in
+    (* Recover multiplicities by repeated deflation of the original f. *)
+    let rec multiplicity f r acc =
+      match P.deflate f r with
+      | Some q -> multiplicity q r (acc + 1)
+      | None -> (acc, f)
+    in
+    let roots, _ =
+      List.fold_left
+        (fun (acc, f) r ->
+          let k, f = multiplicity f r 0 in
+          (List.init k (fun _ -> r) @ acc, f))
+        ([], f) distinct
+    in
+    List.sort F.compare roots
+end

@@ -1,0 +1,27 @@
+(** Root finding over prime fields.
+
+    Two strategies, mirroring §4.2/§4.3 of the paper:
+
+    - {!val-eval_roots}: plug in candidate values (the sender's packet
+      log) — O(n·m), best when the candidate list is small.
+    - {!val-find_all}: factor the polynomial directly with
+      Cantor–Zassenhaus — cost depends only on the degree [m] (at most
+      the threshold [t]), best "for large n". *)
+
+module Make (F : Modular.S) : sig
+  module P : module type of Poly.Make (F)
+
+  val eval_roots : P.t -> F.t list -> F.t list * P.t
+  (** [eval_roots f candidates] scans the candidates in order,
+      collecting each that is a root of the progressively deflated
+      polynomial (so duplicate candidates consume one root multiplicity
+      each — exact multiset semantics). Returns the found roots and the
+      residual polynomial (non-constant iff some roots were not among
+      the candidates). *)
+
+  val find_all : ?seed:int -> P.t -> F.t list
+  (** All roots in [F_p] with multiplicity, via the distinct-root
+      filter [gcd (x^p - x) f] followed by randomised equal-degree
+      splitting. Roots are returned sorted. Deterministic for a fixed
+      [seed]. *)
+end

@@ -1,0 +1,62 @@
+module Make (F : Modular.S) = struct
+  let p = F.modulus
+
+  let legendre a =
+    if F.equal a F.zero then 0
+    else if F.equal (F.pow a ((p - 1) / 2)) F.one then 1
+    else -1
+
+  (* Smallest quadratic non-residue; computed lazily once. By
+     heuristics it is tiny (< 60 for all p < 2^64). *)
+  let non_residue =
+    lazy
+      (let rec find a = if legendre (F.of_int a) = -1 then F.of_int a else find (a + 1) in
+       find 2)
+
+  let sqrt a =
+    if F.equal a F.zero then Some F.zero
+    else if p = 2 then Some a
+    else if legendre a <> 1 then None
+    else if p mod 4 = 3 then begin
+      let r = F.pow a ((p + 1) / 4) in
+      Some r
+    end
+    else begin
+      (* Tonelli-Shanks: p - 1 = q * 2^s with q odd *)
+      let rec split q s = if q land 1 = 0 then split (q lsr 1) (s + 1) else (q, s) in
+      let q, s = split (p - 1) 0 in
+      let z = Lazy.force non_residue in
+      let m = ref s in
+      let c = ref (F.pow z q) in
+      let t = ref (F.pow a q) in
+      let r = ref (F.pow a ((q + 1) / 2)) in
+      let continue = ref true in
+      let result = ref None in
+      while !continue do
+        if F.equal !t F.one then begin
+          result := Some !r;
+          continue := false
+        end
+        else begin
+          (* find least i, 0 < i < m, with t^(2^i) = 1 *)
+          let rec least_i x i =
+            if F.equal x F.one then i else least_i (F.mul x x) (i + 1)
+          in
+          let i = least_i (F.mul !t !t) 1 in
+          if i >= !m then begin
+            (* unreachable for residues; guard against loops *)
+            result := None;
+            continue := false
+          end
+          else begin
+            let b = F.pow !c (1 lsl (!m - i - 1)) in
+            m := i;
+            c := F.mul b b;
+            t := F.mul !t !c;
+            r := F.mul !r b
+          end
+        end
+      done;
+      !result
+    end
+end

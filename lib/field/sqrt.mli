@@ -1,0 +1,13 @@
+(** Modular square roots (Tonelli–Shanks), used by the root finder's
+    quadratic fast path on any odd prime field. *)
+
+module Make (F : Modular.S) : sig
+  val legendre : F.t -> int
+  (** [legendre a] is 1 if [a] is a non-zero quadratic residue, [-1]
+      if a non-residue, [0] if [a = 0]. *)
+
+  val sqrt : F.t -> F.t option
+  (** [sqrt a] is a square root of [a] when one exists ([None] for
+      non-residues). Deterministic: the non-residue needed by
+      Tonelli–Shanks is found by scanning small values. *)
+end

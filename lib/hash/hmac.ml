@@ -1,0 +1,33 @@
+let block_size = 64
+
+let normalize_key key =
+  let key = if String.length key > block_size then Sha256.digest_string key else key in
+  let padded = Bytes.make block_size '\000' in
+  Bytes.blit_string key 0 padded 0 (String.length key);
+  padded
+
+let xor_pad key byte =
+  let out = Bytes.create block_size in
+  for i = 0 to block_size - 1 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get key i) lxor byte))
+  done;
+  Bytes.to_string out
+
+let mac ~key msg =
+  let key = normalize_key key in
+  let inner = Sha256.digest_string (xor_pad key 0x36 ^ msg) in
+  Sha256.digest_string (xor_pad key 0x5c ^ inner)
+
+let mac_truncated ~key ?(len = 16) msg =
+  if len < 1 || len > 32 then invalid_arg "Hmac.mac_truncated: bad length";
+  String.sub (mac ~key msg) 0 len
+
+let verify ~key ~tag msg =
+  let expected = mac_truncated ~key ~len:(String.length tag) msg in
+  (* constant-time fold over all bytes *)
+  String.length tag > 0
+  && String.length tag <= 32
+  &&
+  let acc = ref 0 in
+  String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i])) tag;
+  !acc = 0

@@ -1,0 +1,70 @@
+type t = {
+  target : Sim_time.span;
+  interval : Sim_time.span;
+  mutable first_above_time : Sim_time.t option;
+  mutable dropping : bool;
+  mutable drop_next : Sim_time.t;
+  mutable count : int;
+  mutable drops : int;
+}
+
+let create ?(target = Sim_time.ms 5) ?(interval = Sim_time.ms 100) () =
+  {
+    target;
+    interval;
+    first_above_time = None;
+    dropping = false;
+    drop_next = 0;
+    count = 0;
+    drops = 0;
+  }
+
+type verdict = Forward | Drop
+
+let control_law t now =
+  Sim_time.add now
+    (int_of_float (float_of_int t.interval /. sqrt (float_of_int (max 1 t.count))))
+
+(* Returns true when the sojourn has stayed above target for a full
+   interval — the "ok to drop" condition of RFC 8289. *)
+let should_drop t ~now ~sojourn =
+  if sojourn < t.target then begin
+    t.first_above_time <- None;
+    false
+  end
+  else begin
+    match t.first_above_time with
+    | None ->
+        t.first_above_time <- Some (Sim_time.add now t.interval);
+        false
+    | Some at -> now >= at
+  end
+
+let on_dequeue t ~now ~enqueued_at =
+  let sojourn = Sim_time.diff now enqueued_at in
+  let ok_to_drop = should_drop t ~now ~sojourn in
+  if t.dropping then begin
+    if not ok_to_drop then begin
+      t.dropping <- false;
+      Forward
+    end
+    else if now >= t.drop_next then begin
+      t.drops <- t.drops + 1;
+      t.count <- t.count + 1;
+      t.drop_next <- control_law t t.drop_next;
+      Drop
+    end
+    else Forward
+  end
+  else if ok_to_drop then begin
+    t.dropping <- true;
+    (* restart the control law, with memory of recent drop pressure *)
+    t.count <- (if t.count > 2 then t.count - 2 else 1);
+    t.drop_next <- control_law t now;
+    t.drops <- t.drops + 1;
+    Drop
+  end
+  else Forward
+
+let drops t = t.drops
+let in_dropping_state t = t.dropping

@@ -1,0 +1,24 @@
+(** Active queue management: CoDel (RFC 8289), as an alternative to
+    the drop-tail queues built into {!Link}.
+
+    CoDel tracks how long packets sit in the queue (sojourn time).
+    When the minimum sojourn over an [interval] exceeds [target], it
+    enters a dropping state and drops at increasing frequency
+    (control-law spacing [interval / sqrt(count)]) until the standing
+    queue drains. Used by the bufferbloat ablation: a PEP that buffers
+    aggressively behaves very differently in front of CoDel than in
+    front of a deep FIFO. *)
+
+type t
+
+val create :
+  ?target:Sim_time.span -> ?interval:Sim_time.span -> unit -> t
+(** Defaults per RFC 8289: target 5 ms, interval 100 ms. *)
+
+type verdict = Forward | Drop
+
+val on_dequeue : t -> now:Sim_time.t -> enqueued_at:Sim_time.t -> verdict
+(** Consult CoDel when a packet reaches the head of the queue. *)
+
+val drops : t -> int
+val in_dropping_state : t -> bool

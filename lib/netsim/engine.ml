@@ -1,0 +1,45 @@
+type t = {
+  mutable clock : Sim_time.t;
+  events : (unit -> unit) Event_heap.t;
+  rng : Rng.t;
+  mutable stopped : bool;
+}
+
+let create ?(seed = 1) () =
+  { clock = Sim_time.zero; events = Event_heap.create (); rng = Rng.create seed; stopped = false }
+
+let now t = t.clock
+let rng t = t.rng
+
+let schedule_at t time f =
+  let time = if time < t.clock then t.clock else time in
+  Event_heap.push t.events ~time f
+
+let schedule t ~delay f =
+  let delay = if delay < 0 then 0 else delay in
+  Event_heap.push t.events ~time:(Sim_time.add t.clock delay) f
+
+let pending t = Event_heap.size t.events
+let stop t = t.stopped <- true
+
+let run ?until ?(max_events = 200_000_000) t =
+  t.stopped <- false;
+  let fired = ref 0 in
+  let continue = ref true in
+  while !continue do
+    if t.stopped || !fired >= max_events then continue := false
+    else begin
+      match Event_heap.peek_time t.events with
+      | None -> continue := false
+      | Some time ->
+          (match until with
+          | Some limit when time > limit ->
+              t.clock <- limit;
+              continue := false
+          | _ ->
+              let _, f = Option.get (Event_heap.pop t.events) in
+              t.clock <- time;
+              incr fired;
+              f ())
+    end
+  done

@@ -1,0 +1,34 @@
+(** The discrete-event simulation engine: a clock and an event queue.
+
+    Components schedule closures; [run] pops them in time order and
+    advances the clock. Everything observable in a simulation happens
+    inside a scheduled event. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** [seed] (default 1) drives the root RNG; all randomness in a
+    simulation must derive from it for reproducibility. *)
+
+val now : t -> Sim_time.t
+val rng : t -> Rng.t
+(** The root RNG. Components should call {!Rng.split} on it at set-up
+    time rather than share it at run time. *)
+
+val schedule : t -> delay:Sim_time.span -> (unit -> unit) -> unit
+(** Schedule a closure [delay] ns from now. Negative delays are
+    clamped to "immediately". *)
+
+val schedule_at : t -> Sim_time.t -> (unit -> unit) -> unit
+(** Schedule at an absolute time; times in the past fire immediately
+    (at the current clock). *)
+
+val pending : t -> int
+
+val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
+(** Process events until the queue is empty, the clock passes [until],
+    or [max_events] have fired (a runaway-simulation backstop,
+    default 200 million). *)
+
+val stop : t -> unit
+(** Make the current [run] return after the in-progress event. *)

@@ -1,0 +1,76 @@
+type 'a cell = { time : Sim_time.t; seq : int; value : 'a }
+
+type 'a t = {
+  mutable cells : 'a cell array;  (* cells.(0) unused sentinel-free layout *)
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { cells = [||]; len = 0; next_seq = 0 }
+let size t = t.len
+let is_empty t = t.len = 0
+
+let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+(* Only called with a non-empty heap, so cells.(0) is a valid filler
+   for the unused tail slots. *)
+let grow t =
+  let ncells = Array.make (2 * Array.length t.cells) t.cells.(0) in
+  Array.blit t.cells 0 ncells 0 t.len;
+  t.cells <- ncells
+
+let push t ~time value =
+  if t.len = Array.length t.cells then begin
+    if t.len = 0 then t.cells <- Array.make 16 { time; seq = 0; value }
+    else grow t
+  end;
+  let cell = { time; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  let i = ref t.len in
+  t.len <- t.len + 1;
+  t.cells.(!i) <- cell;
+  (* sift up *)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if less cell t.cells.(parent) then begin
+      t.cells.(!i) <- t.cells.(parent);
+      t.cells.(parent) <- cell;
+      i := parent
+    end
+    else continue := false
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let root = t.cells.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let last = t.cells.(t.len) in
+      t.cells.(0) <- last;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.len && less t.cells.(l) t.cells.(!smallest) then smallest := l;
+        if r < t.len && less t.cells.(r) t.cells.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.cells.(!i) in
+          t.cells.(!i) <- t.cells.(!smallest);
+          t.cells.(!smallest) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (root.time, root.value)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.cells.(0).time
+
+let clear t =
+  t.len <- 0;
+  t.cells <- [||]

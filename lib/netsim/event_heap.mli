@@ -1,0 +1,13 @@
+(** Binary min-heap of timed events, ordered by (time, insertion seq)
+    so simultaneous events fire in schedule order (a stable tie-break
+    keeps simulations deterministic). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> time:Sim_time.t -> 'a -> unit
+val pop : 'a t -> (Sim_time.t * 'a) option
+val peek_time : 'a t -> Sim_time.t option
+val clear : 'a t -> unit

@@ -1,0 +1,125 @@
+type stats = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped_loss : int;
+  mutable dropped_queue : int;
+  mutable dropped_aqm : int;
+  mutable bytes_sent : int;
+  mutable bytes_delivered : int;
+  mutable queue_peak : int;
+}
+
+type t = {
+  engine : Engine.t;
+  name : string;
+  rate_bps : int;
+  delay : Sim_time.span;
+  queue_capacity : int;
+  jitter : Sim_time.span;
+  loss : Loss.t;
+  aqm : Aqm.t option;
+  rng : Rng.t;
+  mutable deliver : Packet.t -> unit;
+  queue : (Packet.t * Sim_time.t) Queue.t;  (* packet, enqueue time *)
+  mutable transmitting : bool;
+  sojourn : Stats.Summary.t;
+  stats : stats;
+}
+
+let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
+    ?(jitter = 0) ?(loss = Loss.none) ?aqm ?(deliver = fun _ -> ()) () =
+  if rate_bps <= 0 then invalid_arg "Link.create: rate must be positive";
+  if queue_capacity_pkts <= 0 then invalid_arg "Link.create: capacity must be positive";
+  if jitter < 0 then invalid_arg "Link.create: negative jitter";
+  {
+    engine;
+    name;
+    rate_bps;
+    delay;
+    queue_capacity = queue_capacity_pkts;
+    jitter;
+    loss;
+    aqm;
+    rng = Rng.split (Engine.rng engine);
+    deliver;
+    queue = Queue.create ();
+    transmitting = false;
+    sojourn = Stats.Summary.create ();
+    stats =
+      {
+        sent = 0;
+        delivered = 0;
+        dropped_loss = 0;
+        dropped_queue = 0;
+        dropped_aqm = 0;
+        bytes_sent = 0;
+        bytes_delivered = 0;
+        queue_peak = 0;
+      };
+  }
+
+let set_deliver t f = t.deliver <- f
+let tx_time t ~size = size * 8 * 1_000_000_000 / t.rate_bps
+
+(* Serve the head of the queue: consult the AQM, transmit, roll the
+   loss model at the end of serialisation, then propagate. *)
+let rec start_service t =
+  if not t.transmitting then begin
+    match Queue.take_opt t.queue with
+    | None -> ()
+    | Some (p, enqueued_at) ->
+        let now = Engine.now t.engine in
+        let verdict =
+          match t.aqm with
+          | None -> Aqm.Forward
+          | Some aqm -> Aqm.on_dequeue aqm ~now ~enqueued_at
+        in
+        (match verdict with
+        | Aqm.Drop ->
+            t.stats.dropped_aqm <- t.stats.dropped_aqm + 1;
+            start_service t
+        | Aqm.Forward ->
+            Stats.Summary.add t.sojourn
+              (Sim_time.to_float_s (Sim_time.diff now enqueued_at));
+            t.transmitting <- true;
+            Engine.schedule t.engine ~delay:(tx_time t ~size:p.Packet.size)
+              (fun () ->
+                t.transmitting <- false;
+                if Loss.drops t.loss t.rng then
+                  t.stats.dropped_loss <- t.stats.dropped_loss + 1
+                else begin
+                  let extra = if t.jitter > 0 then Rng.int t.rng (t.jitter + 1) else 0 in
+                  Engine.schedule t.engine ~delay:(t.delay + extra) (fun () ->
+                      t.stats.delivered <- t.stats.delivered + 1;
+                      t.stats.bytes_delivered <-
+                        t.stats.bytes_delivered + p.Packet.size;
+                      t.deliver p)
+                end;
+                start_service t))
+  end
+
+let send t p =
+  if Queue.length t.queue >= t.queue_capacity then begin
+    t.stats.dropped_queue <- t.stats.dropped_queue + 1;
+    false
+  end
+  else begin
+    t.stats.sent <- t.stats.sent + 1;
+    t.stats.bytes_sent <- t.stats.bytes_sent + p.Packet.size;
+    Queue.push (p, Engine.now t.engine) t.queue;
+    let depth = Queue.length t.queue + if t.transmitting then 1 else 0 in
+    if depth > t.stats.queue_peak then t.stats.queue_peak <- depth;
+    start_service t;
+    true
+  end
+
+let name t = t.name
+let stats t = t.stats
+let queue_len t = Queue.length t.queue + if t.transmitting then 1 else 0
+let mean_sojourn t = Stats.Summary.mean t.sojourn
+let rate_bps t = t.rate_bps
+let delay t = t.delay
+
+let loss_rate_observed t =
+  if t.stats.sent = 0 then 0.
+  else float_of_int t.stats.dropped_loss /. float_of_int t.stats.sent

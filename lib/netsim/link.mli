@@ -1,0 +1,65 @@
+(** A unidirectional link: fixed rate, propagation delay, a FIFO with
+    either drop-tail or CoDel queue management, and a loss model
+    applied after serialisation.
+
+    Packets are store-and-forward: a packet waits in the queue, is
+    consulted against the AQM at dequeue (if one is configured),
+    occupies the transmitter for [size * 8 / rate], and then
+    propagates for [delay]. The queue capacity bounds waiting
+    packets; overflow drops, AQM drops, and loss-model drops are
+    counted separately. *)
+
+type t
+
+type stats = {
+  mutable sent : int;  (** accepted into the queue *)
+  mutable delivered : int;
+  mutable dropped_loss : int;  (** loss-model drops *)
+  mutable dropped_queue : int;  (** tail drops (counted, not "sent") *)
+  mutable dropped_aqm : int;  (** CoDel drops at dequeue *)
+  mutable bytes_sent : int;
+  mutable bytes_delivered : int;
+  mutable queue_peak : int;
+}
+
+val create :
+  Engine.t ->
+  name:string ->
+  rate_bps:int ->
+  delay:Sim_time.span ->
+  ?queue_capacity_pkts:int ->
+  ?jitter:Sim_time.span ->
+  ?loss:Loss.t ->
+  ?aqm:Aqm.t ->
+  ?deliver:(Packet.t -> unit) ->
+  unit ->
+  t
+(** Defaults: queue of 1024 packets, no jitter, no loss, drop-tail
+    (no AQM), no receiver (packets vanish until {!set_deliver} is
+    called). [jitter] adds a uniform random extra propagation delay in
+    [0, jitter] per packet — which {e reorders} packets, the §3.3
+    hazard the reorder grace exists for.
+    @raise Invalid_argument on a non-positive rate or capacity, or
+    negative jitter. *)
+
+val set_deliver : t -> (Packet.t -> unit) -> unit
+(** Wire the receiving end; needed to build cyclic topologies. *)
+
+val send : t -> Packet.t -> bool
+(** Offer a packet; [false] means tail-dropped. *)
+
+val name : t -> string
+val stats : t -> stats
+val queue_len : t -> int
+(** Packets waiting or in service. *)
+
+val mean_sojourn : t -> float
+(** Average queueing delay (seconds) of packets that reached service. *)
+
+val rate_bps : t -> int
+val delay : t -> Sim_time.span
+val loss_rate_observed : t -> float
+(** Model drops / accepted, over the run so far. *)
+
+val tx_time : t -> size:int -> Sim_time.span
+(** Serialisation delay for a [size]-byte packet on this link. *)

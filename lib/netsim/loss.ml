@@ -1,0 +1,52 @@
+type ge = {
+  p_gb : float;
+  p_bg : float;
+  loss_good : float;
+  loss_bad : float;
+  mutable bad : bool;
+}
+
+type t = None_ | Bernoulli of float | Gilbert_elliott of ge
+
+let none = None_
+
+let bernoulli p =
+  if p < 0. || p > 1. then invalid_arg "Loss.bernoulli: probability out of range";
+  if p = 0. then None_ else Bernoulli p
+
+let gilbert_elliott ?(loss_good = 0.) ?(loss_bad = 0.5) ~p_good_to_bad ~p_bad_to_good () =
+  List.iter
+    (fun (what, v) ->
+      if v < 0. || v > 1. then
+        invalid_arg (Printf.sprintf "Loss.gilbert_elliott: %s out of range" what))
+    [
+      ("loss_good", loss_good); ("loss_bad", loss_bad);
+      ("p_good_to_bad", p_good_to_bad); ("p_bad_to_good", p_bad_to_good);
+    ];
+  Gilbert_elliott { p_gb = p_good_to_bad; p_bg = p_bad_to_good; loss_good; loss_bad; bad = false }
+
+let drops t rng =
+  match t with
+  | None_ -> false
+  | Bernoulli p -> Rng.bool rng ~p
+  | Gilbert_elliott g ->
+      (if g.bad then begin if Rng.bool rng ~p:g.p_bg then g.bad <- false end
+       else if Rng.bool rng ~p:g.p_gb then g.bad <- true);
+      Rng.bool rng ~p:(if g.bad then g.loss_bad else g.loss_good)
+
+let average_rate = function
+  | None_ -> 0.
+  | Bernoulli p -> p
+  | Gilbert_elliott g ->
+      let denom = g.p_gb +. g.p_bg in
+      if denom = 0. then if g.bad then g.loss_bad else g.loss_good
+      else
+        let pi_bad = g.p_gb /. denom in
+        ((1. -. pi_bad) *. g.loss_good) +. (pi_bad *. g.loss_bad)
+
+let pp ppf = function
+  | None_ -> Format.pp_print_string ppf "lossless"
+  | Bernoulli p -> Format.fprintf ppf "bernoulli(%.4f)" p
+  | Gilbert_elliott g ->
+      Format.fprintf ppf "gilbert-elliott(gb=%.3f bg=%.3f lg=%.3f lb=%.3f)"
+        g.p_gb g.p_bg g.loss_good g.loss_bad

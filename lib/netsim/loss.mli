@@ -1,0 +1,27 @@
+(** Link loss models.
+
+    [Bernoulli] gives independent random loss; [Gilbert_elliott] gives
+    the bursty loss typical of wireless subpaths — the §2.3 scenario
+    where in-network retransmission pays off. *)
+
+type t
+
+val none : t
+val bernoulli : float -> t
+(** Drop each packet independently with the given probability.
+    @raise Invalid_argument outside [0, 1]. *)
+
+val gilbert_elliott :
+  ?loss_good:float -> ?loss_bad:float -> p_good_to_bad:float ->
+  p_bad_to_good:float -> unit -> t
+(** Two-state Markov model. Defaults: [loss_good = 0.], [loss_bad =
+    0.5]. State transitions are evaluated per packet. *)
+
+val drops : t -> Rng.t -> bool
+(** Roll the model for one packet; [true] means the packet is lost.
+    Stateful for Gilbert–Elliott. *)
+
+val average_rate : t -> float
+(** Long-run expected loss rate (stationary distribution for GE). *)
+
+val pp : Format.formatter -> t -> unit

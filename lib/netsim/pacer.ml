@@ -1,0 +1,82 @@
+type t = {
+  engine : Engine.t;
+  mutable rate_bps : int;
+  burst_bytes : int;
+  capacity : int;
+  send : Packet.t -> unit;
+  queue : Packet.t Queue.t;
+  mutable tokens : float;  (* bytes *)
+  mutable last_refill : Sim_time.t;
+  mutable timer_armed : bool;
+  mutable peak : int;
+}
+
+let create engine ~rate_bps ?(burst_bytes = 3000) ?(capacity_pkts = 4096) ~send () =
+  if rate_bps <= 0 then invalid_arg "Pacer.create: rate must be positive";
+  {
+    engine;
+    rate_bps;
+    burst_bytes;
+    capacity = capacity_pkts;
+    send;
+    queue = Queue.create ();
+    tokens = float_of_int burst_bytes;
+    last_refill = Engine.now engine;
+    timer_armed = false;
+    peak = 0;
+  }
+
+(* The token cap is the burst size, or the head packet's size if that
+   is larger — otherwise a packet bigger than the burst could never be
+   released. *)
+let refill t ~cap =
+  let now = Engine.now t.engine in
+  let elapsed = Sim_time.to_float_s (Sim_time.diff now t.last_refill) in
+  t.last_refill <- now;
+  t.tokens <-
+    Float.min (float_of_int cap)
+      (t.tokens +. (elapsed *. float_of_int t.rate_bps /. 8.))
+
+let cap_for t =
+  match Queue.peek_opt t.queue with
+  | Some p -> max t.burst_bytes p.Packet.size
+  | None -> t.burst_bytes
+
+let rec drain t =
+  refill t ~cap:(cap_for t);
+  match Queue.peek_opt t.queue with
+  | None -> ()
+  | Some p ->
+      let need = float_of_int p.Packet.size in
+      if t.tokens >= need then begin
+        ignore (Queue.pop t.queue);
+        t.tokens <- t.tokens -. need;
+        t.send p;
+        drain t
+      end
+      else if not t.timer_armed then begin
+        t.timer_armed <- true;
+        let wait_s = (need -. t.tokens) *. 8. /. float_of_int t.rate_bps in
+        Engine.schedule t.engine ~delay:(Sim_time.of_float_s wait_s) (fun () ->
+            t.timer_armed <- false;
+            drain t)
+      end
+
+let offer t p =
+  if Queue.length t.queue >= t.capacity then false
+  else begin
+    Queue.push p t.queue;
+    if Queue.length t.queue > t.peak then t.peak <- Queue.length t.queue;
+    drain t;
+    true
+  end
+
+let set_rate t rate =
+  if rate <= 0 then invalid_arg "Pacer.set_rate: rate must be positive";
+  refill t ~cap:(cap_for t);
+  t.rate_bps <- rate;
+  drain t
+
+let rate_bps t = t.rate_bps
+let backlog t = Queue.length t.queue
+let backlog_peak t = t.peak

@@ -1,0 +1,30 @@
+(** A token-bucket pacer: releases queued packets at a configurable
+    rate instead of in window-sized bursts. Used by proxies that
+    shape their forwarding ("drain a buffer ... at a slower rate",
+    §2.1) and available to any node. *)
+
+type t
+
+val create :
+  Engine.t ->
+  rate_bps:int ->
+  ?burst_bytes:int ->
+  ?capacity_pkts:int ->
+  send:(Packet.t -> unit) ->
+  unit ->
+  t
+(** [burst_bytes] (default 2 MTU = 3000) bounds the token bucket;
+    [capacity_pkts] (default 4096) bounds the internal queue. *)
+
+val offer : t -> Packet.t -> bool
+(** Queue a packet for paced release; [false] if the queue is full. *)
+
+val set_rate : t -> int -> unit
+(** Change the release rate (takes effect immediately).
+    @raise Invalid_argument on non-positive rates. *)
+
+val rate_bps : t -> int
+val backlog : t -> int
+(** Packets waiting. *)
+
+val backlog_peak : t -> int

@@ -1,0 +1,19 @@
+type payload = ..
+type payload += Empty
+
+type t = {
+  uid : int;
+  flow : int;
+  id : int;
+  seq : int;
+  size : int;
+  payload : payload;
+  sent_at : Sim_time.t;
+}
+
+let make ~uid ?(flow = 0) ~id ~seq ~size ?(payload = Empty) ~sent_at () =
+  { uid; flow; id; seq; size; payload; sent_at }
+
+let pp ppf p =
+  Format.fprintf ppf "pkt{uid=%d flow=%d id=%#x seq=%d size=%d sent=%a}" p.uid
+    p.flow p.id p.seq p.size Sim_time.pp p.sent_at

@@ -1,0 +1,36 @@
+(** Simulated packets.
+
+    The [id] field models the [b] pseudo-random bits a sidecar reads
+    from the encrypted wire image — the {e only} field an in-network
+    element may inspect (plus [size], which is observable on any
+    wire). [seq] and [payload] model end-to-end-encrypted content: by
+    convention only the two end hosts of the owning connection touch
+    them; proxies treating packets as opaque is what keeps the sidecar
+    ossification-free (§2).
+
+    [payload] is an extensible variant so upper layers (transport
+    frames, quACK frames) declare their own cases without a dependency
+    cycle. *)
+
+type payload = ..
+type payload += Empty
+
+type t = {
+  uid : int;  (** simulator-unique transmission id (debugging only) *)
+  flow : int;
+      (** which connection this packet belongs to — the model of the
+          {e plaintext} IP 5-tuple, legitimately observable by any
+          on-path element (unlike [seq]/[payload]) *)
+  id : int;  (** the [b]-bit identifier visible to sidecars *)
+  seq : int;  (** end-to-end sequence number ({e encrypted}) *)
+  size : int;  (** bytes on the wire *)
+  payload : payload;  (** end-to-end content ({e encrypted}) *)
+  sent_at : Sim_time.t;  (** when the original sender transmitted it *)
+}
+
+val make :
+  uid:int -> ?flow:int -> id:int -> seq:int -> size:int -> ?payload:payload ->
+  sent_at:Sim_time.t -> unit -> t
+(** [flow] defaults to 0. *)
+
+val pp : Format.formatter -> t -> unit

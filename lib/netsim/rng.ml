@@ -1,0 +1,19 @@
+type t = Random.State.t
+
+let create seed = Random.State.make [| seed; 0x51DEC0DE |]
+let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t bound
+
+let float t = Random.State.float t 1.0
+let bool t ~p = Random.State.float t 1.0 < p
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = Random.State.int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

@@ -1,0 +1,25 @@
+(** Deterministic random numbers for the simulator.
+
+    A thin wrapper over an explicit-state generator so every simulation
+    is reproducible from its seed, and independent components can be
+    given split streams that do not perturb each other. *)
+
+type t
+
+val create : int -> t
+val split : t -> t
+(** A new generator whose stream is a deterministic function of the
+    parent's state; advancing either afterwards does not affect the
+    other. *)
+
+val int : t -> int -> int
+(** [int t bound] in [0, bound). @raise Invalid_argument when
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val bool : t -> p:float -> bool
+(** [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,20 @@
+type t = int
+type span = int
+
+let zero = 0
+let ns x = x
+let us x = x * 1_000
+let ms x = x * 1_000_000
+let s x = x * 1_000_000_000
+let of_float_s x = int_of_float (Float.round (x *. 1e9))
+let to_float_s t = float_of_int t /. 1e9
+let to_float_ms t = float_of_int t /. 1e6
+let add t d = t + d
+let diff a b = a - b
+let compare = Int.compare
+
+let pp ppf t =
+  if t >= 1_000_000_000 then Format.fprintf ppf "%.3fs" (to_float_s t)
+  else if t >= 1_000_000 then Format.fprintf ppf "%.3fms" (to_float_ms t)
+  else if t >= 1_000 then Format.fprintf ppf "%.3fus" (float_of_int t /. 1e3)
+  else Format.fprintf ppf "%dns" t

@@ -1,0 +1,26 @@
+(** Simulated time: integer nanoseconds since simulation start.
+
+    Integer timestamps keep the event queue total order exact and the
+    simulation bit-for-bit reproducible. *)
+
+type t = int
+(** Absolute time, ns. *)
+
+type span = int
+(** Duration, ns. *)
+
+val zero : t
+val ns : int -> span
+val us : int -> span
+val ms : int -> span
+val s : int -> span
+val of_float_s : float -> span
+(** Rounded to the nearest nanosecond. *)
+
+val to_float_s : t -> float
+val to_float_ms : t -> float
+val add : t -> span -> t
+val diff : t -> t -> span
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+(** Prints adaptively, e.g. ["12.345ms"]. *)

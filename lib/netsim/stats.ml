@@ -1,0 +1,43 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let count t = t.n
+  let mean t = if t.n = 0 then 0. else t.mean
+  let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
+  let min t = if t.n = 0 then 0. else t.min
+  let max t = if t.n = 0 then 0. else t.max
+
+  let pp ppf t =
+    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" (count t)
+      (mean t) (stddev t) (min t) (max t)
+end
+
+module Series = struct
+  type t = { name : string; mutable samples : (Sim_time.t * float) list; mutable n : int }
+
+  let create name = { name; samples = []; n = 0 }
+
+  let add t ~time v =
+    t.samples <- (time, v) :: t.samples;
+    t.n <- t.n + 1
+
+  let name t = t.name
+  let to_list t = List.rev t.samples
+  let length t = t.n
+end

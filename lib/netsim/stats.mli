@@ -1,0 +1,30 @@
+(** Run-time statistics helpers for simulations and benchmarks. *)
+
+(** Streaming summary statistics (Welford's algorithm). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  val max : t -> float
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Time-stamped samples, e.g. a goodput or cwnd trace. *)
+module Series : sig
+  type t
+
+  val create : string -> t
+  val add : t -> time:Sim_time.t -> float -> unit
+  val name : t -> string
+  val to_list : t -> (Sim_time.t * float) list
+  (** Chronological order. *)
+
+  val length : t -> int
+end

@@ -1,0 +1,40 @@
+type t = {
+  slots : (Sim_time.t * string) option array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { slots = Array.make capacity None; next = 0; total = 0 }
+
+let record t ~time msg =
+  t.slots.(t.next) <- Some (time, msg);
+  t.next <- (t.next + 1) mod Array.length t.slots;
+  t.total <- t.total + 1
+
+let recordf t ~time fmt = Format.kasprintf (fun msg -> record t ~time msg) fmt
+
+let events t =
+  (* slot [next] is the oldest once the ring has wrapped *)
+  let n = Array.length t.slots in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    match t.slots.((t.next + i) mod n) with
+    | Some e -> acc := e :: !acc
+    | None -> ()
+  done;
+  !acc
+
+let dropped t = max 0 (t.total - Array.length t.slots)
+
+let dump ppf t =
+  List.iter
+    (fun (time, msg) -> Format.fprintf ppf "%a %s@." Sim_time.pp time msg)
+    (events t);
+  if dropped t > 0 then Format.fprintf ppf "(%d earlier events dropped)@." (dropped t)
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.next <- 0;
+  t.total <- 0

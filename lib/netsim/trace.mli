@@ -1,0 +1,19 @@
+(** Lightweight event tracing for simulations: a bounded ring of
+    timestamped events, cheap enough to leave enabled, dumpable for
+    debugging a protocol run. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 4096 events; older events are overwritten. *)
+
+val record : t -> time:Sim_time.t -> string -> unit
+val recordf : t -> time:Sim_time.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val events : t -> (Sim_time.t * string) list
+(** Chronological; at most [capacity] newest events. *)
+
+val dropped : t -> int
+(** Events overwritten so far. *)
+
+val dump : Format.formatter -> t -> unit
+val clear : t -> unit

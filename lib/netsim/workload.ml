@@ -1,0 +1,44 @@
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int
+  | Lognormal of { mu : float; sigma : float }
+  | Pareto of { xmin : float; alpha : float }
+
+(* Box-Muller; one sample per call is fine at workload rates. *)
+let normal rng =
+  let u1 = max 1e-12 (Rng.float rng) in
+  let u2 = Rng.float rng in
+  sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2)
+
+let sample_size rng = function
+  | Fixed n -> max 1 n
+  | Uniform (lo, hi) ->
+      if hi < lo then invalid_arg "Workload: empty uniform range"
+      else lo + Rng.int rng (hi - lo + 1)
+  | Lognormal { mu; sigma } ->
+      max 1 (int_of_float (Float.ceil (exp (mu +. (sigma *. normal rng)))))
+  | Pareto { xmin; alpha } ->
+      if alpha <= 0. || xmin <= 0. then invalid_arg "Workload: bad pareto"
+      else
+        let u = max 1e-12 (Rng.float rng) in
+        max 1 (int_of_float (Float.ceil (xmin /. (u ** (1. /. alpha)))))
+
+let sample_exponential rng ~mean =
+  if mean <= 0. then invalid_arg "Workload: non-positive mean";
+  -.mean *. log (max 1e-12 (Rng.float rng))
+
+let web_flows = Lognormal { mu = 2.5; sigma = 1.5 }
+
+let percentile xs ~p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Workload.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Workload.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (Float.ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let describe xs =
+  Printf.sprintf "p50=%.2f p95=%.2f p99=%.2f max=%.2f"
+    (percentile xs ~p:50.) (percentile xs ~p:95.) (percentile xs ~p:99.)
+    (percentile xs ~p:100.)

@@ -1,0 +1,32 @@
+(** Workload generation: the traffic patterns the benchmark harness
+    feeds the protocols.
+
+    Web-like transfers are heavy-tailed — most flows are a handful of
+    packets, a few are enormous — and arrive in bursts. The samplers
+    here are deterministic given an {!Rng.t}, so workloads are
+    reproducible across runs. *)
+
+type size_dist =
+  | Fixed of int
+  | Uniform of int * int  (** inclusive range *)
+  | Lognormal of { mu : float; sigma : float }
+      (** of the underlying normal; sampled values are rounded up *)
+  | Pareto of { xmin : float; alpha : float }
+      (** heavy tails; finite mean needs [alpha > 1] *)
+
+val sample_size : Rng.t -> size_dist -> int
+(** A flow size in units (>= 1). *)
+
+val sample_exponential : Rng.t -> mean:float -> float
+(** Inter-arrival gap for a Poisson process. *)
+
+val web_flows : size_dist
+(** A standard web-flow mix: lognormal with a ~12-unit median and a
+    long tail (mu = 2.5, sigma = 1.5). *)
+
+val percentile : float array -> p:float -> float
+(** [percentile xs ~p] with [p] in [0, 100]; nearest-rank on a sorted
+    copy. @raise Invalid_argument on an empty array. *)
+
+val describe : float array -> string
+(** "p50=… p95=… p99=… max=…" for reports. *)

@@ -1,0 +1,183 @@
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Packet = Netsim.Packet
+module Time = Netsim.Sim_time
+module Q = Sidecar_quack
+
+type config = {
+  units : int;
+  mss : int;
+  near : Path.segment;
+  far : Path.segment;
+  quack_every : int;
+  client_ack_every : int;
+  warmup_units : int;
+  threshold : int;
+  bits : int;
+  omit_count : bool;
+  seed : int;
+  until : Time.t;
+}
+
+let default_config =
+  {
+    units = 2000;
+    mss = 1460;
+    near = Path.segment ~rate_bps:50_000_000 ~delay:(Time.ms 5) ();
+    far = Path.segment ~rate_bps:50_000_000 ~delay:(Time.ms 25) ();
+    quack_every = 32;
+    client_ack_every = 32;
+    warmup_units = 200;
+    threshold = 20;
+    bits = 32;
+    omit_count = true;
+    seed = 1;
+    until = Time.s 300;
+  }
+
+type report = {
+  flow : Transport.Flow.result;
+  client_acks : int;
+  client_ack_bytes : int;
+  quacks : int;
+  quack_bytes : int;
+  window_freed_early_bytes : int;
+  spurious_retx : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%a@,client e2e ACKs: %d (%d B)@,proxy quACKs: %d (%d B)@,\
+     window freed early: %d B@,spurious retx: %d@]"
+    Transport.Flow.pp_result r.flow r.client_acks r.client_ack_bytes r.quacks
+    r.quack_bytes r.window_freed_early_bytes r.spurious_retx
+
+let baseline cfg =
+  let ack_bytes = ref 0 in
+  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
+  Link.set_deliver fwd.(0) (fun p -> ignore (Link.send fwd.(1) p));
+  Link.set_deliver rev.(0) (fun p ->
+      ack_bytes := !ack_bytes + p.Packet.size;
+      ignore (Link.send rev.(1) p));
+  let sender =
+    Transport.Sender.create engine ~mss:cfg.mss ~total_units:cfg.units
+      ~egress:(fun p -> ignore (Link.send fwd.(0) p))
+      ()
+  in
+  let receiver =
+    Transport.Receiver.create engine ~ack_every:2 ~total_units:cfg.units
+      ~send_ack:(fun p -> ignore (Link.send rev.(0) p))
+      ()
+  in
+  Link.set_deliver fwd.(1) (Transport.Receiver.deliver receiver);
+  Link.set_deliver rev.(1) (Transport.Sender.deliver_ack sender);
+  let result = Transport.Flow.run engine ~sender ~receiver ~until:cfg.until () in
+  (result, !ack_bytes)
+
+let run cfg =
+  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
+  let s2p = fwd.(0) and p2c = fwd.(1) in
+  let c2p = rev.(0) and p2s = rev.(1) in
+  let quacks = ref 0 in
+  let quack_bytes = ref 0 in
+  let client_acks = ref 0 in
+  let client_ack_bytes = ref 0 in
+  let freed_early = ref 0 in
+
+  (* ---- server ---------------------------------------------------- *)
+  (* meta: the packet seq, so quACK-acked ids map back to window
+     entries for the provisional release. *)
+  let server_ss =
+    Q.Sender_state.create
+      { Q.Sender_state.default_config with bits = cfg.bits; threshold = cfg.threshold }
+  in
+  let on_transmit p = Q.Sender_state.on_send server_ss ~id:p.Packet.id p.Packet.seq in
+  let sender =
+    Transport.Sender.create engine ~mss:cfg.mss ~on_transmit ~total_units:cfg.units
+      ~egress:(fun p -> ignore (Link.send s2p p))
+      ()
+  in
+  let server_on_quack (q : Q.Quack.t) index =
+    (* Count-omitted mode (§4.3): the proxy quACKs every [n] packets,
+       so the [index]-th quACK stands for an implicit count of
+       [n * index] — robust to lost quACKs because the sums are
+       cumulative. *)
+    let q =
+      if cfg.omit_count then { q with Q.Quack.count = cfg.quack_every * index }
+      else q
+    in
+    incr quacks;
+    match Q.Sender_state.on_quack server_ss q with
+    | Ok rep when not rep.Q.Sender_state.stale ->
+        let seqs = rep.Q.Sender_state.acked in
+        freed_early := !freed_early + Transport.Sender.sidecar_ack sender ~seqs
+    | Ok _ -> ()
+    | Error (`Threshold_exceeded _) -> ignore (Q.Sender_state.resync_to server_ss q)
+    | Error (`Config_mismatch _) -> ()
+  in
+
+  (* ---- proxy ----------------------------------------------------- *)
+  let proxy_rx =
+    Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold
+      ~policy:(Q.Receiver_state.Every_packets cfg.quack_every) ()
+  in
+  let proxy_quack_index = ref 0 in
+  let proxy_ingress p =
+    (match Q.Receiver_state.on_receive proxy_rx p.Packet.id with
+    | Some q ->
+        incr proxy_quack_index;
+        let pkt =
+          Sframes.quack_packet ~quack:q ~dst:"server" ~index:!proxy_quack_index
+            ~count_omitted:cfg.omit_count ~flow:0 ~now:(Engine.now engine)
+        in
+        quack_bytes := !quack_bytes + pkt.Packet.size;
+        ignore (Link.send p2s pkt)
+    | None -> ());
+    ignore (Link.send p2c p)
+  in
+
+  (* ---- client ---------------------------------------------------- *)
+  (* The ACK-frequency extension keeps immediate ACKs during start-up
+     (the sender needs the clocking) and goes sparse once the flow is
+     established -- the draft's intended use. *)
+  let receiver_ref = ref None in
+  let delivered = ref 0 in
+  let receiver =
+    Transport.Receiver.create engine ~ack_every:2 ~total_units:cfg.units
+      ~on_data:(fun _ ->
+        incr delivered;
+        if !delivered = cfg.warmup_units then
+          match !receiver_ref with
+          | Some r -> Transport.Receiver.set_ack_every r cfg.client_ack_every
+          | None -> ())
+      ~send_ack:(fun p ->
+        incr client_acks;
+        client_ack_bytes := !client_ack_bytes + p.Packet.size;
+        ignore (Link.send c2p p))
+      ()
+  in
+  receiver_ref := Some receiver;
+
+  (* ---- wiring ---------------------------------------------------- *)
+  Link.set_deliver s2p proxy_ingress;
+  Link.set_deliver p2c (Transport.Receiver.deliver receiver);
+  Link.set_deliver c2p (fun p -> ignore (Link.send p2s p));
+  Link.set_deliver p2s (fun p ->
+      match p.Packet.payload with
+      | Sframes.Quack_frame { quack; dst = "server"; index } ->
+          server_on_quack quack index
+      | _ -> Transport.Sender.deliver_ack sender p);
+  let flow = Transport.Flow.run engine ~sender ~receiver ~until:cfg.until () in
+  let spurious =
+    (* retransmissions of units the client had in fact received *)
+    Transport.Receiver.duplicates receiver
+  in
+  {
+    flow;
+    client_acks = !client_acks;
+    client_ack_bytes = !client_ack_bytes;
+    quacks = !quacks;
+    quack_bytes = !quack_bytes;
+    window_freed_early_bytes = !freed_early;
+    spurious_retx = spurious;
+  }

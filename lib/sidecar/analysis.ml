@@ -1,0 +1,26 @@
+type path_model = { loss : float; recovery_rtt : float }
+
+let check_loss loss =
+  if loss < 0. || loss >= 1. then invalid_arg "Analysis: loss must be in [0, 1)"
+
+let expected_attempts ~loss =
+  check_loss loss;
+  1. /. (1. -. loss)
+
+let recovery_latency m =
+  check_loss m.loss;
+  if m.recovery_rtt < 0. then invalid_arg "Analysis: negative recovery rtt";
+  m.recovery_rtt /. (1. -. m.loss)
+
+let mean_latency_overhead m = m.loss *. recovery_latency m
+
+let speedup ~loss ~e2e ~in_network =
+  check_loss loss;
+  let num = mean_latency_overhead { e2e with loss } in
+  let den = mean_latency_overhead { in_network with loss } in
+  if den = 0. then infinity else num /. den
+
+let quack_detection_delay ~interval_packets ~packet_rate_pps ~subpath_owd =
+  if interval_packets < 1 || packet_rate_pps <= 0. || subpath_owd < 0. then
+    invalid_arg "Analysis.quack_detection_delay: bad arguments";
+  (float_of_int interval_packets /. 2. /. packet_rate_pps) +. subpath_owd

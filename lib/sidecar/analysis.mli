@@ -1,0 +1,41 @@
+(** Analytic model of loss recovery — the back-of-envelope version of
+    the Markov-chain analysis the paper cites (Barik et al. 2020,
+    its ref [1]) to justify in-network retransmission: recovery is
+    worth doing in the network exactly when the subpath's recovery
+    loop is much shorter than the end-to-end one.
+
+    The model is deliberately simple (per-packet, geometric retries,
+    no congestion-control coupling); it predicts {e which side wins
+    and by roughly what factor}, which is what the simulator's FCT
+    sweeps then confirm with all the messy dynamics included. *)
+
+type path_model = {
+  loss : float;  (** per-attempt loss probability on the lossy hop *)
+  recovery_rtt : float;
+      (** seconds from loss to redelivery for one retry: the control
+          loop's RTT plus its detection delay *)
+}
+
+val expected_attempts : loss:float -> float
+(** Mean transmissions per delivered packet, [1 / (1 - loss)].
+    @raise Invalid_argument unless [0 <= loss < 1]. *)
+
+val recovery_latency : path_model -> float
+(** Expected extra delivery latency of a packet that was lost at least
+    once: [recovery_rtt / (1 - loss)] (geometric retries). *)
+
+val mean_latency_overhead : path_model -> float
+(** Expected extra latency averaged over {e all} packets:
+    [loss * recovery_latency]. *)
+
+val speedup :
+  loss:float -> e2e:path_model -> in_network:path_model -> float
+(** Ratio of mean latency overheads (e2e / in-network) at a common
+    loss rate — the predicted benefit of recovering on the subpath.
+    With both models at the same loss this reduces to the ratio of
+    recovery RTTs, which is the paper's §2.3 intuition made precise. *)
+
+val quack_detection_delay :
+  interval_packets:int -> packet_rate_pps:float -> subpath_owd:float -> float
+(** Expected time from a loss to the quACK that reveals it: half the
+    emission interval plus the quACK's one-way propagation. *)

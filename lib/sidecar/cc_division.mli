@@ -1,0 +1,53 @@
+(** Congestion-control division (§2.1, Fig. 1(b)).
+
+    The path is split at a proxy: server→proxy (the "near" segment)
+    and proxy→client (the "far" segment). The base protocol stays
+    end-to-end — the proxy never reads or modifies connection packets
+    — but each segment gets its own control loop driven by quACKs:
+
+    - the {e client} sidecar quACKs once per interval to the proxy;
+    - the {e proxy} sidecar paces its forwarding buffer with an AIMD
+      window over the far segment, fed by client quACKs, and quACKs
+      once per interval to the server;
+    - the {e server} sidecar decodes proxy quACKs and drives the
+      transport window from them ([external_cc]); end-to-end ACKs
+      still govern retransmission, exactly as the paper prescribes.
+
+    This recovers split-PEP behaviour (fast ramp-up on the near
+    segment, loss isolation on the far one) with zero changes to the
+    base protocol. *)
+
+type config = {
+  units : int;
+  mss : int;
+  near : Path.segment;  (** server→proxy *)
+  far : Path.segment;  (** proxy→client *)
+  quack_interval : Netsim.Sim_time.span option;
+      (** [None]: once per segment RTT (the §4.3 guidance) *)
+  threshold : int;
+  bits : int;
+  proxy_buffer_pkts : int;
+  seed : int;
+  until : Netsim.Sim_time.t;
+}
+
+val default_config : config
+(** A fast clean near segment (100 Mbit/s, 5 ms) and a slow lossy far
+    segment (20 Mbit/s, 25 ms, 1% loss) — the classic satellite/WWAN
+    PEP setting. *)
+
+type report = {
+  flow : Transport.Flow.result;
+  quacks_from_client : int;
+  quacks_from_proxy : int;
+  quack_bytes : int;  (** total sidecar bytes on return paths *)
+  proxy_buffer_peak : int;
+  proxy_window_final : int;
+  server_decode_failures : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : config -> report
+val baseline : config -> Transport.Flow.result
+(** Identical path, no sidecar anywhere. *)

@@ -1,0 +1,42 @@
+(** Two flows sharing the far segment through one CC-division proxy —
+    does dividing the control loop preserve fairness?
+
+    Each flow has its own server and near segment; the proxy runs one
+    sidecar instance {e per flow} (flows are distinguished by the
+    plaintext 5-tuple, which any router can see) and their pacing
+    windows compete for the shared far link. The baseline runs the
+    same two flows end-to-end. Fairness is summarised by Jain's index
+    over per-flow goodputs: 1.0 is perfectly fair, 0.5 is one flow
+    starving the other (for two flows). *)
+
+type config = {
+  units_per_flow : int;
+  mss : int;
+  near : Path.segment;  (** each server→proxy segment (two copies) *)
+  far : Path.segment;  (** the shared proxy→client segment *)
+  quack_interval : Netsim.Sim_time.span option;
+  threshold : int;
+  seed : int;
+  until : Netsim.Sim_time.t;
+}
+
+val default_config : config
+
+type flow_result = {
+  fct : Netsim.Sim_time.span option;
+  goodput_mbps : float;
+  retransmissions : int;
+  congestion_events : int;
+}
+
+type report = {
+  flows : flow_result array;
+  jain_index : float;
+  total_goodput_mbps : float;
+}
+
+val pp_report : Format.formatter -> report -> unit
+val jain : float array -> float
+
+val run : config -> report
+val baseline : config -> report

@@ -1,0 +1,86 @@
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Loss = Netsim.Loss
+module Time = Netsim.Sim_time
+
+type loss_spec =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert of { p_good_to_bad : float; p_bad_to_good : float; loss_bad : float }
+
+let to_loss = function
+  | No_loss -> Loss.none
+  | Bernoulli p -> Loss.bernoulli p
+  | Gilbert { p_good_to_bad; p_bad_to_good; loss_bad } ->
+      Loss.gilbert_elliott ~loss_bad ~p_good_to_bad ~p_bad_to_good ()
+
+let average_loss spec = Loss.average_rate (to_loss spec)
+
+let pp_loss ppf = function
+  | No_loss -> Format.pp_print_string ppf "0%"
+  | Bernoulli p -> Format.fprintf ppf "%.2f%%" (100. *. p)
+  | Gilbert _ as g -> Format.fprintf ppf "GE(%.2f%% avg)" (100. *. average_loss g)
+
+type segment = {
+  rate_bps : int;
+  delay : Time.span;
+  loss : loss_spec;
+  rev_loss : loss_spec;
+  codel : bool;
+}
+
+let segment ?(loss = No_loss) ?(rev_loss = No_loss) ?(codel = false) ~rate_bps ~delay () =
+  { rate_bps; delay; loss; rev_loss; codel }
+
+let rtt segments = 2 * List.fold_left (fun acc s -> acc + s.delay) 0 segments
+
+type built = { engine : Engine.t; fwd : Link.t array; rev : Link.t array }
+
+let build ?(seed = 1) segments =
+  let engine = Engine.create ~seed () in
+  let fwd =
+    Array.of_list
+      (List.mapi
+         (fun i s ->
+           let aqm = if s.codel then Some (Netsim.Aqm.create ()) else None in
+           Link.create engine
+             ~name:(Printf.sprintf "fwd%d" i)
+             ~rate_bps:s.rate_bps ~delay:s.delay ~loss:(to_loss s.loss) ?aqm ())
+         segments)
+  in
+  let rev =
+    Array.of_list
+      (List.mapi
+         (fun i s ->
+           Link.create engine
+             ~name:(Printf.sprintf "rev%d" i)
+             ~rate_bps:s.rate_bps ~delay:s.delay ~loss:(to_loss s.rev_loss) ())
+         (List.rev segments))
+  in
+  { engine; fwd; rev }
+
+let baseline ?seed ?(units = 2000) ?(mss = 1460) ?(ack_every = 2) ?cc
+    ?(until = Time.s 300) segments =
+  let { engine; fwd; rev } = build ?seed segments in
+  let n = Array.length fwd in
+  (* chain forward links: junction i forwards fwd.(i) -> fwd.(i+1) *)
+  for i = 0 to n - 2 do
+    Link.set_deliver fwd.(i) (fun p -> ignore (Link.send fwd.(i + 1) p))
+  done;
+  for i = 0 to n - 2 do
+    Link.set_deliver rev.(i) (fun p -> ignore (Link.send rev.(i + 1) p))
+  done;
+  let cc = Option.map (fun f -> f ~mss:(mss + 40) ()) cc in
+  let sender =
+    Transport.Sender.create engine ~mss ?cc ~total_units:units
+      ~egress:(fun p -> ignore (Link.send fwd.(0) p))
+      ()
+  in
+  let receiver =
+    Transport.Receiver.create engine ~ack_every ~total_units:units
+      ~send_ack:(fun p -> ignore (Link.send rev.(0) p))
+      ()
+  in
+  Link.set_deliver fwd.(n - 1) (Transport.Receiver.deliver receiver);
+  Link.set_deliver rev.(n - 1) (Transport.Sender.deliver_ack sender);
+  Transport.Flow.run engine ~sender ~receiver ~until ()

@@ -1,0 +1,54 @@
+(** Path descriptions and the no-sidecar baseline.
+
+    A path is one or more duplex segments in series; proxies sit at
+    the junctions. Loss is described declaratively so every scenario
+    run gets fresh (unshared) loss-model state. *)
+
+type loss_spec =
+  | No_loss
+  | Bernoulli of float
+  | Gilbert of {
+      p_good_to_bad : float;
+      p_bad_to_good : float;
+      loss_bad : float;
+    }
+
+val to_loss : loss_spec -> Netsim.Loss.t
+val average_loss : loss_spec -> float
+val pp_loss : Format.formatter -> loss_spec -> unit
+
+type segment = {
+  rate_bps : int;
+  delay : Netsim.Sim_time.span;  (** one-way propagation *)
+  loss : loss_spec;  (** applied to the forward (data) direction *)
+  rev_loss : loss_spec;  (** return direction (ACKs, quACKs) *)
+  codel : bool;  (** CoDel AQM on the forward queue (default drop-tail) *)
+}
+
+val segment :
+  ?loss:loss_spec -> ?rev_loss:loss_spec -> ?codel:bool -> rate_bps:int ->
+  delay:Netsim.Sim_time.span -> unit -> segment
+
+val rtt : segment list -> Netsim.Sim_time.span
+(** End-to-end round-trip propagation of the path. *)
+
+type built = {
+  engine : Netsim.Engine.t;
+  fwd : Netsim.Link.t array;  (** forward links, sender side first *)
+  rev : Netsim.Link.t array;  (** return links, {e receiver} side first *)
+}
+
+val build : ?seed:int -> segment list -> built
+(** Instantiate links (delivery unwired — callers connect nodes). *)
+
+val baseline :
+  ?seed:int ->
+  ?units:int ->
+  ?mss:int ->
+  ?ack_every:int ->
+  ?cc:(mss:int -> unit -> Transport.Cc.t) ->
+  ?until:Netsim.Sim_time.t ->
+  segment list ->
+  Transport.Flow.result
+(** The comparison point for every sidecar protocol: the same path
+    with plain store-and-forward junctions and no sidecar anywhere. *)

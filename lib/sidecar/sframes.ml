@@ -1,0 +1,25 @@
+module Packet = Netsim.Packet
+module Quack = Sidecar_quack.Quack
+module Wire = Sidecar_quack.Wire
+
+type Packet.payload +=
+  | Quack_frame of { quack : Quack.t; dst : string; index : int }
+  | Freq_update of { dst : string; interval_packets : int }
+
+let encapsulation = 28 (* UDP + IPv4 *)
+
+let quack_wire_size q ~count_omitted =
+  let count_bits = if count_omitted then 0 else q.Quack.count_bits in
+  Wire.packed_size ~bits:q.Quack.bits ~threshold:(Quack.threshold q) ~count_bits
+  + Wire.frame_overhead + encapsulation
+
+let quack_packet ~quack ~dst ~index ~count_omitted ~flow ~now =
+  Packet.make ~uid:(-2) ~flow ~id:0 ~seq:index
+    ~size:(quack_wire_size quack ~count_omitted)
+    ~payload:(Quack_frame { quack; dst; index })
+    ~sent_at:now ()
+
+let freq_packet ~dst ~interval_packets ~flow ~now =
+  Packet.make ~uid:(-3) ~flow ~id:0 ~seq:0 ~size:(encapsulation + 8)
+    ~payload:(Freq_update { dst; interval_packets })
+    ~sent_at:now ()

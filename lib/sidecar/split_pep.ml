@@ -1,0 +1,107 @@
+module Link = Netsim.Link
+module Time = Netsim.Sim_time
+
+type config = {
+  units : int;
+  mss : int;
+  near : Path.segment;
+  far : Path.segment;
+  proxy_buffer_units : int;
+  seed : int;
+  until : Time.t;
+}
+
+let default_config =
+  {
+    units = 2000;
+    mss = 1460;
+    near = Path.segment ~rate_bps:100_000_000 ~delay:(Time.ms 28) ();
+    far =
+      Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+        ~loss:(Path.Bernoulli 0.01) ();
+    proxy_buffer_units = 1 lsl 20;
+    seed = 1;
+    until = Time.s 300;
+  }
+
+type report = {
+  client_flow : Transport.Flow.result;
+  server_fct : Time.span option;
+  proxy_buffer_peak_units : int;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%a@,server-side completion (proxy custody): %s@,proxy buffer peak: %d units@]"
+    Transport.Flow.pp_result r.client_flow
+    (match r.server_fct with
+    | Some f -> Format.asprintf "%a" Time.pp f
+    | None -> "-")
+    r.proxy_buffer_peak_units
+
+let run cfg =
+  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
+  let s2p = fwd.(0) and p2c = fwd.(1) in
+  let c2p = rev.(0) and p2s = rev.(1) in
+
+  (* connection 1: server -> proxy *)
+  let server =
+    Transport.Sender.create engine ~mss:cfg.mss ~total_units:cfg.units
+      ~egress:(fun p -> ignore (Link.send s2p p))
+      ()
+  in
+  (* connection 2: proxy -> client; units stream in from connection 1 *)
+  let proxy_tx = ref None in
+  let server_done = ref None in
+  (* contiguous-prefix release: the proxy can only forward units it
+     holds; out-of-order arrivals wait for the gap to fill *)
+  let got = Bytes.make cfg.units '\000' in
+  let watermark = ref 0 in
+  let buffer_peak = ref 0 in
+  let proxy_rx =
+    Transport.Receiver.create engine ~total_units:cfg.units
+      ~on_data:(fun p ->
+        match p.Netsim.Packet.payload with
+        | Transport.Frames.Data { offset } when offset >= 0 && offset < cfg.units ->
+            if Bytes.get got offset = '\000' then begin
+              Bytes.set got offset '\001';
+              while !watermark < cfg.units && Bytes.get got !watermark = '\001' do
+                incr watermark
+              done;
+              (match !proxy_tx with
+              | Some tx ->
+                  Transport.Sender.make_available tx !watermark;
+                  let backlog =
+                    !watermark - (Transport.Sender.stats tx).Transport.Sender.acked_units
+                  in
+                  if backlog > !buffer_peak then buffer_peak := backlog
+              | None -> ());
+              if !watermark = cfg.units && !server_done = None then
+                server_done := Some (Netsim.Engine.now engine)
+            end
+        | _ -> ())
+      ~send_ack:(fun p -> ignore (Link.send p2s p))
+      ()
+  in
+  let tx =
+    Transport.Sender.create engine ~mss:cfg.mss ~initially_available:0
+      ~total_units:cfg.units
+      ~egress:(fun p -> ignore (Link.send p2c p))
+      ()
+  in
+  proxy_tx := Some tx;
+  let client =
+    Transport.Receiver.create engine ~total_units:cfg.units
+      ~send_ack:(fun p -> ignore (Link.send c2p p))
+      ()
+  in
+  Link.set_deliver s2p (Transport.Receiver.deliver proxy_rx);
+  Link.set_deliver p2s (Transport.Sender.deliver_ack server);
+  Link.set_deliver p2c (Transport.Receiver.deliver client);
+  Link.set_deliver c2p (Transport.Sender.deliver_ack tx);
+  Transport.Sender.start server;
+  Transport.Sender.start tx;
+  let client_flow =
+    Transport.Flow.run engine ~sender:tx ~receiver:client ~until:cfg.until ()
+  in
+  { client_flow; server_fct = !server_done; proxy_buffer_peak_units = !buffer_peak }

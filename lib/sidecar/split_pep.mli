@@ -1,0 +1,42 @@
+(** A traditional connection-splitting PEP — the historical comparator
+    (Fig. 1(a)).
+
+    The proxy {e terminates} the transport: it acknowledges the
+    server's packets itself, takes custody of the data, and runs a
+    second, independent connection to the client. This is exactly what
+    encrypted transports forbid (the proxy reads and fabricates
+    protocol state), so it serves as the upper bound on what
+    in-network assistance could achieve with full visibility — the
+    bar the sidecar approach is measured against.
+
+    Custody caveat (the classic split-PEP criticism): once the proxy
+    ACKs data, end-to-end reliability is gone; if the proxy reboots
+    the data is lost. The sidecar protocols of §2 never take custody. *)
+
+type config = {
+  units : int;
+  mss : int;
+  near : Path.segment;  (** server→proxy *)
+  far : Path.segment;  (** proxy→client *)
+  proxy_buffer_units : int;
+  seed : int;
+  until : Netsim.Sim_time.t;
+}
+
+val default_config : config
+(** The same path as {!Cc_division.default_config}, for head-to-head
+    comparison. *)
+
+type report = {
+  client_flow : Transport.Flow.result;
+      (** measured at the true receiver *)
+  server_fct : Netsim.Sim_time.span option;
+      (** when the {e proxy} finished acknowledging the server — the
+          point a split PEP declares success, which is not the same
+          thing as delivery *)
+  proxy_buffer_peak_units : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val run : config -> report

@@ -1,0 +1,130 @@
+module Time = Netsim.Sim_time
+
+type phase = Startup | Drain | Probe_bw
+
+type state = {
+  mss : int;
+  mutable phase : phase;
+  mutable delivered : int;  (* cumulative acked bytes *)
+  (* delivery-rate samples: (window end time, bytes/s), max-filtered *)
+  mutable window_start : Time.t;
+  mutable window_delivered : int;
+  mutable bw_samples : (Time.t * float) list;  (* newest first *)
+  mutable bw : float;  (* filtered bottleneck estimate, bytes/s *)
+  mutable rtprop : Time.span;
+  mutable rtprop_stamp : Time.t;
+  mutable full_bw : float;
+  mutable full_bw_rounds : int;
+  mutable cycle_index : int;
+  mutable cycle_stamp : Time.t;
+  mutable cwnd : int;
+}
+
+let bw_window = Time.ms 2000
+let rtprop_window = Time.s 10
+let startup_gain = 2.89
+let cwnd_gain = 2.0
+let pacing_cycle = [| 1.25; 0.75; 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+
+let create ?(initial_window_pkts = 10) ~mss () =
+  let s =
+    {
+      mss;
+      phase = Startup;
+      delivered = 0;
+      window_start = 0;
+      window_delivered = 0;
+      bw_samples = [];
+      bw = 0.;
+      rtprop = 0;
+      rtprop_stamp = 0;
+      full_bw = 0.;
+      full_bw_rounds = 0;
+      cycle_index = 0;
+      cycle_stamp = 0;
+      cwnd = initial_window_pkts * mss;
+    }
+  in
+  let min_cwnd = Cc.min_window ~mss in
+  let bdp_bytes gain =
+    if s.bw <= 0. || s.rtprop <= 0 then float_of_int (initial_window_pkts * mss)
+    else gain *. s.bw *. Time.to_float_s s.rtprop
+  in
+  let update_model ~now ~acked_bytes ~rtt =
+    s.delivered <- s.delivered + acked_bytes;
+    s.window_delivered <- s.window_delivered + acked_bytes;
+    (match rtt with
+    | Some r when r > 0 ->
+        if s.rtprop = 0 || r < s.rtprop || Time.diff now s.rtprop_stamp > rtprop_window
+        then begin
+          s.rtprop <- r;
+          s.rtprop_stamp <- now
+        end
+    | _ -> ());
+    (* close a sampling window once it spans at least one rtprop *)
+    let span = Time.diff now s.window_start in
+    let min_span = max (Time.ms 5) s.rtprop in
+    if span >= min_span then begin
+      let rate = float_of_int s.window_delivered /. Time.to_float_s span in
+      s.bw_samples <- (now, rate) :: s.bw_samples;
+      s.window_start <- now;
+      s.window_delivered <- 0;
+      (* expire and max-filter *)
+      s.bw_samples <-
+        List.filter (fun (t, _) -> Time.diff now t <= bw_window) s.bw_samples;
+      s.bw <- List.fold_left (fun acc (_, r) -> Float.max acc r) 0. s.bw_samples;
+      (* startup plateau detection: < 25% growth for 3 windows *)
+      if s.phase = Startup then begin
+        if s.bw > s.full_bw *. 1.25 then begin
+          s.full_bw <- s.bw;
+          s.full_bw_rounds <- 0
+        end
+        else begin
+          s.full_bw_rounds <- s.full_bw_rounds + 1;
+          if s.full_bw_rounds >= 3 then begin
+            s.phase <- Drain;
+            s.cycle_stamp <- now
+          end
+        end
+      end
+      else if s.phase = Drain then begin
+        (* leave drain once the queue estimate is gone: inflight is the
+           caller's business, so approximate with one rtprop in drain *)
+        if Time.diff now s.cycle_stamp >= s.rtprop then begin
+          s.phase <- Probe_bw;
+          s.cycle_stamp <- now;
+          s.cycle_index <- 0
+        end
+      end
+      else if s.rtprop > 0 && Time.diff now s.cycle_stamp >= s.rtprop then begin
+        s.cycle_index <- (s.cycle_index + 1) mod Array.length pacing_cycle;
+        s.cycle_stamp <- now
+      end
+    end;
+    let gain =
+      match s.phase with
+      | Startup -> startup_gain
+      | Drain -> 1.0 /. startup_gain
+      | Probe_bw -> cwnd_gain *. pacing_cycle.(s.cycle_index)
+    in
+    s.cwnd <- max min_cwnd (int_of_float (bdp_bytes gain))
+  in
+  {
+    Cc.name = "bbr-lite";
+    cwnd = (fun () -> s.cwnd);
+    on_ack = (fun ~now ~acked_bytes ~rtt -> update_model ~now ~acked_bytes ~rtt);
+    on_congestion =
+      (fun ~now:_ ->
+        (* BBR is not loss-driven; cap mildly to avoid runaway when the
+           model is stale *)
+        ());
+    on_timeout =
+      (fun () ->
+        s.bw_samples <- [];
+        s.bw <- 0.;
+        s.full_bw <- 0.;
+        s.full_bw_rounds <- 0;
+        s.phase <- Startup;
+        s.cwnd <- min_cwnd);
+    in_slow_start = (fun () -> s.phase = Startup);
+  }

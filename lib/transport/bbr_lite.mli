@@ -1,0 +1,15 @@
+(** A BBR-flavoured model-based congestion controller.
+
+    Instead of reacting to loss, it builds a model of the path — a
+    windowed-max estimate of delivery rate (bottleneck bandwidth) and
+    a windowed-min RTT — and sets [cwnd = gain * BDP]. Phases follow
+    BBR v1's shape: STARTUP (gain 2.89 until the rate stops growing),
+    DRAIN, then PROBE_BW cycling pacing gains.
+
+    Simplifications vs real BBR (documented, deliberate): delivery
+    rate is sampled from cumulative acked bytes over wall-clock
+    windows rather than per-packet delivery-rate samples, and there is
+    no pacing (the simulator's sender is purely window-clocked), so
+    PROBE_RTT is approximated by the min-filter's expiry alone. *)
+
+val create : ?initial_window_pkts:int -> mss:int -> unit -> Cc.t

@@ -1,0 +1,21 @@
+type t = {
+  name : string;
+  cwnd : unit -> int;
+  on_ack :
+    now:Netsim.Sim_time.t -> acked_bytes:int -> rtt:Netsim.Sim_time.span option -> unit;
+  on_congestion : now:Netsim.Sim_time.t -> unit;
+  on_timeout : unit -> unit;
+  in_slow_start : unit -> bool;
+}
+
+let fixed ~cwnd_bytes =
+  {
+    name = "fixed";
+    cwnd = (fun () -> cwnd_bytes);
+    on_ack = (fun ~now:_ ~acked_bytes:_ ~rtt:_ -> ());
+    on_congestion = (fun ~now:_ -> ());
+    on_timeout = (fun () -> ());
+    in_slow_start = (fun () -> false);
+  }
+
+let min_window ~mss = 2 * mss

@@ -1,0 +1,24 @@
+(** Congestion-controller interface, as a record of closures so
+    controllers are values (easy to swap per flow, easy to drive from a
+    sidecar instead of from end-to-end ACKs — §2.1).
+
+    Units: bytes for windows, nanoseconds for time. Controllers are
+    told about acked bytes, congestion events (at most one per round
+    trip — the caller de-duplicates), and persistent timeouts. *)
+
+type t = {
+  name : string;
+  cwnd : unit -> int;  (** current congestion window, bytes *)
+  on_ack :
+    now:Netsim.Sim_time.t -> acked_bytes:int -> rtt:Netsim.Sim_time.span option -> unit;
+  on_congestion : now:Netsim.Sim_time.t -> unit;
+      (** one loss {e event} (not one lost packet) *)
+  on_timeout : unit -> unit;  (** persistent timeout: collapse *)
+  in_slow_start : unit -> bool;
+}
+
+val fixed : cwnd_bytes:int -> t
+(** A constant window — the "dumb" baseline and a useful test double. *)
+
+val min_window : mss:int -> int
+(** 2 * mss, the floor every controller respects. *)

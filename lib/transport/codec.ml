@@ -1,0 +1,115 @@
+let max_varint = (1 lsl 62) - 1
+
+let varint_size v =
+  if v < 0 || v > max_varint then invalid_arg "Codec.varint_size: out of range"
+  else if v < 0x40 then 1
+  else if v < 0x4000 then 2
+  else if v < 0x4000_0000 then 4
+  else 8
+
+let put_varint buf v =
+  match varint_size v with
+  | 1 -> Buffer.add_char buf (Char.chr v)
+  | 2 ->
+      Buffer.add_char buf (Char.chr (0x40 lor (v lsr 8)));
+      Buffer.add_char buf (Char.chr (v land 0xff))
+  | 4 ->
+      Buffer.add_char buf (Char.chr (0x80 lor (v lsr 24)));
+      for i = 2 downto 0 do
+        Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+      done
+  | _ ->
+      Buffer.add_char buf (Char.chr (0xC0 lor (v lsr 56)));
+      for i = 6 downto 0 do
+        Buffer.add_char buf (Char.chr ((v lsr (8 * i)) land 0xff))
+      done
+
+let get_varint s ~pos =
+  if pos >= String.length s then invalid_arg "Codec.get_varint: truncated";
+  let first = Char.code s.[pos] in
+  let len = 1 lsl (first lsr 6) in
+  if pos + len > String.length s then invalid_arg "Codec.get_varint: truncated";
+  let v = ref (first land 0x3f) in
+  for i = 1 to len - 1 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  (!v, pos + len)
+
+type frame =
+  | Data of { offset : int }
+  | Ack of { largest : int; ranges : (int * int) list; acked_units : int }
+  | Padding of int
+
+let data_type = 0x01
+let ack_type = 0x02
+let padding_type = 0x00
+
+let encode_frames ~seq frames =
+  let buf = Buffer.create 64 in
+  put_varint buf seq;
+  List.iter
+    (fun frame ->
+      match frame with
+      | Data { offset } ->
+          put_varint buf data_type;
+          put_varint buf offset
+      | Ack { largest; ranges; acked_units } ->
+          put_varint buf ack_type;
+          put_varint buf largest;
+          put_varint buf acked_units;
+          put_varint buf (List.length ranges);
+          List.iter
+            (fun (lo, hi) ->
+              put_varint buf lo;
+              put_varint buf (hi - lo))
+            ranges
+      | Padding n ->
+          put_varint buf padding_type;
+          put_varint buf n;
+          Buffer.add_string buf (String.make n '\000'))
+    frames;
+  Buffer.contents buf
+
+let decode_frames s =
+  try
+    let seq, pos = get_varint s ~pos:0 in
+    let rec go pos acc =
+      if pos >= String.length s then Ok (seq, List.rev acc)
+      else begin
+        let ty, pos = get_varint s ~pos in
+        if ty = data_type then begin
+          let offset, pos = get_varint s ~pos in
+          go pos (Data { offset } :: acc)
+        end
+        else if ty = ack_type then begin
+          let largest, pos = get_varint s ~pos in
+          let acked_units, pos = get_varint s ~pos in
+          let count, pos = get_varint s ~pos in
+          if count < 0 || count > 1024 then Error "ack: absurd range count"
+          else begin
+            let pos = ref pos in
+            let ranges = ref [] in
+            (try
+               for _ = 1 to count do
+                 let lo, p = get_varint s ~pos:!pos in
+                 let span, p = get_varint s ~pos:p in
+                 ranges := (lo, lo + span) :: !ranges;
+                 pos := p
+               done;
+               ()
+             with Invalid_argument _ -> raise Exit);
+            go !pos (Ack { largest; ranges = List.rev !ranges; acked_units } :: acc)
+          end
+        end
+        else if ty = padding_type then begin
+          let n, pos = get_varint s ~pos in
+          if n < 0 || pos + n > String.length s then Error "padding overruns packet"
+          else go (pos + n) (Padding n :: acc)
+        end
+        else Error (Printf.sprintf "unknown frame type %d" ty)
+      end
+    in
+    go pos []
+  with
+  | Invalid_argument msg -> Error msg
+  | Exit -> Error "ack: truncated ranges"

@@ -1,0 +1,24 @@
+(** Byte-level frame codec: QUIC-style variable-length integers and
+    the TLV encoding of transport frames. This is the {e plaintext}
+    that {!Wire_image} seals. *)
+
+val put_varint : Buffer.t -> int -> unit
+(** QUIC RFC 9000 §16 varints: 1/2/4/8-byte forms, 62-bit range.
+    @raise Invalid_argument on negatives or values >= 2^62. *)
+
+val get_varint : string -> pos:int -> int * int
+(** [get_varint s ~pos] returns [(value, next_pos)].
+    @raise Invalid_argument on truncated input. *)
+
+val varint_size : int -> int
+
+type frame =
+  | Data of { offset : int }
+  | Ack of { largest : int; ranges : (int * int) list; acked_units : int }
+  | Padding of int  (** [n] bytes of padding *)
+
+val encode_frames : seq:int -> frame list -> string
+(** The plaintext body: the packet seq followed by its frames. *)
+
+val decode_frames : string -> (int * frame list, string) result
+(** Inverse; the [string] error is a human-readable parse failure. *)

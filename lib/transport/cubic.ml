@@ -1,0 +1,92 @@
+module Time = Netsim.Sim_time
+
+(* Standard constants: C = 0.4 (segments/s^3), beta = 0.7. State is
+   kept in float segments; the exposed cwnd is bytes. *)
+let c_const = 0.4
+let beta = 0.7
+
+type state = {
+  mss : int;
+  mutable cwnd_seg : float;
+  mutable ssthresh_seg : float;
+  mutable w_max : float;  (* window before the last reduction *)
+  mutable k : float;  (* time to regrow to w_max, seconds *)
+  mutable epoch_start : Time.t option;
+  mutable reno_cwnd : float;  (* TCP-friendly estimate *)
+}
+
+let create ?(initial_window_pkts = 10) ~mss () =
+  let s =
+    {
+      mss;
+      cwnd_seg = float_of_int initial_window_pkts;
+      ssthresh_seg = infinity;
+      w_max = 0.;
+      k = 0.;
+      epoch_start = None;
+      reno_cwnd = float_of_int initial_window_pkts;
+    }
+  in
+  let min_seg = 2. in
+  let cwnd_bytes () = int_of_float (s.cwnd_seg *. float_of_int s.mss) in
+  let cubic_window at =
+    (* W_cubic(t) = C (t - K)^3 + W_max *)
+    let t = at -. s.k in
+    (c_const *. t *. t *. t) +. s.w_max
+  in
+  {
+    Cc.name = "cubic";
+    cwnd = cwnd_bytes;
+    on_ack =
+      (fun ~now ~acked_bytes ~rtt ->
+        let acked_seg = float_of_int acked_bytes /. float_of_int s.mss in
+        if s.cwnd_seg < s.ssthresh_seg then
+          (* slow start *)
+          s.cwnd_seg <- s.cwnd_seg +. acked_seg
+        else begin
+          let epoch =
+            match s.epoch_start with
+            | Some e -> e
+            | None ->
+                s.epoch_start <- Some now;
+                (* start an epoch from the current window *)
+                if s.w_max < s.cwnd_seg then begin
+                  s.w_max <- s.cwnd_seg;
+                  s.k <- 0.
+                end
+                else
+                  s.k <- Float.cbrt ((s.w_max -. s.cwnd_seg) /. c_const);
+                now
+          in
+          let t = Time.to_float_s (Time.diff now epoch) in
+          let rtt_s =
+            match rtt with Some r when r > 0 -> Time.to_float_s r | _ -> 0.05
+          in
+          let target = cubic_window (t +. rtt_s) in
+          (* TCP-friendly region *)
+          s.reno_cwnd <-
+            s.reno_cwnd +. (3. *. (1. -. beta) /. (1. +. beta) *. acked_seg /. s.reno_cwnd);
+          let target = Float.max target s.reno_cwnd in
+          if target > s.cwnd_seg then
+            s.cwnd_seg <- s.cwnd_seg +. ((target -. s.cwnd_seg) /. s.cwnd_seg *. acked_seg)
+          else s.cwnd_seg <- s.cwnd_seg +. (0.01 *. acked_seg)
+        end);
+    on_congestion =
+      (fun ~now:_ ->
+        s.epoch_start <- None;
+        (* fast convergence *)
+        s.w_max <-
+          (if s.cwnd_seg < s.w_max then s.cwnd_seg *. (1. +. beta) /. 2.
+           else s.cwnd_seg);
+        s.cwnd_seg <- Float.max min_seg (s.cwnd_seg *. beta);
+        s.ssthresh_seg <- s.cwnd_seg;
+        s.reno_cwnd <- s.cwnd_seg);
+    on_timeout =
+      (fun () ->
+        s.epoch_start <- None;
+        s.w_max <- s.cwnd_seg;
+        s.ssthresh_seg <- Float.max min_seg (s.cwnd_seg *. beta);
+        s.cwnd_seg <- min_seg;
+        s.reno_cwnd <- min_seg);
+    in_slow_start = (fun () -> s.cwnd_seg < s.ssthresh_seg);
+  }

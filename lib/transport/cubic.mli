@@ -1,0 +1,5 @@
+(** CUBIC congestion control (RFC 9438 shape): the window grows as a
+    cubic function of time since the last congestion event, with fast
+    convergence and a TCP-friendly (Reno) floor region. *)
+
+val create : ?initial_window_pkts:int -> mss:int -> unit -> Cc.t

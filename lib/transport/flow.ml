@@ -1,0 +1,72 @@
+module Engine = Netsim.Engine
+module Time = Netsim.Sim_time
+module Link = Netsim.Link
+module Loss = Netsim.Loss
+
+type result = {
+  completed : bool;
+  fct : Time.span option;
+  units : int;
+  transmissions : int;
+  retransmissions : int;
+  congestion_events : int;
+  timeouts : int;
+  acks_sent : int;
+  duplicates : int;
+  goodput_mbps : float;
+}
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>completed: %b@,fct: %s@,units: %d@,transmissions: %d@,\
+     retransmissions: %d@,congestion events: %d@,timeouts: %d@,\
+     acks sent: %d@,duplicates: %d@,goodput: %.2f Mbit/s@]"
+    r.completed
+    (match r.fct with Some f -> Format.asprintf "%a" Time.pp f | None -> "-")
+    r.units r.transmissions r.retransmissions r.congestion_events r.timeouts
+    r.acks_sent r.duplicates r.goodput_mbps
+
+let run engine ~sender ~receiver ?(until = Time.s 300) () =
+  Sender.start sender;
+  Engine.run ~until engine;
+  let fct = Receiver.complete_at receiver in
+  let stats = Sender.stats sender in
+  let units = Receiver.received_units receiver in
+  let goodput_mbps =
+    match fct with
+    | Some f when f > 0 ->
+        float_of_int (units * Sender.mss sender * 8) /. Time.to_float_s f /. 1e6
+    | _ -> 0.
+  in
+  {
+    completed = fct <> None;
+    fct;
+    units;
+    transmissions = stats.Sender.transmissions;
+    retransmissions = stats.Sender.retransmissions;
+    congestion_events = stats.Sender.congestion_events;
+    timeouts = stats.Sender.timeouts;
+    acks_sent = Receiver.acks_sent receiver;
+    duplicates = Receiver.duplicates receiver;
+    goodput_mbps;
+  }
+
+let direct ?(seed = 1) ?(units = 2000) ?(mss = 1460) ?(rate_bps = 20_000_000)
+    ?(delay = Time.ms 20) ?(loss = Loss.none) ?cc ?(ack_every = 2) () =
+  let engine = Engine.create ~seed () in
+  let fwd = Link.create engine ~name:"fwd" ~rate_bps ~delay ~loss () in
+  let rev = Link.create engine ~name:"rev" ~rate_bps ~delay () in
+  let cc = Option.map (fun f -> f ~mss:(mss + 40) ()) cc in
+  let sender =
+    Sender.create engine ~mss ?cc ~total_units:units
+      ~egress:(fun p -> ignore (Link.send fwd p))
+      ()
+  in
+  let receiver =
+    Receiver.create engine ~ack_every ~total_units:units
+      ~send_ack:(fun p -> ignore (Link.send rev p))
+      ()
+  in
+  Link.set_deliver fwd (Receiver.deliver receiver);
+  Link.set_deliver rev (Sender.deliver_ack sender);
+  run engine ~sender ~receiver ()

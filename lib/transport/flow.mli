@@ -1,0 +1,47 @@
+(** Flow driver: wire a sender and a receiver across arbitrary paths,
+    run the simulation, and report the metrics every experiment needs.
+
+    The forward/return paths are plain [Packet.t -> unit] functions, so
+    the same driver serves a direct two-link path, a proxied path, or
+    anything the sidecar library builds. *)
+
+type result = {
+  completed : bool;
+  fct : Netsim.Sim_time.span option;  (** receiver-side completion time *)
+  units : int;
+  transmissions : int;
+  retransmissions : int;
+  congestion_events : int;
+  timeouts : int;
+  acks_sent : int;
+  duplicates : int;
+  goodput_mbps : float;  (** distinct delivered payload bits / fct *)
+}
+
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  Netsim.Engine.t ->
+  sender:Sender.t ->
+  receiver:Receiver.t ->
+  ?until:Netsim.Sim_time.t ->
+  unit ->
+  result
+(** Start the sender, run the engine (default horizon 300 s of
+    simulated time), and collect metrics. *)
+
+val direct :
+  ?seed:int ->
+  ?units:int ->
+  ?mss:int ->
+  ?rate_bps:int ->
+  ?delay:Netsim.Sim_time.span ->
+  ?loss:Netsim.Loss.t ->
+  ?cc:(mss:int -> unit -> Cc.t) ->
+  ?ack_every:int ->
+  unit ->
+  result
+(** Convenience: a symmetric two-link (forward data, return ACK) path
+    with the given bottleneck parameters — the no-proxy baseline.
+    Defaults: 2000 units, 20 Mbit/s, 20 ms one-way delay, no loss,
+    NewReno. *)

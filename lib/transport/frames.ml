@@ -1,0 +1,15 @@
+module Packet = Netsim.Packet
+
+type Packet.payload +=
+  | Data of { offset : int }
+  | Ack of { largest : int; ranges : (int * int) list; acked_units : int }
+
+let data_packet ~uid ~flow ~id ~seq ~size ~offset ~now =
+  Packet.make ~uid ~flow ~id ~seq ~size ~payload:(Data { offset }) ~sent_at:now ()
+
+let ack_packet ~uid ~flow ~id ~seq ~size ~largest ~ranges ~acked_units ~now =
+  Packet.make ~uid ~flow ~id ~seq ~size
+    ~payload:(Ack { largest; ranges; acked_units })
+    ~sent_at:now ()
+
+let ack_size ~ranges = 40 + (8 * ranges)

@@ -1,0 +1,27 @@
+(** Transport frame payloads carried inside simulated packets.
+
+    These model the {e plaintext} of an encrypted transport packet:
+    code outside the two end hosts must not match on them (sidecars
+    and proxies only see [Packet.id] and [Packet.size]). *)
+
+type Netsim.Packet.payload +=
+  | Data of { offset : int }
+        (** one application unit (an MSS-sized chunk); retransmissions
+            carry the same [offset] under a fresh packet [seq]/[id] *)
+  | Ack of { largest : int; ranges : (int * int) list; acked_units : int }
+        (** end-to-end ACK: selective ranges [(lo, hi)] of packet
+            seqs, newest first, plus the receiver's count of distinct
+            delivered units (for sender-side progress accounting) *)
+
+val data_packet :
+  uid:int -> flow:int -> id:int -> seq:int -> size:int -> offset:int ->
+  now:Netsim.Sim_time.t -> Netsim.Packet.t
+
+val ack_packet :
+  uid:int -> flow:int -> id:int -> seq:int -> size:int -> largest:int ->
+  ranges:(int * int) list -> acked_units:int -> now:Netsim.Sim_time.t ->
+  Netsim.Packet.t
+
+val ack_size : ranges:int -> int
+(** Bytes of an ACK packet carrying that many ranges (40-byte base +
+    8 per range). *)

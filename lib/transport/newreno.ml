@@ -1,0 +1,26 @@
+type state = {
+  mss : int;
+  mutable cwnd : int;
+  mutable ssthresh : int;
+}
+
+let create ?(initial_window_pkts = 10) ~mss () =
+  let s = { mss; cwnd = initial_window_pkts * mss; ssthresh = max_int } in
+  let floor_w = Cc.min_window ~mss in
+  {
+    Cc.name = "newreno";
+    cwnd = (fun () -> s.cwnd);
+    on_ack =
+      (fun ~now:_ ~acked_bytes ~rtt:_ ->
+        if s.cwnd < s.ssthresh then s.cwnd <- s.cwnd + acked_bytes
+        else s.cwnd <- s.cwnd + max 1 (s.mss * acked_bytes / s.cwnd));
+    on_congestion =
+      (fun ~now:_ ->
+        s.ssthresh <- max floor_w (s.cwnd / 2);
+        s.cwnd <- s.ssthresh);
+    on_timeout =
+      (fun () ->
+        s.ssthresh <- max floor_w (s.cwnd / 2);
+        s.cwnd <- floor_w);
+    in_slow_start = (fun () -> s.cwnd < s.ssthresh);
+  }

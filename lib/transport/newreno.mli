@@ -1,0 +1,6 @@
+(** NewReno congestion control (RFC 6582 shape, byte-counted):
+    exponential slow start, additive increase of one MSS per window
+    per RTT, multiplicative decrease to half on a congestion event. *)
+
+val create : ?initial_window_pkts:int -> mss:int -> unit -> Cc.t
+(** [initial_window_pkts] defaults to 10 (RFC 6928). *)

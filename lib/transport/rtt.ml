@@ -1,0 +1,43 @@
+module Time = Netsim.Sim_time
+
+type t = {
+  initial_rto : Time.span;
+  mutable srtt : Time.span;
+  mutable rttvar : Time.span;
+  mutable latest : Time.span;
+  mutable samples : int;
+}
+
+let create ?(initial_rto = Time.ms 1000) () =
+  { initial_rto; srtt = 0; rttvar = 0; latest = 0; samples = 0 }
+
+let sample t rtt =
+  if rtt > 0 then begin
+    t.latest <- rtt;
+    if t.samples = 0 then begin
+      t.srtt <- rtt;
+      t.rttvar <- rtt / 2
+    end
+    else begin
+      (* rttvar = 3/4 rttvar + 1/4 |srtt - rtt|; srtt = 7/8 srtt + 1/8 rtt *)
+      let err = abs (t.srtt - rtt) in
+      t.rttvar <- ((3 * t.rttvar) + err) / 4;
+      t.srtt <- ((7 * t.srtt) + rtt) / 8
+    end;
+    t.samples <- t.samples + 1
+  end
+
+let has_sample t = t.samples > 0
+let srtt t = t.srtt
+let rttvar t = t.rttvar
+let latest t = t.latest
+
+let rto t =
+  if t.samples = 0 then t.initial_rto
+  else
+    let candidate = t.srtt + max (4 * t.rttvar) (Time.ms 1) in
+    max candidate (Time.ms 10)
+
+let pto t ~max_ack_delay =
+  if t.samples = 0 then t.initial_rto
+  else max (t.srtt + (4 * t.rttvar) + max_ack_delay) (Time.ms 1)

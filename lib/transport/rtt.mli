@@ -1,0 +1,23 @@
+(** RTT estimation per RFC 6298 (the same smoothing QUIC uses):
+    [srtt], [rttvar], and the retransmission/probe timeout derived
+    from them. *)
+
+type t
+
+val create : ?initial_rto:Netsim.Sim_time.span -> unit -> t
+(** [initial_rto] defaults to 1 s, used before the first sample. *)
+
+val sample : t -> Netsim.Sim_time.span -> unit
+(** Feed one RTT measurement (ns). Non-positive samples are ignored. *)
+
+val has_sample : t -> bool
+val srtt : t -> Netsim.Sim_time.span
+val rttvar : t -> Netsim.Sim_time.span
+val latest : t -> Netsim.Sim_time.span
+
+val rto : t -> Netsim.Sim_time.span
+(** [srtt + max(4*rttvar, 1ms)], floored at 10 ms; initial RTO before
+    any sample. *)
+
+val pto : t -> max_ack_delay:Netsim.Sim_time.span -> Netsim.Sim_time.span
+(** QUIC-style probe timeout: [srtt + 4*rttvar + max_ack_delay]. *)

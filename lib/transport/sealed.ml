@@ -1,0 +1,53 @@
+module Packet = Netsim.Packet
+
+type Packet.payload += Sealed of string
+
+let failures = ref 0
+let auth_failures () = !failures
+let reset_counters () = failures := 0
+
+let seal_egress ~key forward (p : Packet.t) =
+  match p.Packet.payload with
+  | Frames.Data { offset } ->
+      let plaintext = Codec.encode_frames ~seq:p.Packet.seq [ Codec.Data { offset } ] in
+      (* pad so the wire packet keeps the model packet's size *)
+      let pad = max 0 (p.Packet.size - Wire_image.min_size - String.length plaintext - 2) in
+      let plaintext =
+        if pad > 0 then
+          Codec.encode_frames ~seq:p.Packet.seq
+            [ Codec.Data { offset }; Codec.Padding pad ]
+        else plaintext
+      in
+      let wire =
+        Wire_image.seal key
+          ~conn_id:(Int64.of_int p.Packet.flow)
+          ~packet_number:(p.Packet.seq land 0xFFFFFFFF)
+          ~plaintext
+      in
+      forward
+        (Packet.make ~uid:p.Packet.uid ~flow:p.Packet.flow
+           ~id:(Wire_image.extract_id wire ~bits:32)
+           ~seq:p.Packet.seq ~size:(String.length wire) ~payload:(Sealed wire)
+           ~sent_at:p.Packet.sent_at ())
+  | _ -> forward p (* non-data packets pass through unchanged *)
+
+let unseal_data ~key forward (p : Packet.t) =
+  match p.Packet.payload with
+  | Sealed wire -> (
+      match Wire_image.open_ key wire with
+      | Error (`Bad_tag | `Too_short) -> incr failures
+      | Ok (_pn, plaintext) -> (
+          match Codec.decode_frames plaintext with
+          | Ok (seq, frames) ->
+              List.iter
+                (fun frame ->
+                  match frame with
+                  | Codec.Data { offset } ->
+                      forward
+                        (Frames.data_packet ~uid:p.Packet.uid ~flow:p.Packet.flow
+                           ~id:p.Packet.id ~seq ~size:p.Packet.size ~offset
+                           ~now:p.Packet.sent_at)
+                  | Codec.Ack _ | Codec.Padding _ -> ())
+                frames
+          | Error _ -> incr failures))
+  | _ -> forward p

@@ -1,0 +1,44 @@
+(** Byte-level fidelity adapter: run a connection over {e actual
+    sealed bytes} inside the simulator.
+
+    The plain {!Sender}/{!Receiver} pair models encryption with a PRF
+    identifier. This adapter removes the modelling shortcut: every
+    data packet is serialised ({!Codec}), sealed ({!Wire_image}), and
+    travels the simulated network as ciphertext; its sidecar-visible
+    identifier is {e extracted from the wire bytes}; the receiving
+    end authenticates and decrypts before handing the plaintext frames
+    to the normal receiver logic. An on-path element that "opens" a
+    packet gets [`Bad_tag], exactly like a middlebox fishing in QUIC.
+
+    Used by integration tests and the byte-fidelity bench to show the
+    whole quACK pipeline works on ciphertext, not just on the model. *)
+
+type Netsim.Packet.payload += Sealed of string
+(** Ciphertext on the wire. Matching on this is allowed anywhere —
+    it is what everyone sees — but only {!unseal_data} can interpret
+    it. *)
+
+val seal_egress :
+  key:Wire_image.key ->
+  (Netsim.Packet.t -> unit) ->
+  Netsim.Packet.t ->
+  unit
+(** [seal_egress ~key forward] is an egress hook for {!Sender.create}:
+    it serialises + seals each data packet and forwards a ciphertext
+    packet whose [id] is {!Wire_image.extract_id} of the bytes. *)
+
+val unseal_data :
+  key:Wire_image.key ->
+  (Netsim.Packet.t -> unit) ->
+  Netsim.Packet.t ->
+  unit
+(** Inverse adapter for the receiving end: authenticate, decrypt,
+    rebuild the plaintext data packet, and pass it on (to
+    {!Receiver.deliver}). Packets that fail authentication are
+    dropped and counted in {!auth_failures}. *)
+
+val auth_failures : unit -> int
+(** Global count of packets dropped for bad tags (tamper injection
+    tests read this). *)
+
+val reset_counters : unit -> unit

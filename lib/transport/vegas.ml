@@ -1,0 +1,69 @@
+module Time = Netsim.Sim_time
+
+type state = {
+  mss : int;
+  alpha : float;
+  beta : float;
+  mutable cwnd : float;  (* segments *)
+  mutable ssthresh : float;
+  mutable base_rtt : Time.span;
+  mutable acked_this_rtt : int;
+  mutable rtt_latest : Time.span;
+  mutable round_end : Time.t;
+}
+
+let create ?(initial_window_pkts = 10) ?(alpha = 2) ?(beta = 4) ~mss () =
+  if beta < alpha then invalid_arg "Vegas.create: beta < alpha";
+  let s =
+    {
+      mss;
+      alpha = float_of_int alpha;
+      beta = float_of_int beta;
+      cwnd = float_of_int initial_window_pkts;
+      ssthresh = infinity;
+      base_rtt = 0;
+      acked_this_rtt = 0;
+      rtt_latest = 0;
+      round_end = 0;
+    }
+  in
+  let min_seg = 2. in
+  let max_seg = 1e7 in
+  {
+    Cc.name = "vegas";
+    cwnd = (fun () -> int_of_float (Float.min max_seg s.cwnd *. float_of_int s.mss));
+    on_ack =
+      (fun ~now ~acked_bytes ~rtt ->
+        s.acked_this_rtt <- s.acked_this_rtt + acked_bytes;
+        (match rtt with
+        | Some r when r > 0 ->
+            s.rtt_latest <- r;
+            if s.base_rtt = 0 || r < s.base_rtt then s.base_rtt <- r
+        | _ -> ());
+        (* run the Vegas update once per RTT-round *)
+        if now >= s.round_end && s.rtt_latest > 0 && s.base_rtt > 0 then begin
+          s.round_end <- Time.add now s.rtt_latest;
+          s.acked_this_rtt <- 0;
+          let rtt_f = Time.to_float_s s.rtt_latest in
+          let base_f = Time.to_float_s s.base_rtt in
+          (* backlog in segments: cwnd * (rtt - base) / rtt *)
+          let backlog = s.cwnd *. (rtt_f -. base_f) /. rtt_f in
+          if s.cwnd < s.ssthresh then begin
+            (* Vegas slow start: double every other RTT while the
+               backlog stays small *)
+            if backlog <= s.alpha then s.cwnd <- Float.min max_seg (s.cwnd *. 1.5)
+            else s.ssthresh <- s.cwnd
+          end
+          else if backlog < s.alpha then s.cwnd <- s.cwnd +. 1.
+          else if backlog > s.beta then s.cwnd <- Float.max min_seg (s.cwnd -. 1.)
+        end);
+    on_congestion =
+      (fun ~now:_ ->
+        s.ssthresh <- Float.max min_seg (s.cwnd *. 0.75);
+        s.cwnd <- Float.max min_seg (s.cwnd *. 0.75));
+    on_timeout =
+      (fun () ->
+        s.ssthresh <- Float.max min_seg (s.cwnd /. 2.);
+        s.cwnd <- min_seg);
+    in_slow_start = (fun () -> s.cwnd < s.ssthresh);
+  }

@@ -1,0 +1,13 @@
+(** TCP Vegas congestion control — the classic delay-based scheme.
+
+    Vegas compares actual and expected throughput: the backlog estimate
+    [cwnd * (rtt - base_rtt) / rtt] counts packets sitting in queues.
+    Below [alpha] packets of backlog it grows the window by one MSS per
+    RTT; above [beta] it shrinks by one. It finds low-delay operating
+    points but gets out-competed by loss-based flows — which is why it
+    is here: a delay-sensitive controller behind a deep-buffering proxy
+    is the sharpest bufferbloat probe in the ablations. *)
+
+val create :
+  ?initial_window_pkts:int -> ?alpha:int -> ?beta:int -> mss:int -> unit -> Cc.t
+(** Defaults: alpha 2, beta 4 (segments of backlog). *)

@@ -1,0 +1,152 @@
+module Sha256 = Sidecar_hash.Sha256
+
+let check = Alcotest.check
+let str = Alcotest.string
+
+(* FIPS 180-4 / NIST CAVP test vectors. *)
+let vectors =
+  [
+    ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+    ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+    ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+    ( "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijklmno\
+       ijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu",
+      "cf5b16a778af8380036ce59e7b0492370b249b11e8f07a51afac45037afee9d1" );
+    ( "The quick brown fox jumps over the lazy dog",
+      "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592" );
+  ]
+
+let test_vectors () =
+  List.iter
+    (fun (msg, expected) ->
+      check str (Printf.sprintf "sha256(%S)" msg) expected
+        (Sha256.to_hex (Sha256.digest_string msg)))
+    vectors
+
+let test_million_a () =
+  (* The classic long-message vector: 1,000,000 repetitions of 'a'. *)
+  let ctx = Sha256.init () in
+  let chunk = String.make 1000 'a' in
+  for _ = 1 to 1000 do
+    Sha256.feed_string ctx chunk
+  done;
+  check str "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Sha256.to_hex (Sha256.finalize ctx))
+
+let test_streaming_equals_oneshot () =
+  (* Feeding in arbitrary chunk sizes must match a single feed. *)
+  let msg = String.init 3000 (fun i -> Char.chr (i * 7 mod 256)) in
+  let oneshot = Sha256.digest_string msg in
+  List.iter
+    (fun chunk_size ->
+      let ctx = Sha256.init () in
+      let rec go off =
+        if off < String.length msg then begin
+          let len = min chunk_size (String.length msg - off) in
+          Sha256.feed_string ctx (String.sub msg off len);
+          go (off + len)
+        end
+      in
+      go 0;
+      check str (Printf.sprintf "chunks of %d" chunk_size)
+        (Sha256.to_hex oneshot)
+        (Sha256.to_hex (Sha256.finalize ctx)))
+    [ 1; 3; 63; 64; 65; 127; 1024 ]
+
+let test_boundary_lengths () =
+  (* Padding edge cases: lengths straddling the 55/56/64-byte block
+     boundaries must all be distinct and deterministic. *)
+  let digests =
+    List.map
+      (fun n -> Sha256.to_hex (Sha256.digest_string (String.make n 'x')))
+      [ 0; 1; 54; 55; 56; 57; 63; 64; 65; 119; 120; 128 ]
+  in
+  let sorted = List.sort_uniq compare digests in
+  Alcotest.(check int) "all distinct" (List.length digests) (List.length sorted)
+
+let test_digest_int_list () =
+  let a = Sha256.digest_int_list [ 1; 2; 3 ] in
+  let b = Sha256.digest_int_list [ 1; 2; 3 ] in
+  let c = Sha256.digest_int_list [ 3; 2; 1 ] in
+  check str "deterministic" (Sha256.to_hex a) (Sha256.to_hex b);
+  Alcotest.(check bool) "order matters (callers sort)" false (a = c);
+  Alcotest.(check bool) "multiset sensitivity" false
+    (Sha256.digest_int_list [ 5; 5 ] = Sha256.digest_int_list [ 5 ])
+
+let test_feed_int64_le () =
+  let ctx = Sha256.init () in
+  Sha256.feed_int64_le ctx 0x0102030405060708L;
+  let via_int = Sha256.finalize ctx in
+  let via_str = Sha256.digest_string "\x08\x07\x06\x05\x04\x03\x02\x01" in
+  check str "LE layout" (Sha256.to_hex via_str) (Sha256.to_hex via_int)
+
+let qcheck_props =
+  let open QCheck in
+  [
+    Test.make ~name:"digest is 32 bytes" ~count:200 string (fun s ->
+        String.length (Sha256.digest_string s) = 32);
+    Test.make ~name:"deterministic" ~count:200 string (fun s ->
+        Sha256.digest_string s = Sha256.digest_string s);
+    Test.make ~name:"injective-ish on random pairs" ~count:200 (pair string string)
+      (fun (a, b) -> a = b || Sha256.digest_string a <> Sha256.digest_string b);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* HMAC-SHA256 (RFC 4231 test vectors)                                 *)
+
+module Hmac = Sidecar_hash.Hmac
+
+let test_hmac_rfc4231 () =
+  (* Test case 1 *)
+  let key = String.make 20 '\x0b' in
+  check str "tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Sha256.to_hex (Hmac.mac ~key "Hi There"));
+  (* Test case 2: "Jefe" / "what do ya want for nothing?" *)
+  check str "tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Sha256.to_hex (Hmac.mac ~key:"Jefe" "what do ya want for nothing?"));
+  (* Test case 3: 20x 0xaa key, 50x 0xdd data *)
+  check str "tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Sha256.to_hex (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  (* Test case 6: 131-byte key (forces key hashing) *)
+  check str "tc6"
+    "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+    (Sha256.to_hex
+       (Hmac.mac ~key:(String.make 131 '\xaa')
+          "Test Using Larger Than Block-Size Key - Hash Key First"))
+
+let test_hmac_truncated_verify () =
+  let key = "secret" and msg = "a quACK frame" in
+  let tag = Hmac.mac_truncated ~key msg in
+  Alcotest.(check int) "16 bytes" 16 (String.length tag);
+  check Alcotest.bool "verifies" true (Hmac.verify ~key ~tag msg);
+  check Alcotest.bool "wrong msg" false (Hmac.verify ~key ~tag (msg ^ "x"));
+  check Alcotest.bool "wrong key" false (Hmac.verify ~key:"other" ~tag msg);
+  let flipped = Bytes.of_string tag in
+  Bytes.set flipped 0 (Char.chr (Char.code (Bytes.get flipped 0) lxor 1));
+  check Alcotest.bool "flipped tag" false
+    (Hmac.verify ~key ~tag:(Bytes.to_string flipped) msg)
+
+let () =
+  Alcotest.run "sidecar_hash"
+    [
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_vectors;
+          Alcotest.test_case "million 'a'" `Slow test_million_a;
+          Alcotest.test_case "streaming = one-shot" `Quick test_streaming_equals_oneshot;
+          Alcotest.test_case "padding boundaries" `Quick test_boundary_lengths;
+          Alcotest.test_case "digest_int_list" `Quick test_digest_int_list;
+          Alcotest.test_case "feed_int64_le" `Quick test_feed_int64_le;
+        ] );
+      ("sha256-props", List.map QCheck_alcotest.to_alcotest qcheck_props);
+      ( "hmac",
+        [
+          Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
+          Alcotest.test_case "truncate + verify" `Quick test_hmac_truncated_verify;
+        ] );
+    ]

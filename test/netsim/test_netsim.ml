@@ -1,0 +1,741 @@
+open Netsim
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+(* ------------------------------------------------------------------ *)
+(* Sim_time                                                            *)
+
+let test_time_units () =
+  check int "us" 1_000 (Sim_time.us 1);
+  check int "ms" 1_000_000 (Sim_time.ms 1);
+  check int "s" 1_000_000_000 (Sim_time.s 1);
+  check int "of_float_s" 1_500_000_000 (Sim_time.of_float_s 1.5);
+  check (Alcotest.float 1e-9) "to_float_s" 0.25 (Sim_time.to_float_s (Sim_time.ms 250));
+  check int "add" 30 (Sim_time.add 10 20);
+  check int "diff" 15 (Sim_time.diff 40 25)
+
+let test_time_pp () =
+  let s t = Format.asprintf "%a" Sim_time.pp t in
+  check Alcotest.string "ns" "42ns" (s 42);
+  check Alcotest.string "us" "1.500us" (s 1500);
+  check Alcotest.string "ms" "2.000ms" (s (Sim_time.ms 2));
+  check Alcotest.string "s" "3.000s" (s (Sim_time.s 3))
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done;
+  let c = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.int a 1000 <> Rng.int c 1000 then differs := true
+  done;
+  check bool "different seed different stream" true !differs
+
+let test_rng_split_independence () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  (* Drawing from the child must not perturb the parent relative to a
+     twin that never split... we instead check the weaker but
+     meaningful property: child and parent produce different streams. *)
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if Rng.int parent 1_000_000 = Rng.int child 1_000_000 then incr same
+  done;
+  check bool "streams differ" true (!same < 5)
+
+let test_rng_bounds () =
+  let r = Rng.create 1 in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 7 in
+    if x < 0 || x >= 7 then Alcotest.fail "out of bounds"
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0))
+
+let test_rng_bool_frequency () =
+  let r = Rng.create 3 in
+  let hits = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r ~p:0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. 10_000. in
+  check bool (Printf.sprintf "p=0.3 got %.3f" f) true (f > 0.27 && f < 0.33)
+
+(* ------------------------------------------------------------------ *)
+(* Event_heap                                                          *)
+
+let test_heap_ordering () =
+  let h = Event_heap.create () in
+  List.iter (fun t -> Event_heap.push h ~time:t t) [ 5; 1; 9; 3; 7; 2; 8 ];
+  let out = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list int) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (List.rev !out)
+
+let test_heap_stable_ties () =
+  let h = Event_heap.create () in
+  for i = 0 to 9 do
+    Event_heap.push h ~time:100 i
+  done;
+  let out = ref [] in
+  let rec drain () =
+    match Event_heap.pop h with
+    | Some (_, v) ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check (Alcotest.list int) "FIFO at equal times" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !out)
+
+let test_heap_interleaved () =
+  let h = Event_heap.create () in
+  Event_heap.push h ~time:10 "a";
+  Event_heap.push h ~time:5 "b";
+  (match Event_heap.pop h with
+  | Some (5, "b") -> ()
+  | _ -> Alcotest.fail "expected b at 5");
+  Event_heap.push h ~time:1 "c";
+  (match Event_heap.pop h with
+  | Some (1, "c") -> ()
+  | _ -> Alcotest.fail "expected c at 1");
+  check int "size" 1 (Event_heap.size h);
+  check bool "peek" true (Event_heap.peek_time h = Some 10)
+
+let qcheck_heap =
+  let open QCheck in
+  [
+    Test.make ~name:"heap sorts any sequence" ~count:200
+      (list (int_bound 100_000))
+      (fun times ->
+        let h = Event_heap.create () in
+        List.iter (fun t -> Event_heap.push h ~time:t t) times;
+        let rec drain acc =
+          match Event_heap.pop h with
+          | Some (t, _) -> drain (t :: acc)
+          | None -> List.rev acc
+        in
+        drain [] = List.stable_sort compare times);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+
+let test_engine_ordering () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.schedule e ~delay:30 (fun () -> log := 3 :: !log);
+  Engine.schedule e ~delay:10 (fun () -> log := 1 :: !log);
+  Engine.schedule e ~delay:20 (fun () -> log := 2 :: !log);
+  Engine.run e;
+  check (Alcotest.list int) "events in time order" [ 1; 2; 3 ] (List.rev !log);
+  check int "clock at last event" 30 (Engine.now e)
+
+let test_engine_nested_scheduling () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then Engine.schedule e ~delay:10 tick
+  in
+  Engine.schedule e ~delay:10 tick;
+  Engine.run e;
+  check int "recurring fires" 5 !count;
+  check int "clock" 50 (Engine.now e)
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    Engine.schedule e ~delay:10 tick
+  in
+  Engine.schedule e ~delay:10 tick;
+  Engine.run ~until:95 e;
+  check int "stopped by horizon" 9 !count;
+  check int "clock clamped" 95 (Engine.now e)
+
+let test_engine_stop () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count = 3 then Engine.stop e else Engine.schedule e ~delay:1 tick
+  in
+  Engine.schedule e ~delay:1 tick;
+  Engine.run e;
+  check int "stopped mid-run" 3 !count
+
+let test_engine_negative_delay_clamped () =
+  let e = Engine.create () in
+  let fired = ref false in
+  Engine.schedule e ~delay:(-5) (fun () -> fired := true);
+  Engine.run e;
+  check bool "fires immediately" true !fired;
+  check int "clock unchanged" 0 (Engine.now e)
+
+(* ------------------------------------------------------------------ *)
+(* Loss                                                                *)
+
+let test_loss_none () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 100 do
+    if Loss.drops Loss.none rng then Alcotest.fail "lossless dropped"
+  done
+
+let test_loss_bernoulli_rate () =
+  let rng = Rng.create 5 in
+  let model = Loss.bernoulli 0.1 in
+  let drops = ref 0 in
+  for _ = 1 to 20_000 do
+    if Loss.drops model rng then incr drops
+  done;
+  let f = float_of_int !drops /. 20_000. in
+  check bool (Printf.sprintf "rate %.3f" f) true (f > 0.085 && f < 0.115);
+  check (Alcotest.float 1e-9) "average" 0.1 (Loss.average_rate model)
+
+let test_loss_bernoulli_bad_args () =
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Loss.bernoulli: probability out of range") (fun () ->
+      ignore (Loss.bernoulli 1.5))
+
+let test_loss_gilbert_elliott () =
+  let rng = Rng.create 9 in
+  let model =
+    Loss.gilbert_elliott ~loss_bad:0.5 ~p_good_to_bad:0.05 ~p_bad_to_good:0.25 ()
+  in
+  let drops = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Loss.drops model rng then incr drops
+  done;
+  let expected = Loss.average_rate model in
+  let f = float_of_int !drops /. float_of_int n in
+  check bool
+    (Printf.sprintf "GE empirical %.4f vs stationary %.4f" f expected)
+    true
+    (Float.abs (f -. expected) < 0.01)
+
+let test_loss_gilbert_burstiness () =
+  (* Consecutive drops should be far more common than under Bernoulli
+     at the same average rate. *)
+  let rng = Rng.create 11 in
+  let model =
+    Loss.gilbert_elliott ~loss_bad:0.5 ~p_good_to_bad:0.01 ~p_bad_to_good:0.2 ()
+  in
+  let n = 200_000 in
+  let pairs = ref 0 and drops = ref 0 in
+  let prev = ref false in
+  for _ = 1 to n do
+    let d = Loss.drops model rng in
+    if d then incr drops;
+    if d && !prev then incr pairs;
+    prev := d
+  done;
+  let p_drop = float_of_int !drops /. float_of_int n in
+  let p_pair_given_drop = float_of_int !pairs /. float_of_int !drops in
+  check bool
+    (Printf.sprintf "bursty: P(drop|drop)=%.3f >> P(drop)=%.3f" p_pair_given_drop p_drop)
+    true
+    (p_pair_given_drop > 3. *. p_drop)
+
+(* ------------------------------------------------------------------ *)
+(* Link                                                                *)
+
+let mk_packet ?(size = 1500) uid =
+  Packet.make ~uid ~id:uid ~seq:uid ~size ~sent_at:0 ()
+
+let test_link_delivery_timing () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let link =
+    Link.create e ~name:"l" ~rate_bps:12_000_000 ~delay:(Sim_time.ms 10)
+      ~deliver:(fun p -> arrivals := (Engine.now e, p.Packet.uid) :: !arrivals)
+      ()
+  in
+  (* 1500 B at 12 Mbit/s = 1 ms serialisation + 10 ms propagation *)
+  ignore (Link.send link (mk_packet 0));
+  ignore (Link.send link (mk_packet 1));
+  Engine.run e;
+  match List.rev !arrivals with
+  | [ (t0, 0); (t1, 1) ] ->
+      check int "first: tx + prop" (Sim_time.ms 11) t0;
+      check int "second queued behind first" (Sim_time.ms 12) t1
+  | _ -> Alcotest.fail "expected two arrivals"
+
+let test_link_queue_overflow () =
+  let e = Engine.create () in
+  let delivered = ref 0 in
+  let link =
+    Link.create e ~name:"l" ~rate_bps:1_000_000 ~delay:0 ~queue_capacity_pkts:5
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let accepted = ref 0 in
+  for i = 0 to 19 do
+    if Link.send link (mk_packet i) then incr accepted
+  done;
+  Engine.run e;
+  (* capacity bounds the waiting queue; one more packet occupies the
+     transmitter, so capacity + 1 are accepted *)
+  check int "only capacity accepted" 6 !accepted;
+  check int "delivered = accepted" 6 !delivered;
+  check int "tail drops counted" 14 (Link.stats link).Link.dropped_queue
+
+let test_link_loss_applied () =
+  let e = Engine.create ~seed:3 () in
+  let delivered = ref 0 in
+  let link =
+    Link.create e ~name:"l" ~rate_bps:1_000_000_000 ~delay:0
+      ~queue_capacity_pkts:100_000 ~loss:(Loss.bernoulli 0.5)
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  for i = 0 to 1999 do
+    ignore (Link.send link (mk_packet i))
+  done;
+  Engine.run e;
+  let s = Link.stats link in
+  check int "sent" 2000 s.Link.sent;
+  check int "conservation" 2000 (s.Link.delivered + s.Link.dropped_loss);
+  check bool "roughly half dropped" true
+    (s.Link.dropped_loss > 850 && s.Link.dropped_loss < 1150);
+  check bool "observed rate" true
+    (Float.abs (Link.loss_rate_observed link -. 0.5) < 0.08)
+
+let test_link_tx_time () =
+  let e = Engine.create () in
+  let link = Link.create e ~name:"l" ~rate_bps:8_000_000 ~delay:0 () in
+  check int "1000 B at 8 Mbit/s = 1 ms" (Sim_time.ms 1) (Link.tx_time link ~size:1000)
+
+let test_link_bad_args () =
+  let e = Engine.create () in
+  Alcotest.check_raises "zero rate" (Invalid_argument "Link.create: rate must be positive")
+    (fun () -> ignore (Link.create e ~name:"x" ~rate_bps:0 ~delay:0 ()))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+
+let test_summary () =
+  let s = Stats.Summary.create () in
+  List.iter (Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  check int "count" 8 (Stats.Summary.count s);
+  check (Alcotest.float 1e-9) "mean" 5.0 (Stats.Summary.mean s);
+  check (Alcotest.float 1e-6) "stddev (sample)" 2.138089935 (Stats.Summary.stddev s);
+  check (Alcotest.float 1e-9) "min" 2.0 (Stats.Summary.min s);
+  check (Alcotest.float 1e-9) "max" 9.0 (Stats.Summary.max s)
+
+let test_summary_empty () =
+  let s = Stats.Summary.create () in
+  check (Alcotest.float 1e-9) "mean of empty" 0. (Stats.Summary.mean s);
+  check (Alcotest.float 1e-9) "stddev of empty" 0. (Stats.Summary.stddev s)
+
+let test_series () =
+  let s = Stats.Series.create "cwnd" in
+  Stats.Series.add s ~time:10 1.;
+  Stats.Series.add s ~time:20 2.;
+  check (Alcotest.list (Alcotest.pair int (Alcotest.float 0.))) "chronological"
+    [ (10, 1.); (20, 2.) ]
+    (Stats.Series.to_list s);
+  check Alcotest.string "name" "cwnd" (Stats.Series.name s)
+
+(* ------------------------------------------------------------------ *)
+(* Jitter / reordering                                                 *)
+
+let test_jitter_reorders () =
+  let e = Engine.create ~seed:4 () in
+  let order = ref [] in
+  let link =
+    Link.create e ~name:"j" ~rate_bps:1_000_000_000 ~delay:(Sim_time.ms 5)
+      ~jitter:(Sim_time.ms 10)
+      ~deliver:(fun p -> order := p.Packet.uid :: !order)
+      ()
+  in
+  for i = 0 to 199 do
+    ignore (Link.send link (mk_packet i))
+  done;
+  Engine.run e;
+  let arrived = List.rev !order in
+  check int "all delivered" 200 (List.length arrived);
+  check bool "jitter reordered packets" true (arrived <> List.init 200 (fun i -> i))
+
+let test_no_jitter_preserves_order () =
+  let e = Engine.create ~seed:4 () in
+  let order = ref [] in
+  let link =
+    Link.create e ~name:"j" ~rate_bps:1_000_000 ~delay:(Sim_time.ms 5)
+      ~deliver:(fun p -> order := p.Packet.uid :: !order)
+      ()
+  in
+  for i = 0 to 99 do
+    ignore (Link.send link (mk_packet i))
+  done;
+  Engine.run e;
+  check bool "FIFO without jitter" true (List.rev !order = List.init 100 (fun i -> i))
+
+(* ------------------------------------------------------------------ *)
+(* Workload                                                            *)
+
+let test_workload_sizes_positive () =
+  let rng = Rng.create 2 in
+  List.iter
+    (fun dist ->
+      for _ = 1 to 500 do
+        if Workload.sample_size rng dist < 1 then Alcotest.fail "size < 1"
+      done)
+    [
+      Workload.Fixed 10;
+      Workload.Uniform (1, 50);
+      Workload.web_flows;
+      Workload.Pareto { xmin = 3.; alpha = 1.3 };
+    ]
+
+let test_workload_lognormal_median () =
+  let rng = Rng.create 7 in
+  let xs =
+    Array.init 4000 (fun _ ->
+        float_of_int (Workload.sample_size rng (Workload.Lognormal { mu = 3.; sigma = 1. })))
+  in
+  (* median of lognormal = e^mu ~ 20 *)
+  let med = Workload.percentile xs ~p:50. in
+  check bool (Printf.sprintf "median %.1f near e^3=20" med) true (med > 15. && med < 26.)
+
+let test_workload_pareto_heavy_tail () =
+  let rng = Rng.create 8 in
+  let xs =
+    Array.init 4000 (fun _ ->
+        float_of_int
+          (Workload.sample_size rng (Workload.Pareto { xmin = 2.; alpha = 1.2 })))
+  in
+  let p50 = Workload.percentile xs ~p:50. and p99 = Workload.percentile xs ~p:99. in
+  check bool
+    (Printf.sprintf "heavy tail: p99 %.0f >> p50 %.0f" p99 p50)
+    true
+    (p99 > 10. *. p50)
+
+let test_workload_exponential_mean () =
+  let rng = Rng.create 9 in
+  let acc = ref 0. in
+  let n = 20_000 in
+  for _ = 1 to n do
+    acc := !acc +. Workload.sample_exponential rng ~mean:0.25
+  done;
+  let mean = !acc /. float_of_int n in
+  check bool (Printf.sprintf "mean %.3f" mean) true (Float.abs (mean -. 0.25) < 0.02)
+
+let test_percentile_edges () =
+  let xs = [| 5.; 1.; 3.; 2.; 4. |] in
+  check (Alcotest.float 1e-9) "p100" 5. (Workload.percentile xs ~p:100.);
+  check (Alcotest.float 1e-9) "p50" 3. (Workload.percentile xs ~p:50.);
+  Alcotest.check_raises "empty" (Invalid_argument "Workload.percentile: empty")
+    (fun () -> ignore (Workload.percentile [||] ~p:50.))
+
+(* ------------------------------------------------------------------ *)
+(* AQM (CoDel)                                                         *)
+
+let test_codel_quiet_below_target () =
+  let aqm = Aqm.create () in
+  (* sojourns below 5 ms never drop *)
+  for i = 0 to 999 do
+    let now = i * Sim_time.ms 1 in
+    match Aqm.on_dequeue aqm ~now ~enqueued_at:(now - Sim_time.ms 2) with
+    | Aqm.Forward -> ()
+    | Aqm.Drop -> Alcotest.fail "dropped below target"
+  done;
+  check int "no drops" 0 (Aqm.drops aqm)
+
+let test_codel_drops_standing_queue () =
+  let aqm = Aqm.create () in
+  (* a standing 50 ms queue must trigger dropping after one interval *)
+  for i = 0 to 999 do
+    let now = i * Sim_time.ms 1 in
+    ignore (Aqm.on_dequeue aqm ~now ~enqueued_at:(now - Sim_time.ms 50))
+  done;
+  check bool (Printf.sprintf "drops=%d" (Aqm.drops aqm)) true (Aqm.drops aqm > 3);
+  check bool "entered dropping state" true (Aqm.in_dropping_state aqm)
+
+let test_codel_recovers () =
+  let aqm = Aqm.create () in
+  for i = 0 to 499 do
+    let now = i * Sim_time.ms 1 in
+    ignore (Aqm.on_dequeue aqm ~now ~enqueued_at:(now - Sim_time.ms 50))
+  done;
+  let d = Aqm.drops aqm in
+  (* queue drains: sojourns fall below target; dropping must stop *)
+  for i = 500 to 999 do
+    let now = i * Sim_time.ms 1 in
+    ignore (Aqm.on_dequeue aqm ~now ~enqueued_at:(now - Sim_time.ms 1))
+  done;
+  check bool "left dropping state" false (Aqm.in_dropping_state aqm);
+  check int "no further drops" d (Aqm.drops aqm)
+
+let test_codel_on_link_controls_delay () =
+  (* saturate a slow link with a deep queue: with CoDel the mean
+     sojourn stays near target; without, the queue stands at capacity *)
+  let run aqm =
+    let e = Engine.create () in
+    let link =
+      Link.create e ~name:"l" ~rate_bps:2_000_000 ~delay:0
+        ~queue_capacity_pkts:1000 ?aqm ()
+    in
+    (* offer 10 packets every 50 ms = 2.4 Mbit/s against a 2 Mbit/s
+       link: a 1.2x persistent overload, the regime AQM is built for
+       (unresponsive floods defeat any AQM) *)
+    let uid = ref 0 in
+    let rec burst () =
+      for _ = 1 to 10 do
+        ignore (Link.send link (mk_packet !uid));
+        incr uid
+      done;
+      if Engine.now e < Sim_time.s 4 then Engine.schedule e ~delay:(Sim_time.ms 50) burst
+    in
+    Engine.schedule e ~delay:0 burst;
+    Engine.run ~until:(Sim_time.s 5) e;
+    link
+  in
+  let fifo = run None in
+  let codel = run (Some (Aqm.create ())) in
+  check bool
+    (Printf.sprintf "codel sojourn %.1f ms << fifo %.1f ms"
+       (1e3 *. Link.mean_sojourn codel)
+       (1e3 *. Link.mean_sojourn fifo))
+    true
+    (Link.mean_sojourn codel < Link.mean_sojourn fifo /. 4.);
+  check bool "codel dropped at dequeue" true ((Link.stats codel).Link.dropped_aqm > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Pacer                                                               *)
+
+let test_pacer_shapes_rate () =
+  let e = Engine.create () in
+  let arrivals = ref [] in
+  let pacer =
+    Pacer.create e ~rate_bps:12_000_000 ~burst_bytes:1500
+      ~send:(fun p -> arrivals := (Engine.now e, p.Packet.uid) :: !arrivals)
+      ()
+  in
+  (* 10 x 1500 B at 12 Mbit/s: 1 ms per packet after the initial burst *)
+  for i = 0 to 9 do
+    ignore (Pacer.offer pacer (mk_packet i))
+  done;
+  Engine.run e;
+  let times = List.rev_map fst !arrivals in
+  check int "all released" 10 (List.length times);
+  (* last release ~9 ms after the first (first is free via the burst) *)
+  let first = List.nth times 0 and last = List.nth times 9 in
+  check bool
+    (Printf.sprintf "spacing %.1f ms" (Sim_time.to_float_ms (last - first)))
+    true
+    (last - first >= Sim_time.ms 8 && last - first <= Sim_time.ms 10)
+
+let test_pacer_set_rate () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let pacer = Pacer.create e ~rate_bps:1_000 ~send:(fun _ -> incr count) () in
+  ignore (Pacer.offer pacer (mk_packet 0));
+  ignore (Pacer.offer pacer (mk_packet 1));
+  (* at 1 kbit/s the second packet would wait 12 s; speed up at t=1ms *)
+  Engine.schedule e ~delay:(Sim_time.ms 1) (fun () ->
+      Pacer.set_rate pacer 1_000_000_000);
+  Engine.run ~until:(Sim_time.ms 100) e;
+  check int "both released after speedup" 2 !count
+
+let test_pacer_capacity () =
+  let e = Engine.create () in
+  let released = ref 0 in
+  let pacer =
+    Pacer.create e ~rate_bps:1000 ~burst_bytes:1500 ~capacity_pkts:2
+      ~send:(fun _ -> incr released)
+      ()
+  in
+  (* the initial burst releases the first packet immediately; the next
+     two queue; the fourth exceeds the queue capacity *)
+  check bool "first accepted" true (Pacer.offer pacer (mk_packet 0));
+  check int "released by burst" 1 !released;
+  check bool "second accepted" true (Pacer.offer pacer (mk_packet 1));
+  check bool "third accepted" true (Pacer.offer pacer (mk_packet 2));
+  check bool "fourth refused" false (Pacer.offer pacer (mk_packet 3));
+  check int "backlog" 2 (Pacer.backlog pacer);
+  check int "backlog peak" 2 (Pacer.backlog_peak pacer)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_trace_ring () =
+  let t = Trace.create ~capacity:4 () in
+  for i = 1 to 6 do
+    Trace.record t ~time:(i * 10) (Printf.sprintf "e%d" i)
+  done;
+  check (Alcotest.list (Alcotest.pair int Alcotest.string)) "keeps newest 4"
+    [ (30, "e3"); (40, "e4"); (50, "e5"); (60, "e6") ]
+    (Trace.events t);
+  check int "dropped" 2 (Trace.dropped t);
+  Trace.clear t;
+  check int "cleared" 0 (List.length (Trace.events t))
+
+let test_trace_recordf () =
+  let t = Trace.create () in
+  Trace.recordf t ~time:5 "seq=%d id=%#x" 7 255;
+  match Trace.events t with
+  | [ (5, msg) ] -> check Alcotest.string "formatted" "seq=7 id=0xff" msg
+  | _ -> Alcotest.fail "expected one event"
+
+(* ------------------------------------------------------------------ *)
+(* Conservation: every accepted packet is accounted for exactly once   *)
+
+let test_link_conservation_under_everything () =
+  let e = Engine.create ~seed:12 () in
+  let delivered = ref 0 in
+  let link =
+    Link.create e ~name:"k" ~rate_bps:5_000_000 ~delay:(Sim_time.ms 3)
+      ~jitter:(Sim_time.ms 4) ~queue_capacity_pkts:64
+      ~loss:(Loss.gilbert_elliott ~loss_bad:0.4 ~p_good_to_bad:0.05 ~p_bad_to_good:0.3 ())
+      ~aqm:(Aqm.create ())
+      ~deliver:(fun _ -> incr delivered)
+      ()
+  in
+  let offered = 5_000 in
+  let accepted = ref 0 in
+  let uid = ref 0 in
+  let rec burst () =
+    for _ = 1 to 25 do
+      if Link.send link (mk_packet !uid) then incr accepted;
+      incr uid
+    done;
+    if !uid < offered then Engine.schedule e ~delay:(Sim_time.ms 7) burst
+  in
+  Engine.schedule e ~delay:0 burst;
+  Engine.run e;
+  let st = Link.stats link in
+  check int "accepted = sent stat" !accepted st.Link.sent;
+  check int "conservation" st.Link.sent
+    (st.Link.delivered + st.Link.dropped_loss + st.Link.dropped_aqm);
+  check int "delivered callback count" st.Link.delivered !delivered;
+  check int "tail drops are the remainder" offered
+    (st.Link.sent + st.Link.dropped_queue)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism of a whole simulation                                   *)
+
+let test_simulation_reproducible () =
+  let run seed =
+    let e = Engine.create ~seed () in
+    let delivered = ref [] in
+    let link =
+      Link.create e ~name:"l" ~rate_bps:10_000_000 ~delay:(Sim_time.ms 5)
+        ~loss:(Loss.bernoulli 0.3)
+        ~deliver:(fun p -> delivered := p.Packet.uid :: !delivered)
+        ()
+    in
+    for i = 0 to 499 do
+      ignore (Link.send link (mk_packet i))
+    done;
+    Engine.run e;
+    !delivered
+  in
+  check bool "same seed same outcome" true (run 42 = run 42);
+  check bool "different seed different outcome" true (run 42 <> run 43)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "netsim"
+    [
+      ( "time",
+        [
+          Alcotest.test_case "units" `Quick test_time_units;
+          Alcotest.test_case "pretty printing" `Quick test_time_pp;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independence;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "bool frequency" `Quick test_rng_bool_frequency;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "stable ties" `Quick test_heap_stable_ties;
+          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
+        ] );
+      ("heap-props", q qcheck_heap);
+      ( "engine",
+        [
+          Alcotest.test_case "ordering" `Quick test_engine_ordering;
+          Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
+          Alcotest.test_case "until horizon" `Quick test_engine_until;
+          Alcotest.test_case "stop" `Quick test_engine_stop;
+          Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
+        ] );
+      ( "loss",
+        [
+          Alcotest.test_case "none" `Quick test_loss_none;
+          Alcotest.test_case "bernoulli rate" `Quick test_loss_bernoulli_rate;
+          Alcotest.test_case "bad args" `Quick test_loss_bernoulli_bad_args;
+          Alcotest.test_case "gilbert-elliott stationary" `Slow test_loss_gilbert_elliott;
+          Alcotest.test_case "gilbert-elliott burstiness" `Slow test_loss_gilbert_burstiness;
+        ] );
+      ( "link",
+        [
+          Alcotest.test_case "delivery timing" `Quick test_link_delivery_timing;
+          Alcotest.test_case "queue overflow" `Quick test_link_queue_overflow;
+          Alcotest.test_case "loss applied" `Quick test_link_loss_applied;
+          Alcotest.test_case "tx time" `Quick test_link_tx_time;
+          Alcotest.test_case "bad args" `Quick test_link_bad_args;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "summary empty" `Quick test_summary_empty;
+          Alcotest.test_case "series" `Quick test_series;
+        ] );
+      ( "jitter",
+        [
+          Alcotest.test_case "reorders" `Quick test_jitter_reorders;
+          Alcotest.test_case "fifo without jitter" `Quick test_no_jitter_preserves_order;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "sizes positive" `Quick test_workload_sizes_positive;
+          Alcotest.test_case "lognormal median" `Quick test_workload_lognormal_median;
+          Alcotest.test_case "pareto heavy tail" `Quick test_workload_pareto_heavy_tail;
+          Alcotest.test_case "exponential mean" `Quick test_workload_exponential_mean;
+          Alcotest.test_case "percentile edges" `Quick test_percentile_edges;
+        ] );
+      ( "aqm",
+        [
+          Alcotest.test_case "quiet below target" `Quick test_codel_quiet_below_target;
+          Alcotest.test_case "drops standing queue" `Quick test_codel_drops_standing_queue;
+          Alcotest.test_case "recovers" `Quick test_codel_recovers;
+          Alcotest.test_case "controls link delay" `Quick test_codel_on_link_controls_delay;
+        ] );
+      ( "pacer",
+        [
+          Alcotest.test_case "shapes rate" `Quick test_pacer_shapes_rate;
+          Alcotest.test_case "set rate" `Quick test_pacer_set_rate;
+          Alcotest.test_case "capacity" `Quick test_pacer_capacity;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "ring buffer" `Quick test_trace_ring;
+          Alcotest.test_case "recordf" `Quick test_trace_recordf;
+        ] );
+      ( "conservation",
+        [ Alcotest.test_case "loss+aqm+jitter+overflow" `Quick test_link_conservation_under_everything ] );
+      ( "determinism",
+        [ Alcotest.test_case "whole simulation" `Quick test_simulation_reproducible ] );
+    ]
