@@ -9,6 +9,19 @@ type error = [ `Threshold_exceeded of int * int ]
 let pp_error ppf (`Threshold_exceeded (m, t)) =
   Format.fprintf ppf "threshold exceeded: %d missing > t = %d" m t
 
+(* Debug-gated sanity of a successful decode: whatever strategy ran,
+   the reported missing set is a sub-multiset of the candidates and,
+   together with the unresolved residue, never exceeds the advertised
+   number of missing packets. *)
+let checked ~num_missing ~candidates outcome =
+  if Invariant.active () then begin
+    Invariant.check ~name:"Decoder.decode: missing ⊆ candidates" (fun () ->
+        Invariant.int_multiset_subset ~sub:outcome.missing ~super:candidates);
+    Invariant.check ~name:"Decoder.decode: missing bounded by m" (fun () ->
+        List.length outcome.missing + outcome.unresolved <= num_missing)
+  end;
+  Ok outcome
+
 let decode ?(strategy = `Plug_in) ~field ~diff_sums ~num_missing ~candidates () =
   let module F = (val field : Modular.S) in
   let t = Array.length diff_sums in
@@ -33,7 +46,7 @@ let decode ?(strategy = `Plug_in) ~field ~diff_sums ~num_missing ~candidates () 
               end
         in
         let missing, unresolved = scan poly [] candidates in
-        Ok { missing; unresolved }
+        checked ~num_missing ~candidates { missing; unresolved }
     | `Factor ->
         let module R = Roots.Make (F) in
         let roots = R.find_all poly in
@@ -62,7 +75,8 @@ let decode ?(strategy = `Plug_in) ~field ~diff_sums ~num_missing ~candidates () 
               | None -> (acc, unresolved + 1))
             ([], 0) roots
         in
-        Ok { missing = List.rev missing; unresolved }
+        checked ~num_missing ~candidates
+          { missing = List.rev missing; unresolved }
   end
 
 let decode_between ?strategy ?count_bits ~sent ~quack ~candidates () =

@@ -1,0 +1,40 @@
+exception Violation of string
+
+let enabled =
+  ref
+    (match Sys.getenv_opt "SIDECAR_INVARIANTS" with
+    | Some ("1" | "true" | "on") -> true
+    | Some _ | None -> false)
+
+let active () = !enabled
+let set_active b = enabled := b
+let count = ref 0
+let checks_run () = !count
+
+let check ~name f =
+  if !enabled then begin
+    incr count;
+    let ok =
+      try f ()
+      with e ->
+        raise (Violation (name ^ ": check raised " ^ Printexc.to_string e))
+    in
+    if not ok then raise (Violation name)
+  end
+
+let int_multiset_subset ~sub ~super =
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun x ->
+      match Hashtbl.find_opt counts x with
+      | Some r -> incr r
+      | None -> Hashtbl.add counts x (ref 1))
+    super;
+  List.for_all
+    (fun x ->
+      match Hashtbl.find_opt counts x with
+      | Some r when !r > 0 ->
+          decr r;
+          true
+      | Some _ | None -> false)
+    sub

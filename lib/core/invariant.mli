@@ -1,0 +1,34 @@
+(** Debug-gated runtime invariant checks.
+
+    The static pass (tools/sidelint) enforces what can be seen in the
+    source; this module covers the dynamic side: properties of live
+    sketch state ("power sums stay in [0, p)", "decoded packets form a
+    sub-multiset of the send log") that only hold if the arithmetic and
+    bookkeeping are actually correct.
+
+    Checks are off by default so the per-packet hot path costs one
+    branch. Enable them in tests, or set [SIDECAR_INVARIANTS=1] in the
+    environment before start-up. *)
+
+exception Violation of string
+(** Raised by {!check} when an enabled check fails. *)
+
+val active : unit -> bool
+(** Whether checks currently run. Initially true iff the environment
+    variable [SIDECAR_INVARIANTS] is ["1"], ["true"] or ["on"]. *)
+
+val set_active : bool -> unit
+
+val check : name:string -> (unit -> bool) -> unit
+(** [check ~name f] forces [f] when active and raises
+    [Violation name] if it returns [false] (or itself raises). A no-op
+    when inactive: guard hot-path call sites with [active ()] to avoid
+    even the closure allocation. *)
+
+val checks_run : unit -> int
+(** Number of checks forced since start-up; lets tests assert that the
+    instrumentation actually fired. *)
+
+val int_multiset_subset : sub:int list -> super:int list -> bool
+(** [int_multiset_subset ~sub ~super] is true when every element of
+    [sub] occurs in [super] at least as many times as in [sub]. *)

@@ -49,12 +49,16 @@ let mask32 = 0xFFFFFFFF
 
 let[@inline] reduce32 x =
   (* x < 2^50; two folds of x = hi*2^32 + lo ≡ 5*hi + lo (mod p) *)
+  (* sidelint: allow — audited fast path: hi < 2^18 so 5*hi < 2^21 *)
   let x = ((x lsr 32) * 5) + (x land mask32) in
+  (* sidelint: allow — second fold, same bound *)
   let x = ((x lsr 32) * 5) + (x land mask32) in
   if x >= p32 then x - p32 else x
 
 let[@inline] mul32 a b =
+  (* sidelint: allow — (a lsr 16) < 2^16 and b < 2^32 keep the product < 2^48 *)
   let upper = reduce32 ((a lsr 16) * b) in
+  (* sidelint: allow — low half: (a land 0xffff) * b < 2^48, sum < 2^49 *)
   reduce32 ((upper lsl 16) + ((a land 0xffff) * b))
 
 let insert_fast32 sums threshold x =
@@ -73,9 +77,16 @@ let remove_fast32 sums threshold x =
     Array.unsafe_set sums i (if s < 0 then s + p32 else s)
   done
 
+(* Debug-gated: every mutation must leave the sketch inside the field. *)
+let check_in_field t what =
+  if Invariant.active () then
+    Invariant.check ~name:("Psum." ^ what ^ ": sums in [0, p)") (fun () ->
+        Array.for_all (fun s -> s >= 0 && s < t.modulus) t.sums)
+
 let[@inline] residue t id =
   if id >= 0 && id < t.modulus then id
   else begin
+    (* sidelint: allow — reducing an untrusted caller int INTO the field *)
     let r = id mod t.modulus in
     if r < 0 then r + t.modulus else r
   end
@@ -90,7 +101,8 @@ let insert t id =
       t.sums.(i) <- t.add t.sums.(i) !pw
     done
   end;
-  t.count <- t.count + 1
+  t.count <- t.count + 1;
+  check_in_field t "insert"
 
 let remove t id =
   let x = residue t id in
@@ -102,7 +114,8 @@ let remove t id =
       t.sums.(i) <- t.sub t.sums.(i) !pw
     done
   end;
-  t.count <- t.count - 1
+  t.count <- t.count - 1;
+  check_in_field t "remove"
 
 let insert_list t ids = List.iter (insert t) ids
 let sums t = Array.copy t.sums
@@ -132,17 +145,24 @@ let merge a b =
     merged.sums.(i) <- a.add a.sums.(i) b.sums.(i)
   done;
   merged.count <- a.count + b.count;
+  check_in_field merged "merge";
   merged
 
 let difference ~sent ~received_sums =
   if Array.length received_sums > sent.threshold then
     invalid_arg "Psum.difference: receiver advertises a larger threshold";
-  Array.mapi
-    (fun i r ->
-      if r < 0 || r >= sent.modulus then
-        invalid_arg "Psum.difference: received sum out of field range"
-      else sent.sub sent.sums.(i) r)
-    received_sums
+  let diff =
+    Array.mapi
+      (fun i r ->
+        if r < 0 || r >= sent.modulus then
+          invalid_arg "Psum.difference: received sum out of field range"
+        else sent.sub sent.sums.(i) r)
+      received_sums
+  in
+  if Invariant.active () then
+    Invariant.check ~name:"Psum.difference: sums in [0, p)" (fun () ->
+        Array.for_all (fun s -> s >= 0 && s < sent.modulus) diff);
+  diff
 
 let pp ppf t =
   Format.fprintf ppf "@[<h>psum{b=%d t=%d count=%d sums=[%a]}@]" t.bits

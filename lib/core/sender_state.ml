@@ -109,6 +109,8 @@ let resync_to t (q : Quack.t) =
 
 let remove_entry t entry =
   Psum.remove t.psum entry.id;
+  (* sidelint: allow — physical identity is the point: drop exactly this
+     entry, not every entry with an equal id/meta *)
   t.log <- List.filter (fun e -> e != entry) t.log;
   t.log_len <- t.log_len - 1
 
@@ -192,6 +194,14 @@ let on_quack t (q : Quack.t) =
             t.last_receiver_count <- max t.last_receiver_count receiver_count;
             Ok { empty_report with unresolved; in_flight }
         | Ok { missing; unresolved = _ } ->
+            (* The paper's core soundness property: everything the
+               decoder reports missing was actually sent (and is still
+               outstanding in our log prefix). *)
+            if Invariant.active () then
+              Invariant.check
+                ~name:"Sender_state.on_quack: decoded multiset ⊆ sent log"
+                (fun () ->
+                  Invariant.int_multiset_subset ~sub:missing ~super:!candidates);
             (* Multiset of missing identifiers. *)
             let miss_count : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
             List.iter

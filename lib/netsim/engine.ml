@@ -36,10 +36,12 @@ let run ?until ?(max_events = 200_000_000) t =
           | Some limit when time > limit ->
               t.clock <- limit;
               continue := false
-          | _ ->
-              let _, f = Option.get (Event_heap.pop t.events) in
-              t.clock <- time;
-              incr fired;
-              f ())
+          | _ -> (
+              match Event_heap.pop t.events with
+              | None -> continue := false (* cannot happen: peek saw an event *)
+              | Some (_, f) ->
+                  t.clock <- time;
+                  incr fired;
+                  f ()))
     end
   done

@@ -1,7 +1,13 @@
 type t = Random.State.t
 
 let create seed = Random.State.make [| seed; 0x51DEC0DE |]
-let split t = Random.State.make [| Random.State.bits t; Random.State.bits t |]
+(* Draw the two words with explicit [let]s: evaluation order inside an
+   array literal is unspecified, so inlining both draws would let the
+   child seed flip across compiler versions. *)
+let split t =
+  let a = Random.State.bits t in
+  let b = Random.State.bits t in
+  Random.State.make [| a; b |]
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

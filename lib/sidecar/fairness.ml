@@ -105,31 +105,32 @@ let build_links cfg =
 
 let baseline cfg =
   let engine, s2p, p2s, p2c, c2p = build_links cfg in
-  let receivers = Array.make 2 None and senders = Array.make 2 None in
+  (* Construction has no engine side effects, so senders and receivers
+     can be built up front; options and Option.get are unnecessary. *)
+  let senders =
+    Array.init 2 (fun i ->
+        Transport.Sender.create engine ~mss:cfg.mss ~flow:i
+          ~total_units:cfg.units_per_flow
+          ~egress:(fun p -> ignore (Link.send s2p.(i) p))
+          ())
+  in
+  let receivers =
+    Array.init 2 (fun i ->
+        Transport.Receiver.create engine ~flow:i ~total_units:cfg.units_per_flow
+          ~send_ack:(fun p -> ignore (Link.send c2p p))
+          ())
+  in
   for i = 0 to 1 do
-    let sender =
-      Transport.Sender.create engine ~mss:cfg.mss ~flow:i
-        ~total_units:cfg.units_per_flow
-        ~egress:(fun p -> ignore (Link.send s2p.(i) p))
-        ()
-    in
-    let receiver =
-      Transport.Receiver.create engine ~flow:i ~total_units:cfg.units_per_flow
-        ~send_ack:(fun p -> ignore (Link.send c2p p))
-        ()
-    in
-    senders.(i) <- Some sender;
-    receivers.(i) <- Some receiver;
     Link.set_deliver s2p.(i) (fun p -> ignore (Link.send p2c p));
-    Link.set_deliver p2s.(i) (Transport.Sender.deliver_ack sender)
+    Link.set_deliver p2s.(i) (Transport.Sender.deliver_ack senders.(i))
   done;
   Link.set_deliver p2c (fun p ->
-      Transport.Receiver.deliver (Option.get receivers.(p.Packet.flow)) p);
+      Transport.Receiver.deliver receivers.(p.Packet.flow) p);
   Link.set_deliver c2p (fun p -> ignore (Link.send p2s.(p.Packet.flow) p));
-  Array.iter (fun s -> Transport.Sender.start (Option.get s)) senders;
+  Array.iter Transport.Sender.start senders;
   Engine.run ~until:cfg.until engine;
   summarize ~mss:cfg.mss ~units:cfg.units_per_flow
-    (Array.init 2 (fun i -> (Option.get senders.(i), Option.get receivers.(i))))
+    (Array.init 2 (fun i -> (senders.(i), receivers.(i))))
 
 (* Per-flow CC-division state at the proxy (one AIMD window each,
    competing for the shared far link). *)
@@ -141,7 +142,6 @@ let run cfg =
     | Some i -> i
     | None -> max (Time.ms 1) (Path.rtt [ cfg.far ])
   in
-  let receivers = Array.make 2 None and senders = Array.make 2 None in
   let proxy_down = Array.init 2 (fun _ ->
       Q.Sender_state.create
         { Q.Sender_state.default_config with threshold = cfg.threshold })
@@ -187,28 +187,28 @@ let run cfg =
         ignore (Q.Sender_state.resync_to proxy_down.(i) q);
         pump i
   in
-  for i = 0 to 1 do
-    let server_ss =
+  let server_ss = Array.init 2 (fun _ ->
       Q.Sender_state.create
-        { Q.Sender_state.default_config with threshold = cfg.threshold }
-    in
-    let sender =
-      Transport.Sender.create engine ~mss:cfg.mss ~flow:i ~external_cc:true
-        ~cc:(Transport.Newreno.create ~mss:wire ())
-        ~on_transmit:(fun p ->
-          Q.Sender_state.on_send server_ss ~id:p.Packet.id p.Packet.size)
-        ~total_units:cfg.units_per_flow
-        ~egress:(fun p -> ignore (Link.send s2p.(i) p))
-        ()
-    in
-    senders.(i) <- Some sender;
-    let receiver =
-      Transport.Receiver.create engine ~flow:i ~total_units:cfg.units_per_flow
-        ~on_data:(fun p -> ignore (Q.Receiver_state.on_receive client_rx.(i) p.Packet.id))
-        ~send_ack:(fun p -> ignore (Link.send c2p p))
-        ()
-    in
-    receivers.(i) <- Some receiver;
+        { Q.Sender_state.default_config with threshold = cfg.threshold })
+  in
+  let senders =
+    Array.init 2 (fun i ->
+        Transport.Sender.create engine ~mss:cfg.mss ~flow:i ~external_cc:true
+          ~cc:(Transport.Newreno.create ~mss:wire ())
+          ~on_transmit:(fun p ->
+            Q.Sender_state.on_send server_ss.(i) ~id:p.Packet.id p.Packet.size)
+          ~total_units:cfg.units_per_flow
+          ~egress:(fun p -> ignore (Link.send s2p.(i) p))
+          ())
+  in
+  let receivers =
+    Array.init 2 (fun i ->
+        Transport.Receiver.create engine ~flow:i ~total_units:cfg.units_per_flow
+          ~on_data:(fun p -> ignore (Q.Receiver_state.on_receive client_rx.(i) p.Packet.id))
+          ~send_ack:(fun p -> ignore (Link.send c2p p))
+          ())
+  in
+  for i = 0 to 1 do
     Link.set_deliver s2p.(i) (fun p ->
         ignore (Q.Receiver_state.on_receive proxy_up.(i) p.Packet.id);
         Queue.push p buffers.(i);
@@ -216,21 +216,22 @@ let run cfg =
     Link.set_deliver p2s.(i) (fun p ->
         match p.Packet.payload with
         | Sframes.Quack_frame { quack; dst = "server"; _ } -> (
-            match Q.Sender_state.on_quack server_ss quack with
+            match Q.Sender_state.on_quack server_ss.(i) quack with
             | Ok rep when not rep.Q.Sender_state.stale ->
                 let bytes = List.fold_left ( + ) 0 rep.Q.Sender_state.acked in
                 if rep.Q.Sender_state.lost <> [] then
-                  Transport.Sender.external_congestion sender;
+                  Transport.Sender.external_congestion senders.(i);
                 if bytes > 0 then
-                  Transport.Sender.external_ack sender ~acked_bytes:bytes ~rtt:None
+                  Transport.Sender.external_ack senders.(i) ~acked_bytes:bytes
+                    ~rtt:None
             | Ok _ -> ()
             | Error _ ->
-                ignore (Q.Sender_state.resync_to server_ss quack);
-                Transport.Sender.external_congestion sender)
-        | _ -> Transport.Sender.deliver_ack sender p)
+                ignore (Q.Sender_state.resync_to server_ss.(i) quack);
+                Transport.Sender.external_congestion senders.(i))
+        | _ -> Transport.Sender.deliver_ack senders.(i) p)
   done;
   Link.set_deliver p2c (fun p ->
-      Transport.Receiver.deliver (Option.get receivers.(p.Packet.flow)) p);
+      Transport.Receiver.deliver receivers.(p.Packet.flow) p);
   Link.set_deliver c2p (fun p ->
       match p.Packet.payload with
       | Sframes.Quack_frame { quack; dst = "proxy"; index = _ } ->
@@ -238,7 +239,7 @@ let run cfg =
       | _ -> ignore (Link.send p2s.(p.Packet.flow) p));
   let all_done () =
     Array.for_all
-      (fun r -> Transport.Receiver.complete_at (Option.get r) <> None)
+      (fun r -> Transport.Receiver.complete_at r <> None)
       receivers
   in
   let rec timers i () =
@@ -261,7 +262,7 @@ let run cfg =
   for i = 0 to 1 do
     Engine.schedule engine ~delay:quack_interval (timers i)
   done;
-  Array.iter (fun s -> Transport.Sender.start (Option.get s)) senders;
+  Array.iter Transport.Sender.start senders;
   Engine.run ~until:cfg.until engine;
   summarize ~mss:cfg.mss ~units:cfg.units_per_flow
-    (Array.init 2 (fun i -> (Option.get senders.(i), Option.get receivers.(i))))
+    (Array.init 2 (fun i -> (senders.(i), receivers.(i))))

@@ -1167,6 +1167,77 @@ let test_ibf_capacity_hint_mostly_decodes () =
     true
     (!failures * 33 < trials) (* < 3% *)
 
+(* ------------------------------------------------------------------ *)
+(* Invariant (debug-gated runtime checks)                              *)
+
+let with_invariants f =
+  let was = Invariant.active () in
+  Invariant.set_active true;
+  Fun.protect ~finally:(fun () -> Invariant.set_active was) f
+
+let test_invariant_gating () =
+  let was = Invariant.active () in
+  Invariant.set_active false;
+  let ran = ref false in
+  Invariant.check ~name:"never forced" (fun () -> ran := true; false);
+  check bool "thunk not forced when inactive" false !ran;
+  Invariant.set_active true;
+  Alcotest.check_raises "violation raised" (Invariant.Violation "bad")
+    (fun () -> Invariant.check ~name:"bad" (fun () -> false));
+  Invariant.check ~name:"ok" (fun () -> true);
+  Invariant.set_active was
+
+let test_invariant_multiset_subset () =
+  let sub = Invariant.int_multiset_subset in
+  check bool "empty sub" true (sub ~sub:[] ~super:[ 1 ]);
+  check bool "respects multiplicity" true (sub ~sub:[ 1; 1 ] ~super:[ 1; 2; 1 ]);
+  check bool "excess multiplicity fails" false (sub ~sub:[ 1; 1 ] ~super:[ 1; 2 ]);
+  check bool "foreign element fails" false (sub ~sub:[ 3 ] ~super:[ 1; 2 ])
+
+let test_invariant_checks_fire_in_pipeline () =
+  (* With checks on, a full sketch/decode round trip must actually
+     exercise the instrumentation and raise nothing. *)
+  with_invariants (fun () ->
+      let before = Invariant.checks_run () in
+      let sent = Psum.create ~threshold:12 () in
+      let received = Psum.create ~threshold:12 () in
+      let ids = ids_of_range key ~bits:32 0 60 in
+      List.iter (Psum.insert sent) ids;
+      let missing = [ List.nth ids 7; List.nth ids 33; List.nth ids 34 ] in
+      List.iter
+        (fun id -> if not (List.memq id missing) then Psum.insert received id)
+        ids;
+      let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+      (match
+         Decoder.decode ~field:(Psum.field sent) ~diff_sums:diff
+           ~num_missing:3 ~candidates:ids ()
+       with
+      | Ok { Decoder.missing = m; unresolved } ->
+          check int "unresolved" 0 unresolved;
+          check int_list "decoded the three missing ids"
+            (List.sort compare missing) (List.sort compare m)
+      | Error _ -> Alcotest.fail "decode failed");
+      check bool "instrumentation fired" true (Invariant.checks_run () > before))
+
+let test_invariant_sender_state_checked () =
+  with_invariants (fun () ->
+      let before = Invariant.checks_run () in
+      let s =
+        Sender_state.create { Sender_state.default_config with threshold = 8 }
+      in
+      let r = Receiver_state.create ~threshold:8 () in
+      let ids = ids_of_range key ~bits:32 0 20 in
+      List.iteri (fun i id -> Sender_state.on_send s ~id i) ids;
+      List.iteri
+        (fun i id -> if i <> 4 then ignore (Receiver_state.on_receive r id))
+        ids;
+      (match Sender_state.on_quack s (Receiver_state.emit r) with
+      | Ok rep -> check int "one loss suspected/lost" 1
+            (List.length rep.Sender_state.lost
+            + List.length rep.Sender_state.suspect)
+      | Error _ -> Alcotest.fail "on_quack failed");
+      check bool "sender-state checks fired" true (Invariant.checks_run () > before))
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "sidecar_quack"
@@ -1287,4 +1358,13 @@ let () =
       ("wire-fuzz", q qcheck_wire_fuzz);
       ( "ibf-capacity",
         [ Alcotest.test_case "hint mostly decodes" `Quick test_ibf_capacity_hint_mostly_decodes ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "gating and raising" `Quick test_invariant_gating;
+          Alcotest.test_case "multiset subset" `Quick test_invariant_multiset_subset;
+          Alcotest.test_case "pipeline checks fire" `Quick
+            test_invariant_checks_fire_in_pipeline;
+          Alcotest.test_case "sender-state checked" `Quick
+            test_invariant_sender_state_checked;
+        ] );
     ]

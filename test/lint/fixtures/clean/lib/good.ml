@@ -1,0 +1,6 @@
+(* A clean library module: sidelint must exit 0 on this tree. *)
+
+let first = function [] -> None | x :: _ -> Some x
+
+let pp ppf xs =
+  Format.pp_print_list Format.pp_print_int ppf xs

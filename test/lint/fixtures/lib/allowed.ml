@@ -1,0 +1,11 @@
+(* Every would-be violation here is suppressed by the escape hatch, so
+   this file must contribute nothing to the report. *)
+
+(* sidelint: allow — demonstrating the single-line hatch *)
+let first l = List.hd l
+
+let boom () = failwith "fixture" (* sidelint: allow — same-line hatch *)
+
+(* sidelint: allow — a multi-line justification: this comment ends on
+   the line directly above the violation, and still suppresses it *)
+let force o = Option.get o

@@ -1,0 +1,7 @@
+(* Seeded violations for the sidelint self-test: determinism rule.
+   This file is never compiled, only parsed by the linter. *)
+
+let roll () = Random.int 6
+let now () = Unix.gettimeofday ()
+let cpu () = Sys.time ()
+let key x = Hashtbl.hash x

@@ -1,0 +1,6 @@
+(* Seeded violations: effect-hygiene rule. Parsed, never compiled. *)
+
+let log x = Printf.printf "x=%d\n" x
+let shout s = print_endline s
+let dump ppf = Format.fprintf ppf "%a" (fun _ () -> ()) ()
+let to_console () = Format.printf "stats@."

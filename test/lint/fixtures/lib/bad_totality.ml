@@ -1,0 +1,7 @@
+(* Seeded violations: totality rule. Parsed, never compiled. *)
+
+let first l = List.hd l
+let third l = List.nth l 2
+let force o = Option.get o
+let boom () = failwith "unreachable"
+let never () = assert false

@@ -1,0 +1,8 @@
+(* Seeded violations: field-safety rule (this file mentions Modular, so
+   it is field-scoped). Parsed, never compiled. *)
+
+module M = Sidecar_field.Modular
+
+let raw_mul a b p = a * b mod p
+let same_obj a b = a == b
+let sort_sums l = List.sort compare l

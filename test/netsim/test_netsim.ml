@@ -650,6 +650,66 @@ let test_simulation_reproducible () =
   check bool "same seed same outcome" true (run 42 = run 42);
   check bool "different seed different outcome" true (run 42 <> run 43)
 
+let test_split_streams_replay () =
+  (* Regression for the Rng.split evaluation-order bug: the child
+     streams must be a pure function of the parent's state, so two
+     identically-seeded parents yield identical children — and drawing
+     from children and parent interleaved replays exactly. *)
+  let draws seed =
+    let parent = Rng.create seed in
+    let c1 = Rng.split parent in
+    let c2 = Rng.split parent in
+    List.concat
+      [
+        List.init 32 (fun _ -> Rng.int c1 1_000_000);
+        List.init 32 (fun _ -> Rng.int c2 1_000_000);
+        List.init 32 (fun _ -> Rng.int parent 1_000_000);
+      ]
+  in
+  check (Alcotest.list int) "split streams replay" (draws 7) (draws 7);
+  check bool "children differ from each other" true
+    (let parent = Rng.create 7 in
+     let a = Rng.split parent and b = Rng.split parent in
+     List.init 16 (fun _ -> Rng.int a 1_000_000)
+     <> List.init 16 (fun _ -> Rng.int b 1_000_000))
+
+let test_cross_run_determinism () =
+  (* The same seed must reproduce a full simulation bit-for-bit: a
+     bursty workload sampled through a split RNG stream, pushed over a
+     lossy, jittery, queue-limited link. Event trace and stats must be
+     identical across two runs in the same process. *)
+  let run seed =
+    let e = Engine.create ~seed () in
+    let wl_rng = Rng.split (Engine.rng e) in
+    let trace = Trace.create ~capacity:8192 () in
+    let link =
+      Link.create e ~name:"d" ~rate_bps:8_000_000 ~delay:(Sim_time.ms 4)
+        ~jitter:(Sim_time.ms 2) ~queue_capacity_pkts:64
+        ~loss:
+          (Loss.gilbert_elliott ~loss_bad:0.3 ~p_good_to_bad:0.05
+             ~p_bad_to_good:0.2 ())
+        ~deliver:(fun p ->
+          Trace.recordf trace ~time:(Engine.now e) "rx uid=%d" p.Packet.uid)
+        ()
+    in
+    let uid = ref 0 in
+    let rec burst () =
+      let n =
+        Workload.sample_size wl_rng (Workload.Lognormal { mu = 2.; sigma = 0.7 })
+      in
+      for _ = 1 to min n 30 do
+        ignore (Link.send link (mk_packet !uid));
+        incr uid
+      done;
+      if !uid < 2_000 then Engine.schedule e ~delay:(Sim_time.ms 3) burst
+    in
+    Engine.schedule e ~delay:0 burst;
+    Engine.run e;
+    (Trace.events trace, Link.stats link, Engine.now e)
+  in
+  check bool "same seed, identical trace and stats" true (run 1234 = run 1234);
+  check bool "different seed diverges" true (run 1234 <> run 99)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "netsim"
@@ -737,5 +797,10 @@ let () =
       ( "conservation",
         [ Alcotest.test_case "loss+aqm+jitter+overflow" `Quick test_link_conservation_under_everything ] );
       ( "determinism",
-        [ Alcotest.test_case "whole simulation" `Quick test_simulation_reproducible ] );
+        [
+          Alcotest.test_case "whole simulation" `Quick test_simulation_reproducible;
+          Alcotest.test_case "split streams replay" `Quick test_split_streams_replay;
+          Alcotest.test_case "cross-run workload trace" `Quick
+            test_cross_run_determinism;
+        ] );
     ]

@@ -1,0 +1,54 @@
+(* Violation records and rendering (text and JSON). *)
+
+type violation = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let print_text v =
+  Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule v.message
+
+(* Minimal JSON string escaping: we control every emitted message, but
+   file paths and quoted source can contain anything. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json violations =
+  print_string "[";
+  List.iteri
+    (fun i v ->
+      if i > 0 then print_string ",";
+      Printf.printf
+        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+         \"message\": \"%s\"}"
+        (json_escape v.file) v.line v.col (json_escape v.rule)
+        (json_escape v.message))
+    violations;
+  if violations <> [] then print_newline ();
+  print_string "]\n"

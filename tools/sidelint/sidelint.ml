@@ -1,0 +1,88 @@
+(* sidelint — repo-specific static analysis for the sidecar reproduction.
+
+   Walks every .ml file under the given paths (default: lib bin bench)
+   and enforces the invariants the compiler cannot:
+
+     determinism     no ambient randomness or wall-clock reads in lib/
+                     (lib/netsim/rng.ml and sim_time.ml are the blessed
+                     wrappers)
+     field-safety    lib/core modules importing the Modular/Field API
+                     must not use raw ( * )/(mod), physical equality, or
+                     polymorphic compare-as-a-value
+     totality        no List.hd / List.nth / Option.get anywhere linted;
+                     no failwith / assert false in lib/
+     effect-hygiene  no console output from lib/; stats flow through
+                     Netsim.Stats / Netsim.Trace
+
+   Escape hatch: put "(* sidelint: allow — why *)" on the offending
+   line or the line above it.
+
+   Exit status: 0 when clean, 1 when violations were found, 2 on usage
+   or I/O errors. *)
+
+let usage () =
+  prerr_endline
+    "usage: sidelint [--format text|json] [--strict] [path ...]\n\
+     \  default paths: lib bin bench\n\
+     \  --strict additionally flags raw (+) and applied polymorphic =/<> in\n\
+     \  field-bearing modules";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec walk path acc =
+  if Sys.file_exists path && Sys.is_directory path then
+    let entries = Sys.readdir path in
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc name ->
+        if name = "" || name.[0] = '.' || name = "_build" then acc
+        else walk (Filename.concat path name) acc)
+      acc entries
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let format = ref `Text in
+  let strict = ref false in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--format" :: "json" :: rest -> format := `Json; parse_args rest
+    | "--format" :: "text" :: rest -> format := `Text; parse_args rest
+    | "--strict" :: rest -> strict := true; parse_args rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' -> usage ()
+    | path :: rest -> paths := path :: !paths; parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let roots = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | l -> l in
+  List.iter
+    (fun r ->
+      if not (Sys.file_exists r) then (
+        Printf.eprintf "sidelint: no such path: %s\n" r;
+        exit 2))
+    roots;
+  let files = List.concat_map (fun r -> List.rev (walk r [])) roots in
+  let violations =
+    List.concat_map
+      (fun file ->
+        let source = read_file file in
+        Rules.run ~path:file ~source ~strict:!strict)
+      files
+  in
+  let violations = List.sort Report.compare_violation violations in
+  (match !format with
+  | `Json -> Report.print_json violations
+  | `Text ->
+      List.iter Report.print_text violations;
+      Printf.printf "sidelint: %d file%s checked, %d violation%s\n"
+        (List.length files)
+        (if List.length files = 1 then "" else "s")
+        (List.length violations)
+        (if List.length violations = 1 then "" else "s"));
+  exit (if violations = [] then 0 else 1)
