@@ -217,8 +217,79 @@ let fairness_cmd =
           $ loss ~name:"far-loss" ~default:0.005 "Shared-segment loss probability.")
 
 (* ------------------------------------------------------------------ *)
+(* runtime: many flows through one bounded-table proxy                  *)
+
+let runtime_cmd =
+  let run flows table eviction idle_ms seed far_loss per_flow =
+    let policy =
+      match eviction with
+      | "lru" -> Sidecar_runtime.Flow_table.Lru
+      | "idle" -> Sidecar_runtime.Flow_table.Idle idle_ms
+      | s ->
+          Format.eprintf "unknown eviction policy %S (expected lru|idle)@." s;
+          exit 2
+    in
+    let cfg =
+      {
+        Sidecar_runtime.Scenario.default_config with
+        Sidecar_runtime.Scenario.flows;
+        table_flows = table;
+        policy;
+        seed;
+        far =
+          Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+            ~loss:(if far_loss > 0. then Path.Bernoulli far_loss else Path.No_loss)
+            ();
+      }
+    in
+    let r = Sidecar_runtime.Scenario.run cfg in
+    Format.printf "%a@." Sidecar_runtime.Scenario.pp_report r;
+    if per_flow then
+      Array.iter
+        (fun (fr : Sidecar_runtime.Scenario.flow_report) ->
+          Format.printf "flow %3d: %4d units, start %a, %s, tx %d retx %d pto %d@."
+            fr.Sidecar_runtime.Scenario.flow fr.Sidecar_runtime.Scenario.units
+            Time.pp fr.Sidecar_runtime.Scenario.started_at
+            (if fr.Sidecar_runtime.Scenario.completed then
+               Printf.sprintf "fct %.3fs" fr.Sidecar_runtime.Scenario.fct_s
+             else "INCOMPLETE")
+            fr.Sidecar_runtime.Scenario.transmissions
+            fr.Sidecar_runtime.Scenario.retransmissions
+            fr.Sidecar_runtime.Scenario.timeouts)
+        r.Sidecar_runtime.Scenario.flows
+  in
+  let flows =
+    Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows.")
+  in
+  let table =
+    Arg.(value & opt int 64
+         & info [ "table" ] ~docv:"N"
+             ~doc:"Flow-table capacity (0 = pure end-to-end).")
+  in
+  let eviction =
+    Arg.(value & opt string "lru"
+         & info [ "eviction" ] ~docv:"POLICY" ~doc:"Eviction policy: lru or idle.")
+  in
+  let idle_ms =
+    Arg.(value & opt msarg (Time.ms 100)
+         & info [ "idle-ms" ] ~docv:"MS" ~doc:"Idle span for the idle policy.")
+  in
+  let per_flow =
+    Arg.(value & flag & info [ "per-flow" ] ~doc:"Also print one line per flow.")
+  in
+  Cmd.v
+    (Cmd.info "runtime"
+       ~doc:"Many flows through one bounded-table sidecar proxy.")
+    Term.(const run $ flows $ table $ eviction $ idle_ms $ seed
+          $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
+          $ per_flow)
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "Sidecar protocol simulations (HotNets '22 reproduction)." in
   let info = Cmd.info "sidecar-sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ quack_cmd; cc_cmd; ar_cmd; rx_cmd; fairness_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ quack_cmd; cc_cmd; ar_cmd; rx_cmd; fairness_cmd; runtime_cmd ]))

@@ -99,7 +99,13 @@ let resync_to t (q : Quack.t) =
   let abandoned = List.rev_map (fun e -> e.meta) t.log in
   let q = { q with Quack.count_bits = t.cfg.count_bits } in
   let receiver_count =
-    Psum.count t.psum - Quack.missing_count q ~sender_count:(Psum.count t.psum)
+    let sc = Psum.count t.psum in
+    let rc = sc - Quack.missing_count q ~sender_count:sc in
+    (* When the quACK's baseline is ahead of ours (fresh state vs. a
+       cumulative quACK) the wrapped subtraction goes negative; adopt
+       the receiver's own count representative instead — subsequent
+       arithmetic is modular, so any congruent value works. *)
+    if rc >= 0 then rc else Quack.wrap_count q q.Quack.count
   in
   Psum.set_state t.psum ~sums:q.Quack.sums ~count:receiver_count;
   t.log <- [];
@@ -152,7 +158,15 @@ let on_quack t (q : Quack.t) =
     let q = { q with Quack.count_bits = t.cfg.count_bits } in
     let m = Quack.missing_count q ~sender_count in
     let receiver_count = sender_count - m in
-    if receiver_count < t.last_receiver_count then Ok { empty_report with stale = true }
+    if receiver_count < 0 then
+      (* The receiver's cumulative count exceeds everything we ever
+         logged, so the wrapped missing count is meaningless — this is
+         a foreign baseline (typically our state is fresh after an
+         eviction/re-admission cycle and the quACK is cumulative), not
+         a reordered old quACK. §3.3: reset required. *)
+      Error (`Threshold_exceeded (m, Quack.threshold q))
+    else if receiver_count < t.last_receiver_count then
+      Ok { empty_report with stale = true }
     else begin
       let t_eff = Quack.threshold q in
       (* Oldest-first view of the log. *)

@@ -20,6 +20,7 @@ type t = {
   aqm : Aqm.t option;
   rng : Rng.t;
   mutable deliver : Packet.t -> unit;
+  mutable tap : (Packet.t -> unit) option;
   queue : (Packet.t * Sim_time.t) Queue.t;  (* packet, enqueue time *)
   mutable transmitting : bool;
   sojourn : Stats.Summary.t;
@@ -42,6 +43,7 @@ let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
     aqm;
     rng = Rng.split (Engine.rng engine);
     deliver;
+    tap = None;
     queue = Queue.create ();
     transmitting = false;
     sojourn = Stats.Summary.create ();
@@ -59,6 +61,8 @@ let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
   }
 
 let set_deliver t f = t.deliver <- f
+let set_tap t f = t.tap <- Some f
+let clear_tap t = t.tap <- None
 let tx_time t ~size = size * 8 * 1_000_000_000 / t.rate_bps
 
 (* Serve the head of the queue: consult the AQM, transmit, roll the
@@ -93,6 +97,7 @@ let rec start_service t =
                       t.stats.delivered <- t.stats.delivered + 1;
                       t.stats.bytes_delivered <-
                         t.stats.bytes_delivered + p.Packet.size;
+                      (match t.tap with Some f -> f p | None -> ());
                       t.deliver p)
                 end;
                 start_service t))

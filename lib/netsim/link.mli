@@ -45,6 +45,15 @@ val create :
 val set_deliver : t -> (Packet.t -> unit) -> unit
 (** Wire the receiving end; needed to build cyclic topologies. *)
 
+val set_tap : t -> (Packet.t -> unit) -> unit
+(** Install a passive observer, called for every delivered packet just
+    before the deliver callback. This is how a sidecar-style middlebox
+    watches traffic without being in the forwarding path — taps cannot
+    drop, delay, or modify packets. One tap per link; installing a
+    second replaces the first. *)
+
+val clear_tap : t -> unit
+
 val send : t -> Packet.t -> bool
 (** Offer a packet; [false] means tail-dropped. *)
 

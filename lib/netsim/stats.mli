@@ -11,8 +11,51 @@ module Summary : sig
   (** 0 when empty. *)
 
   val stddev : t -> float
+
   val min : t -> float
+  (** [nan] when empty (an explicit "no data", not a fake extremum). *)
+
   val max : t -> float
+  (** [nan] when empty. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Streaming quantile estimation (the P² algorithm): one target
+    quantile tracked with five markers in O(1) memory. Deterministic —
+    no sampling and no RNG — so estimates replay exactly under the
+    simulator's seeded runs. Exact (nearest-rank) for the first five
+    observations; within a few percent of the true quantile after
+    that. *)
+module Quantile : sig
+  type t
+
+  val create : float -> t
+  (** [create p] tracks the [p]-quantile, [p] in (0, 1).
+      @raise Invalid_argument otherwise. *)
+
+  val add : t -> float -> unit
+  val count : t -> int
+  val prob : t -> float
+
+  val estimate : t -> float
+  (** Current estimate; [nan] when no observations were added. *)
+end
+
+(** The tail-latency bundle every report wants: p50/p95/p99 of one
+    stream, e.g. flow completion times. *)
+module Quantiles : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+
+  val p50 : t -> float
+  (** [nan] when empty, like {!Quantile.estimate}. *)
+
+  val p95 : t -> float
+  val p99 : t -> float
   val pp : Format.formatter -> t -> unit
 end
 

@@ -1,0 +1,184 @@
+module Time = Netsim.Sim_time
+
+type policy = Lru | Idle of Time.span
+
+type stats = {
+  mutable admitted : int;
+  mutable evicted_lru : int;
+  mutable evicted_idle : int;
+  mutable removed : int;
+  mutable denied : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Recency is an intrusive doubly-linked list threaded through the
+   hash-table nodes: head = most recently used, tail = next eviction
+   victim. Option links keep the code total (no sentinel trickery). *)
+type 'a node = {
+  key : int;
+  state : 'a;
+  mutable last_touch : Time.t;
+  mutable prev : 'a node option;  (* toward the head (more recent) *)
+  mutable next : 'a node option;  (* toward the tail (less recent) *)
+}
+
+type 'a t = {
+  capacity : int;
+  policy : policy;
+  on_evict : int -> 'a -> unit;
+  tbl : (int, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
+  mutable occupancy : int;
+  mutable peak : int;
+  stats : stats;
+}
+
+let create ?(policy = Lru) ?(on_evict = fun _ _ -> ()) ~capacity () =
+  if capacity < 0 then invalid_arg "Flow_table.create: negative capacity";
+  (match policy with
+  | Idle span when span <= 0 ->
+      invalid_arg "Flow_table.create: idle span must be positive"
+  | _ -> ());
+  {
+    capacity;
+    policy;
+    on_evict;
+    tbl = Hashtbl.create (max 16 capacity);
+    head = None;
+    tail = None;
+    occupancy = 0;
+    peak = 0;
+    stats =
+      {
+        admitted = 0;
+        evicted_lru = 0;
+        evicted_idle = 0;
+        removed = 0;
+        denied = 0;
+        hits = 0;
+        misses = 0;
+      };
+  }
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n ~now =
+  n.last_touch <- now;
+  unlink t n;
+  push_front t n
+
+let drop t n =
+  unlink t n;
+  Hashtbl.remove t.tbl n.key;
+  t.occupancy <- t.occupancy - 1;
+  t.on_evict n.key n.state
+
+let find t ~now key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.stats.hits <- t.stats.hits + 1;
+      touch t n ~now;
+      Some n.state
+  | None ->
+      t.stats.misses <- t.stats.misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let peek t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n -> Some n.state
+  | None -> None
+
+let insert t ~now key state =
+  let n = { key; state; last_touch = now; prev = None; next = None } in
+  Hashtbl.replace t.tbl key n;
+  push_front t n;
+  t.occupancy <- t.occupancy + 1;
+  if t.occupancy > t.peak then t.peak <- t.occupancy;
+  t.stats.admitted <- t.stats.admitted + 1;
+  state
+
+(* Make room for one admission, or say no. *)
+let make_room t ~now =
+  if t.occupancy < t.capacity then true
+  else
+    match (t.tail, t.policy) with
+    | None, _ -> false (* capacity = 0 *)
+    | Some victim, Lru ->
+        t.stats.evicted_lru <- t.stats.evicted_lru + 1;
+        drop t victim;
+        true
+    | Some victim, Idle span ->
+        if Time.diff now victim.last_touch >= span then begin
+          t.stats.evicted_idle <- t.stats.evicted_idle + 1;
+          drop t victim;
+          true
+        end
+        else false
+
+let admit t ~now key make =
+  match Hashtbl.find_opt t.tbl key with
+  | Some n ->
+      t.stats.hits <- t.stats.hits + 1;
+      touch t n ~now;
+      Some n.state
+  | None ->
+      if make_room t ~now then Some (insert t ~now key (make ()))
+      else begin
+        t.stats.denied <- t.stats.denied + 1;
+        None
+      end
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> false
+  | Some n ->
+      t.stats.removed <- t.stats.removed + 1;
+      drop t n;
+      true
+
+let sweep_idle t ~now =
+  match t.policy with
+  | Lru -> 0
+  | Idle span ->
+      let evicted = ref 0 in
+      let rec loop () =
+        match t.tail with
+        | Some victim when Time.diff now victim.last_touch >= span ->
+            t.stats.evicted_idle <- t.stats.evicted_idle + 1;
+            drop t victim;
+            incr evicted;
+            loop ()
+        | _ -> ()
+      in
+      loop ();
+      !evicted
+
+let occupancy t = t.occupancy
+let peak_occupancy t = t.peak
+let capacity t = t.capacity
+let stats t = t.stats
+
+let iter t f =
+  let rec loop = function
+    | None -> ()
+    | Some n ->
+        (* capture [next] first so [f] may remove the current node *)
+        let next = n.next in
+        f n.key n.state;
+        loop next
+  in
+  loop t.head

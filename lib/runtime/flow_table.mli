@@ -1,0 +1,79 @@
+(** A bounded table of per-flow sidecar state.
+
+    The memory a multi-flow sidecar spends is [capacity] times the
+    per-flow quACK state (a few hundred bytes at the paper's
+    parameters, §4.2) — this table is the knob that bounds it. Flows
+    above the ceiling are simply not tracked: a sidecar is an
+    {e enhancement}, so denying or evicting a flow must only cost
+    performance, never correctness (the caller degrades to pure
+    end-to-end forwarding).
+
+    Keys are the plaintext flow tags ({!Netsim.Packet.t}[.flow] — the
+    model of the IP 5-tuple, the only per-connection plaintext a
+    middlebox can classify on). Recency is tracked with an intrusive
+    doubly-linked list over the hash table's nodes, so [find], [admit]
+    and eviction are all O(1); iteration order (most- to
+    least-recently used) is deterministic, independent of hashing. *)
+
+type policy =
+  | Lru
+      (** when full, evict the least-recently-used entry to admit a
+          new flow (admission always succeeds while [capacity > 0]) *)
+  | Idle of Netsim.Sim_time.span
+      (** when full, evict the least-recently-used entry only if it
+          has been idle at least this long; otherwise {e deny} the new
+          flow (it runs end-to-end untracked until a slot frees) *)
+
+type stats = {
+  mutable admitted : int;  (** flows given a fresh table entry *)
+  mutable evicted_lru : int;  (** evictions forced by admission pressure *)
+  mutable evicted_idle : int;  (** evictions by {!sweep_idle} or [Idle] admission *)
+  mutable removed : int;  (** voluntary releases (flow completed) *)
+  mutable denied : int;  (** admissions refused (flow runs untracked) *)
+  mutable hits : int;  (** [find] found the flow *)
+  mutable misses : int;  (** [find] did not *)
+}
+
+type 'a t
+
+val create :
+  ?policy:policy -> ?on_evict:(int -> 'a -> unit) -> capacity:int -> unit -> 'a t
+(** [capacity = 0] is a valid ceiling meaning "track nothing" — the
+    pure end-to-end baseline. [on_evict] runs for {e every} state that
+    leaves the table (eviction, idle sweep, or {!remove}), so callers
+    can flush buffered packets downstream and never strand data.
+    Defaults: [policy = Lru], [on_evict] a no-op.
+    @raise Invalid_argument on a negative capacity or a non-positive
+    [Idle] span. *)
+
+val find : 'a t -> now:Netsim.Sim_time.t -> int -> 'a option
+(** Look a flow up and, when present, mark it used at [now] (moving it
+    to the recency head). *)
+
+val admit : 'a t -> now:Netsim.Sim_time.t -> int -> (unit -> 'a) -> 'a option
+(** Find-or-create: an existing entry is touched and returned; a new
+    flow gets [make ()] if the policy grants a slot, [None] if denied.
+    [make] runs only on actual admission. *)
+
+val remove : 'a t -> int -> bool
+(** Voluntary release (e.g. the flow completed); runs [on_evict].
+    [false] when the flow was not tracked. *)
+
+val sweep_idle : 'a t -> now:Netsim.Sim_time.t -> int
+(** Evict every entry idle at least the [Idle] span, oldest first;
+    returns the number evicted. No-op (0) under [Lru]. *)
+
+val mem : 'a t -> int -> bool
+(** Pure lookup: no recency touch, no stats. *)
+
+val peek : 'a t -> int -> 'a option
+(** Like {!find} but side-effect free: no recency touch, no stats —
+    for observers that must not perturb eviction order. *)
+
+val occupancy : 'a t -> int
+val peak_occupancy : 'a t -> int
+val capacity : 'a t -> int
+val stats : 'a t -> stats
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Most- to least-recently-used order (deterministic). *)

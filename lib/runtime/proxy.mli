@@ -1,0 +1,119 @@
+(** A flow-multiplexing sidecar proxy: the in-network half of §2.1's
+    CC-division protocol, generalised from one connection to a bounded
+    table of them.
+
+    The proxy sits at a path junction. For every {e tracked} flow it
+    keeps the full per-flow sidecar state — an upstream
+    {!Sidecar_quack.Receiver_state} (quACKing arrivals back to the
+    server), a downstream {!Sidecar_quack.Sender_state} plus
+    {!Sidecar_protocols.Proxy_window} (pacing data onto the far
+    segment from decoded client quACKs), and a FIFO of buffered
+    packets. The table is bounded ({!Flow_table}); flows it cannot or
+    will not track are forwarded verbatim — degradation is losing the
+    enhancement, never the data.
+
+    Eviction and re-admission are safe by construction:
+    - evicting a flow flushes its buffered packets downstream unpaced
+      (nothing is stranded; end-to-end ACKs keep reliability);
+    - a re-admitted flow starts with fresh power sums, so the client's
+      next {e cumulative} quACK decodes as an impossible missing count
+      — the §3.3 unilateral-resync path ({!Sidecar_quack.Sender_state.resync_to})
+      adopts the client's sums as the new baseline and the flow is
+      tracked again within one quACK;
+    - the upstream direction self-heals the same way: quACKs from the
+      restarted receiver state look {e stale} to the server's sidecar
+      and are skipped until the counts catch up.
+
+    All classification uses the plaintext [Packet.flow] tag and the
+    [id] field only — the proxy never reads [seq] or [payload] of data
+    packets (§2's threat model); sidecar frames ({!Sidecar_protocols.Sframes})
+    addressed to ["proxy"] are its own protocol and are consumed. *)
+
+type config = {
+  capacity : int;  (** flow-table ceiling; [0] = pure end-to-end *)
+  policy : Flow_table.policy;
+  bits : int;  (** quACK identifier width [b] *)
+  threshold : int;  (** quACK threshold [t] *)
+  count_bits : int;  (** quACK count width [c] *)
+  quack_every : int;
+      (** initial upstream quACK interval (packets); per-flow, updated
+          by {!Sidecar_protocols.Sframes.Freq_update} frames (§2.3) *)
+  buffer_pkts : int;  (** per-flow pacing-buffer ceiling *)
+  wire : int;  (** bytes per data packet on the wire *)
+}
+
+val default_config : config
+(** capacity 64, LRU, b = 32, t = 20, c = 16, upstream quACK every 32,
+    256-packet buffers, 1500 B wire. *)
+
+type stats = {
+  mutable data_packets : int;  (** data packets through a tracked flow *)
+  mutable degraded_packets : int;  (** data forwarded without state *)
+  mutable buffer_bypass : int;
+      (** packets forced out unpaced by a full per-flow buffer *)
+  mutable quacks_rx : int;  (** client quACKs consumed *)
+  mutable degraded_quacks : int;  (** client quACKs for untracked flows *)
+  mutable quacks_tx : int;  (** upstream quACKs emitted *)
+  mutable quack_bytes : int;  (** bytes of emitted quACKs *)
+  mutable freq_updates : int;  (** §2.3 interval updates applied *)
+  mutable resyncs : int;  (** §3.3 unilateral resyncs (downstream) *)
+  mutable flushed_on_evict : int;  (** buffered packets flushed by eviction *)
+}
+
+type t
+
+val create :
+  Netsim.Engine.t ->
+  config ->
+  forward:(Netsim.Packet.t -> unit) ->
+  backward:(Netsim.Packet.t -> unit) ->
+  ?cost_clock:(unit -> float) ->
+  unit ->
+  t
+(** [forward] sends toward the client (the far segment), [backward]
+    toward the server. [cost_clock] is an optional wall-clock used
+    only to accumulate {!busy_s} (per-packet proxy cost); it is
+    injected by the benchmark harness and defaults to absent, keeping
+    library output bit-reproducible.
+    @raise Invalid_argument on non-positive [wire], [buffer_pkts] or
+    [quack_every]. *)
+
+val on_ingress : t -> Netsim.Packet.t -> unit
+(** Entry point for the server-side link: data packets are classified
+    by [Packet.flow], folded into the flow's upstream quACK state,
+    buffered and paced ({e tracked}) or forwarded verbatim
+    ({e degraded}); [Freq_update] frames addressed to ["proxy"] are
+    consumed. *)
+
+val on_return : t -> Netsim.Packet.t -> unit
+(** Entry point for the client-side link: quACK frames addressed to
+    ["proxy"] drive the flow's downstream window (or count as degraded
+    when the flow is untracked); everything else — end-to-end ACKs,
+    upstream quACKs — is forwarded to [backward]. *)
+
+type flow_info = {
+  buffered : int;  (** packets waiting in the pacing buffer *)
+  outstanding : int;  (** forwarded, not yet resolved by a quACK *)
+  window_bytes : int;  (** current AIMD window *)
+  upstream_interval : int;  (** current upstream quACK interval *)
+}
+
+val flow_info : t -> int -> flow_info option
+(** Side-effect-free snapshot of one tracked flow (does not touch LRU
+    recency); [None] when untracked. *)
+
+val release : t -> int -> bool
+(** Voluntarily drop a flow's state (it completed); frees its table
+    slot. [false] if untracked. *)
+
+val sweep_idle : t -> int
+(** Evict flows idle past the [Idle] policy span; count evicted. *)
+
+val stats : t -> stats
+val busy_s : t -> float
+(** Wall-clock seconds spent inside {!on_ingress}/{!on_return}, when a
+    [cost_clock] was provided; [0.] otherwise. *)
+
+val occupancy : t -> int
+val peak_occupancy : t -> int
+val table_stats : t -> Flow_table.stats

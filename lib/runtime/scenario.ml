@@ -1,0 +1,368 @@
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Packet = Netsim.Packet
+module Time = Netsim.Sim_time
+module Rng = Netsim.Rng
+module Stats = Netsim.Stats
+module Workload = Netsim.Workload
+module Q = Sidecar_quack
+module Path = Sidecar_protocols.Path
+module Sframes = Sidecar_protocols.Sframes
+
+type config = {
+  flows : int;
+  table_flows : int;
+  policy : Flow_table.policy;
+  near : Path.segment;
+  far : Path.segment;
+  mss : int;
+  size_dist : Workload.size_dist;
+  min_units : int;
+  max_units : int;
+  arrival_mean_s : float;
+  client_quack_every : int;
+  keepalive : Time.span;
+  bits : int;
+  threshold : int;
+  count_bits : int;
+  upstream_quack_every : int;
+  adaptive : bool;
+  target_missing : int;
+  buffer_pkts : int;
+  seed : int;
+  until : Time.t;
+}
+
+let default_far =
+  Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+    ~loss:(Path.Bernoulli 0.01) ()
+
+let default_near =
+  Path.segment ~rate_bps:100_000_000 ~delay:(Time.ms 28) ()
+
+(* §4's parameter selection, applied to the far segment (the link the
+   per-flow quACK state must absorb): identifier width from the
+   collision budget, threshold from worst-case losses per interval,
+   interval from the CC-division cadence. *)
+let planned_for (far : Path.segment) =
+  let link =
+    {
+      Q.Frequency.rtt_s = Time.to_float_s (Path.rtt [ far ]);
+      rate_bps = float_of_int far.Path.rate_bps;
+      loss = Float.max 1e-4 (Path.average_loss far.Path.loss);
+      mtu_bytes = 1500;
+    }
+  in
+  Q.Planner.plan
+    { Q.Planner.default_requirements with link; protocol = Q.Planner.Cc_division }
+
+let default_config =
+  let d = planned_for default_far in
+  {
+    flows = 200;
+    table_flows = 64;
+    policy = Flow_table.Lru;
+    near = default_near;
+    far = default_far;
+    mss = 1460;
+    size_dist = Workload.web_flows;
+    min_units = 1;
+    max_units = 2000;
+    arrival_mean_s = 0.02;
+    client_quack_every = max 2 (min 64 d.Q.Planner.interval_packets);
+    keepalive = 4 * Path.rtt [ default_far ];
+    bits = d.Q.Planner.bits;
+    (* the planner sizes [t] for one clean interval; short-flow churn
+       (admissions, resyncs) wants head-room, hence the floor *)
+    threshold = max 8 d.Q.Planner.threshold;
+    count_bits = max 16 d.Q.Planner.count_bits;
+    upstream_quack_every = 16;
+    adaptive = true;
+    target_missing = 2;
+    buffer_pkts = 256;
+    seed = 1;
+    until = Time.s 120;
+  }
+
+type flow_report = {
+  flow : int;
+  units : int;
+  started_at : Time.t;
+  completed : bool;
+  fct_s : float;
+  transmissions : int;
+  retransmissions : int;
+  timeouts : int;
+  duplicates : int;
+}
+
+type report = {
+  flows : flow_report array;
+  completed : int;
+  fct_p50 : float;
+  fct_p95 : float;
+  fct_p99 : float;
+  fct_mean : float;
+  data_delivered_bytes : int;
+  proxy : Proxy.stats;
+  table : Flow_table.stats;
+  peak_occupancy : int;
+  evictions : int;
+  srv_resyncs : int;
+  freq_updates_sent : int;
+  proxy_busy_s : float;
+  sim_end : Time.t;
+}
+
+let run ?cost_clock (cfg : config) =
+  if cfg.flows < 1 then invalid_arg "Scenario.run: need at least one flow";
+  if cfg.min_units < 1 || cfg.max_units < cfg.min_units then
+    invalid_arg "Scenario.run: bad unit bounds";
+  if cfg.client_quack_every < 1 then
+    invalid_arg "Scenario.run: client quack interval must be positive";
+  if cfg.keepalive <= 0 then
+    invalid_arg "Scenario.run: keepalive must be positive";
+  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
+  let s2p = fwd.(0) and p2c = fwd.(1) in
+  let c2p = rev.(0) and p2s = rev.(1) in
+  let wire = cfg.mss + 40 in
+  let n = cfg.flows in
+
+  (* ---- workload --------------------------------------------------- *)
+  let wl_rng = Rng.split (Engine.rng engine) in
+  let units =
+    Array.init n (fun _ ->
+        let u = Workload.sample_size wl_rng cfg.size_dist in
+        max cfg.min_units (min cfg.max_units u))
+  in
+  let start_at =
+    let t = ref 0. in
+    Array.init n (fun _ ->
+        t := !t +. Workload.sample_exponential wl_rng ~mean:cfg.arrival_mean_s;
+        Time.of_float_s !t)
+  in
+
+  (* ---- proxy ------------------------------------------------------ *)
+  let proxy =
+    Proxy.create engine
+      {
+        Proxy.capacity = cfg.table_flows;
+        policy = cfg.policy;
+        bits = cfg.bits;
+        threshold = cfg.threshold;
+        count_bits = cfg.count_bits;
+        quack_every = cfg.upstream_quack_every;
+        buffer_pkts = cfg.buffer_pkts;
+        wire;
+      }
+      ~forward:(fun p -> ignore (Link.send p2c p))
+      ~backward:(fun p -> ignore (Link.send p2s p))
+      ?cost_clock ()
+  in
+
+  (* ---- per-flow endpoints ----------------------------------------- *)
+  let ss_config =
+    {
+      Q.Sender_state.default_config with
+      bits = cfg.bits;
+      threshold = cfg.threshold;
+      count_bits = cfg.count_bits;
+    }
+  in
+  let srv_ss = Array.init n (fun _ -> Q.Sender_state.create ss_config) in
+  let upstream_interval = Array.make n cfg.upstream_quack_every in
+  let srv_resyncs = ref 0 in
+  let freq_updates_sent = ref 0 in
+  let senders =
+    Array.init n (fun i ->
+        Transport.Sender.create engine ~mss:cfg.mss ~flow:i
+          ~id_key:(Q.Identifier.key_of_int (0x51DE + i))
+          ~on_transmit:(fun p ->
+            Q.Sender_state.on_send srv_ss.(i) ~id:p.Packet.id p.Packet.seq)
+          ~total_units:units.(i)
+          ~egress:(fun p -> ignore (Link.send s2p p))
+          ())
+  in
+  let client_rx =
+    Array.init n (fun _ ->
+        Q.Receiver_state.create ~bits:cfg.bits ~count_bits:cfg.count_bits
+          ~policy:(Q.Receiver_state.Every_packets cfg.client_quack_every)
+          ~threshold:cfg.threshold ())
+  in
+  let client_quack_index = Array.make n 0 in
+  let send_client_quack i q =
+    client_quack_index.(i) <- client_quack_index.(i) + 1;
+    ignore
+      (Link.send c2p
+         (Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:client_quack_index.(i)
+            ~count_omitted:false ~flow:i ~now:(Engine.now engine)))
+  in
+  let receivers =
+    Array.init n (fun i ->
+        Transport.Receiver.create engine ~flow:i ~total_units:units.(i)
+          ~on_data:(fun p ->
+            match Q.Receiver_state.on_receive client_rx.(i) p.Packet.id with
+            | Some q -> send_client_quack i q
+            | None -> ())
+          ~send_ack:(fun p -> ignore (Link.send c2p p))
+          ())
+  in
+
+  (* The server-side sidecar of §2.2/§2.3: decode the proxy's upstream
+     quACKs into provisional window space, and steer the proxy's quACK
+     cadence toward [target_missing] losses per interval. *)
+  let on_server_quack i quack =
+    match Q.Sender_state.on_quack srv_ss.(i) quack with
+    | Ok rep when not rep.Q.Sender_state.stale ->
+        (match rep.Q.Sender_state.acked with
+        | [] -> ()
+        | seqs -> ignore (Transport.Sender.sidecar_ack senders.(i) ~seqs));
+        if cfg.adaptive then begin
+          let lost = List.length rep.Q.Sender_state.lost in
+          let got = List.length rep.Q.Sender_state.acked in
+          if lost + got > 0 then begin
+            let observed_loss = float_of_int lost /. float_of_int (lost + got) in
+            let next =
+              Q.Frequency.adapt_interval ~current:upstream_interval.(i)
+                ~observed_loss ~target_missing:cfg.target_missing
+            in
+            if next <> upstream_interval.(i) then begin
+              upstream_interval.(i) <- next;
+              incr freq_updates_sent;
+              ignore
+                (Link.send s2p
+                   (Sframes.freq_packet ~dst:"proxy" ~interval_packets:next
+                      ~flow:i ~now:(Engine.now engine)))
+            end
+          end
+        end
+    | Ok _ -> () (* stale: the proxy's receiver state restarted; skip *)
+    | Error (`Threshold_exceeded _) ->
+        incr srv_resyncs;
+        ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
+    | Error (`Config_mismatch _) -> ()
+  in
+
+  (* ---- wiring ------------------------------------------------------ *)
+  let delivered_bytes = ref 0 in
+  Link.set_tap p2c (fun p -> delivered_bytes := !delivered_bytes + p.Packet.size);
+  Link.set_deliver s2p (Proxy.on_ingress proxy);
+  Link.set_deliver p2c (fun p ->
+      if p.Packet.flow >= 0 && p.Packet.flow < n then
+        Transport.Receiver.deliver receivers.(p.Packet.flow) p);
+  Link.set_deliver c2p (Proxy.on_return proxy);
+  Link.set_deliver p2s (fun p ->
+      match p.Packet.payload with
+      | Sframes.Quack_frame { quack; dst = "server"; index = _ } ->
+          if p.Packet.flow >= 0 && p.Packet.flow < n then
+            on_server_quack p.Packet.flow quack
+      | _ ->
+          if p.Packet.flow >= 0 && p.Packet.flow < n then
+            Transport.Sender.deliver_ack senders.(p.Packet.flow) p);
+
+  let flow_done i = Transport.Receiver.complete_at receivers.(i) <> None in
+  let all_done () =
+    Array.for_all (fun r -> Transport.Receiver.complete_at r <> None) receivers
+  in
+
+  (* Client keepalive: re-emit the cumulative quACK while the flow is
+     open, so a lost quACK can never leave the proxy window closed
+     forever; on completion, release the proxy's slot. Cumulative
+     quACKs make the duplicates harmless. *)
+  let rec keepalive i () =
+    if flow_done i then ignore (Proxy.release proxy i)
+    else if Engine.now engine < cfg.until then begin
+      send_client_quack i (Q.Receiver_state.emit client_rx.(i));
+      Engine.schedule engine ~delay:cfg.keepalive (keepalive i)
+    end
+  in
+  Array.iteri
+    (fun i at ->
+      Engine.schedule_at engine at (fun () ->
+          Transport.Sender.start senders.(i);
+          Engine.schedule engine ~delay:cfg.keepalive (keepalive i)))
+    start_at;
+
+  (match cfg.policy with
+  | Flow_table.Lru -> ()
+  | Flow_table.Idle span ->
+      let period = max (Time.ms 1) (span / 2) in
+      let rec sweep () =
+        ignore (Proxy.sweep_idle proxy);
+        if Engine.now engine < cfg.until && not (all_done ()) then
+          Engine.schedule engine ~delay:period sweep
+      in
+      Engine.schedule engine ~delay:period sweep);
+
+  Engine.run ~until:cfg.until engine;
+
+  (* ---- summary ----------------------------------------------------- *)
+  let flow_reports =
+    Array.init n (fun i ->
+        let completed_at = Transport.Receiver.complete_at receivers.(i) in
+        let stats = Transport.Sender.stats senders.(i) in
+        {
+          flow = i;
+          units = units.(i);
+          started_at = start_at.(i);
+          completed = completed_at <> None;
+          fct_s =
+            (match completed_at with
+            | Some at -> Time.to_float_s (Time.diff at start_at.(i))
+            | None -> Float.nan);
+          transmissions = stats.Transport.Sender.transmissions;
+          retransmissions = stats.Transport.Sender.retransmissions;
+          timeouts = stats.Transport.Sender.timeouts;
+          duplicates = Transport.Receiver.duplicates receivers.(i);
+        })
+  in
+  let qs = Stats.Quantiles.create () in
+  let summary = Stats.Summary.create () in
+  Array.iter
+    (fun (fr : flow_report) ->
+      if fr.completed then begin
+        Stats.Quantiles.add qs fr.fct_s;
+        Stats.Summary.add summary fr.fct_s
+      end)
+    flow_reports;
+  let table = Proxy.table_stats proxy in
+  {
+    flows = flow_reports;
+    completed =
+      Array.fold_left
+        (fun a (f : flow_report) -> if f.completed then a + 1 else a)
+        0 flow_reports;
+    fct_p50 = Stats.Quantiles.p50 qs;
+    fct_p95 = Stats.Quantiles.p95 qs;
+    fct_p99 = Stats.Quantiles.p99 qs;
+    fct_mean = Stats.Summary.mean summary;
+    data_delivered_bytes = !delivered_bytes;
+    proxy = Proxy.stats proxy;
+    table;
+    peak_occupancy = Proxy.peak_occupancy proxy;
+    evictions = table.Flow_table.evicted_lru + table.Flow_table.evicted_idle;
+    srv_resyncs = !srv_resyncs;
+    freq_updates_sent = !freq_updates_sent;
+    proxy_busy_s = Proxy.busy_s proxy;
+    sim_end = Engine.now engine;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>flows %d/%d completed by %a@,\
+     fct p50 %.3fs p95 %.3fs p99 %.3fs mean %.3fs@,\
+     table: peak %d, admitted %d, evicted %d (lru %d, idle %d), denied %d, \
+     released %d@,\
+     proxy: %d tracked pkts, %d degraded pkts, %d quacks in (%d degraded), \
+     %d quacks out (%d B), %d resyncs, %d flushed on evict@,\
+     server sidecars: %d resyncs, %d freq updates@,\
+     delivered %d B downstream@]"
+    r.completed (Array.length r.flows) Time.pp r.sim_end r.fct_p50 r.fct_p95
+    r.fct_p99 r.fct_mean r.peak_occupancy r.table.Flow_table.admitted
+    r.evictions r.table.Flow_table.evicted_lru r.table.Flow_table.evicted_idle
+    r.table.Flow_table.denied r.table.Flow_table.removed
+    r.proxy.Proxy.data_packets r.proxy.Proxy.degraded_packets
+    r.proxy.Proxy.quacks_rx r.proxy.Proxy.degraded_quacks
+    r.proxy.Proxy.quacks_tx r.proxy.Proxy.quack_bytes r.proxy.Proxy.resyncs
+    r.proxy.Proxy.flushed_on_evict r.srv_resyncs r.freq_updates_sent
+    r.data_delivered_bytes

@@ -1,0 +1,90 @@
+(** The many-flow runtime scenario: hundreds of short, heavy-tailed
+    web flows from distinct servers through {e one} {!Proxy} running
+    CC-division over a lossy far segment.
+
+    Each flow is an ordinary end-to-end transport connection (NewReno,
+    e2e ACKs for reliability {e and} its window) whose server-side
+    sidecar additionally decodes the proxy's upstream quACKs into
+    provisional acknowledgements
+    ({!Transport.Sender.sidecar_ack}, §2.2) and adapts the proxy's
+    per-flow quACK interval from observed loss
+    ({!Sidecar_quack.Frequency.adapt_interval}, §2.3). Because no
+    flow's {e correctness} depends on the proxy, the scenario directly
+    exhibits graceful degradation: with [table_flows] below the flow
+    count — or zero — evicted and denied flows still complete, only
+    slower.
+
+    quACK parameters default to what {!Sidecar_quack.Planner} picks
+    for the far segment. Everything is deterministic in [seed]: two
+    runs with equal configs produce structurally equal reports. *)
+
+type config = {
+  flows : int;
+  table_flows : int;  (** proxy flow-table ceiling; [0] = pure e2e *)
+  policy : Flow_table.policy;
+  near : Sidecar_protocols.Path.segment;  (** server-side haul *)
+  far : Sidecar_protocols.Path.segment;  (** lossy access segment *)
+  mss : int;
+  size_dist : Netsim.Workload.size_dist;
+  min_units : int;
+  max_units : int;
+  arrival_mean_s : float;  (** Poisson arrival mean gap *)
+  client_quack_every : int;  (** client quACK per this many data packets *)
+  keepalive : Netsim.Sim_time.span;
+      (** client re-quACK cadence while a flow is incomplete; the
+          liveness backstop when the quACK that would reopen the proxy
+          window is lost *)
+  bits : int;
+  threshold : int;
+  count_bits : int;
+  upstream_quack_every : int;  (** initial proxy-to-server interval *)
+  adaptive : bool;  (** adapt the upstream interval from observed loss *)
+  target_missing : int;  (** adaptation target (§2.3) *)
+  buffer_pkts : int;
+  seed : int;
+  until : Netsim.Sim_time.t;
+}
+
+val default_config : config
+(** 200 lognormal web flows (sizes clamped to [1, 2000] units),
+    ~20 ms mean arrival gap, a 64-slot LRU table, and planner-chosen
+    [bits]/[threshold]/[count_bits]/[client_quack_every] for the
+    default far segment (20 Mbit/s, 2 ms, 1% loss). *)
+
+type flow_report = {
+  flow : int;
+  units : int;
+  started_at : Netsim.Sim_time.t;
+  completed : bool;
+  fct_s : float;  (** flow completion time, seconds; [nan] if incomplete *)
+  transmissions : int;
+  retransmissions : int;
+  timeouts : int;
+  duplicates : int;
+}
+
+type report = {
+  flows : flow_report array;
+  completed : int;
+  fct_p50 : float;  (** seconds, over completed flows (P² estimates) *)
+  fct_p95 : float;
+  fct_p99 : float;
+  fct_mean : float;
+  data_delivered_bytes : int;  (** observed by the far-link tap *)
+  proxy : Proxy.stats;
+  table : Flow_table.stats;
+  peak_occupancy : int;
+  evictions : int;  (** LRU + idle evictions (not voluntary releases) *)
+  srv_resyncs : int;  (** §3.3 resyncs at server-side sidecars *)
+  freq_updates_sent : int;  (** §2.3 interval updates sent by servers *)
+  proxy_busy_s : float;  (** wall-clock in the proxy, when measured *)
+  sim_end : Netsim.Sim_time.t;
+}
+
+val run : ?cost_clock:(unit -> float) -> config -> report
+(** Build the two-segment path, attach the proxy at the junction, run
+    every flow to completion (or [until]), and summarise. [cost_clock]
+    is forwarded to {!Proxy.create} for per-packet cost measurement;
+    omit it for bit-reproducible reports. *)
+
+val pp_report : Format.formatter -> report -> unit

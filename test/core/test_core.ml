@@ -748,6 +748,39 @@ let test_sender_resync () =
       check int "post-resync acks" 39 (List.length rep.Sender_state.acked)
   | Error e -> Alcotest.failf "post-resync: %a" Sender_state.pp_error e
 
+let test_sender_readmission_resync () =
+  (* The proxy eviction/re-admission cycle: the receiver's cumulative
+     quACK covers packets a *fresh* sender state never logged, so its
+     count is ahead of ours and the wrapped missing count is
+     meaningless. That must surface as Threshold_exceeded (not as a
+     stale quACK, which would be skipped forever), and resync_to must
+     adopt the receiver's baseline so decoding resumes. *)
+  let r = Receiver_state.create ~threshold:20 () in
+  let ids = ids_of_range key ~bits:32 0 40 in
+  (* the receiver saw 40 packets from a previous sender incarnation *)
+  List.iter (fun id -> ignore (Receiver_state.on_receive r id)) ids;
+  let s = Sender_state.create (cfg ()) in
+  let ids2 = ids_of_range key ~bits:32 40 70 in
+  send_ids s ids2;
+  (* none of the new sends have arrived yet: count 40 vs sender 30 *)
+  let q = Receiver_state.emit r in
+  (match Sender_state.on_quack s q with
+  | Error (`Threshold_exceeded _) -> ()
+  | Ok rep ->
+      Alcotest.failf "expected reset, got report (stale=%b)" rep.Sender_state.stale
+  | Error e -> Alcotest.failf "unexpected: %a" Sender_state.pp_error e);
+  let abandoned = Sender_state.resync_to s q in
+  check int "whole log abandoned" 30 (List.length abandoned);
+  (* re-send the abandoned packets; the receiver gets all but one *)
+  send_ids s ids2;
+  List.iteri (fun i id -> if i <> 7 then ignore (Receiver_state.on_receive r id)) ids2;
+  match Sender_state.on_quack s (Receiver_state.emit r) with
+  | Ok rep ->
+      check bool "not stale after resync" false rep.Sender_state.stale;
+      check int_list "post-resync loss found" [ List.nth ids2 7 ] rep.Sender_state.lost;
+      check int "post-resync acks" 29 (List.length rep.Sender_state.acked)
+  | Error e -> Alcotest.failf "post-resync: %a" Sender_state.pp_error e
+
 let test_sender_stale_quack () =
   let s = Sender_state.create (cfg ()) in
   let r = Receiver_state.create ~threshold:20 () in
@@ -1325,6 +1358,8 @@ let () =
           Alcotest.test_case "threshold exceeded" `Quick test_sender_threshold_exceeded_error;
           Alcotest.test_case "tail in-flight grace" `Quick test_sender_tail_in_flight;
           Alcotest.test_case "resync recovery" `Quick test_sender_resync;
+          Alcotest.test_case "re-admission resync" `Quick
+            test_sender_readmission_resync;
           Alcotest.test_case "stale quACK" `Quick test_sender_stale_quack;
           Alcotest.test_case "dropped quACKs harmless" `Quick test_sender_dropped_quacks_harmless;
           Alcotest.test_case "count wraparound" `Quick test_sender_count_wraparound;

@@ -342,7 +342,56 @@ let test_summary () =
 let test_summary_empty () =
   let s = Stats.Summary.create () in
   check (Alcotest.float 1e-9) "mean of empty" 0. (Stats.Summary.mean s);
-  check (Alcotest.float 1e-9) "stddev of empty" 0. (Stats.Summary.stddev s)
+  check (Alcotest.float 1e-9) "stddev of empty" 0. (Stats.Summary.stddev s);
+  check bool "min of empty is nan" true (Float.is_nan (Stats.Summary.min s));
+  check bool "max of empty is nan" true (Float.is_nan (Stats.Summary.max s))
+
+let test_quantile_empty () =
+  let q = Stats.Quantile.create 0.5 in
+  check bool "estimate of empty is nan" true
+    (Float.is_nan (Stats.Quantile.estimate q));
+  let qs = Stats.Quantiles.create () in
+  check bool "p50 of empty is nan" true (Float.is_nan (Stats.Quantiles.p50 qs));
+  check bool "p95 of empty is nan" true (Float.is_nan (Stats.Quantiles.p95 qs));
+  check bool "p99 of empty is nan" true (Float.is_nan (Stats.Quantiles.p99 qs))
+
+let test_quantile_small () =
+  (* With five or fewer observations P² has not initialised its
+     markers; the estimate must be the exact order statistic. *)
+  let q = Stats.Quantile.create 0.5 in
+  List.iter (Stats.Quantile.add q) [ 9.; 1.; 5. ];
+  check (Alcotest.float 1e-9) "exact median of 3" 5. (Stats.Quantile.estimate q);
+  let q = Stats.Quantile.create 0.99 in
+  List.iter (Stats.Quantile.add q) [ 3.; 1.; 4.; 1.; 5. ];
+  check (Alcotest.float 1e-9) "p99 of 5 = max" 5. (Stats.Quantile.estimate q)
+
+let test_quantile_accuracy () =
+  (* P² streaming estimates vs the exact percentile on the same data:
+     lognormal-ish positive skew, deterministic generator. *)
+  let rng = Rng.create 91 in
+  let xs =
+    Array.init 5000 (fun _ -> -.log (1. -. (0.999999 *. Rng.float rng)))
+  in
+  let qs = Stats.Quantiles.create () in
+  Array.iter (Stats.Quantiles.add qs) xs;
+  let exact p = Workload.percentile xs ~p in
+  let rel est ex = Float.abs (est -. ex) /. ex in
+  check bool "p50 within 5%" true (rel (Stats.Quantiles.p50 qs) (exact 50.) < 0.05);
+  check bool "p95 within 10%" true (rel (Stats.Quantiles.p95 qs) (exact 95.) < 0.10);
+  check bool "p99 within 15%" true (rel (Stats.Quantiles.p99 qs) (exact 99.) < 0.15);
+  check int "count" 5000 (Stats.Quantiles.count qs)
+
+let test_quantile_monotone_percentiles () =
+  let rng = Rng.create 12 in
+  let qs = Stats.Quantiles.create () in
+  for _ = 1 to 1000 do
+    Stats.Quantiles.add qs (100. *. Rng.float rng)
+  done;
+  let p50 = Stats.Quantiles.p50 qs
+  and p95 = Stats.Quantiles.p95 qs
+  and p99 = Stats.Quantiles.p99 qs in
+  check bool "p50 <= p95" true (p50 <= p95);
+  check bool "p95 <= p99" true (p95 <= p99)
 
 let test_series () =
   let s = Stats.Series.create "cwnd" in
@@ -762,6 +811,11 @@ let () =
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
+          Alcotest.test_case "quantile small-n exact" `Quick test_quantile_small;
+          Alcotest.test_case "quantile P2 accuracy" `Quick test_quantile_accuracy;
+          Alcotest.test_case "quantile monotone" `Quick
+            test_quantile_monotone_percentiles;
         ] );
       ( "jitter",
         [
