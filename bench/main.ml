@@ -458,9 +458,14 @@ let runtime () =
     | Some s -> ( try max 8 (int_of_string s) with Failure _ -> 200)
     | None -> 200
   in
-  let run ~flows ~table =
+  let run ?(protocol = `Cc) ~flows ~table () =
     let cfg =
-      { Scenario.default_config with Scenario.flows; table_flows = table }
+      {
+        Scenario.default_config with
+        Scenario.protocol;
+        flows;
+        table_flows = table;
+      }
     in
     Scenario.run ~cost_clock:Unix.gettimeofday cfg
   in
@@ -487,7 +492,7 @@ let runtime () =
   let rows = ref [] in
   List.iter
     (fun flows ->
-      let r = run ~flows ~table:64 in
+      let r = run ~flows ~table:64 () in
       Printf.printf "  flows %4d:\n" flows;
       row r;
       rows :=
@@ -512,7 +517,7 @@ let runtime () =
   let rows = ref [] in
   List.iter
     (fun table ->
-      let r = run ~flows:flows_cap ~table in
+      let r = run ~flows:flows_cap ~table () in
       Printf.printf "  table %4d:\n" table;
       row r;
       rows :=
@@ -530,6 +535,45 @@ let runtime () =
   csv_file "runtime_fct_vs_table"
     ~header:
       [ "table"; "completed"; "evictions"; "resyncs"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s" ]
+    !rows;
+  section "Runtime: each sidecar protocol under bounded proxy state";
+  Printf.printf
+    "  the same flow-demultiplexing proxy runtime drives all three\n\
+    \  protocols (cc = CC division, ack = ACK reduction, retx = the\n\
+    \  bracketing retransmission pair over a bursty middle hop)\n";
+  let rows = ref [] in
+  List.iter
+    (fun (name, protocol) ->
+      let r = run ~protocol ~flows:flows_cap ~table:24 () in
+      Printf.printf "  %-5s:\n" name;
+      row r;
+      Printf.printf
+        "         srv resync %3d  local retx %4d  quacks out %5d\n"
+        r.Scenario.srv_resyncs r.Scenario.proxy_retransmissions
+        ((match r.Scenario.proxy2 with
+         | Some far -> far.Sidecar_runtime.Proxy.quacks_tx
+         | None -> 0)
+        + r.Scenario.proxy.Sidecar_runtime.Proxy.quacks_tx);
+      rows :=
+        [
+          name;
+          string_of_int r.Scenario.completed;
+          string_of_int r.Scenario.evictions;
+          string_of_int r.Scenario.srv_resyncs;
+          string_of_int r.Scenario.proxy.Sidecar_runtime.Proxy.resyncs;
+          string_of_int r.Scenario.proxy_retransmissions;
+          Printf.sprintf "%.4f" r.Scenario.fct_p50;
+          Printf.sprintf "%.4f" r.Scenario.fct_p95;
+          Printf.sprintf "%.4f" r.Scenario.fct_p99;
+        ]
+        :: !rows)
+    [ ("cc", `Cc); ("ack", `Ack); ("retx", `Retx) ];
+  csv_file "runtime_fct_vs_protocol"
+    ~header:
+      [
+        "protocol"; "completed"; "evictions"; "srv_resyncs"; "proxy_resyncs";
+        "proxy_retransmissions"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s";
+      ]
     !rows
 
 (* ------------------------------------------------------------------ *)

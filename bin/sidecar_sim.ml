@@ -220,7 +220,7 @@ let fairness_cmd =
 (* runtime: many flows through one bounded-table proxy                  *)
 
 let runtime_cmd =
-  let run flows table eviction idle_ms seed far_loss per_flow =
+  let run protocol flows table eviction idle_ms seed far_loss per_flow =
     let policy =
       match eviction with
       | "lru" -> Sidecar_runtime.Flow_table.Lru
@@ -229,10 +229,20 @@ let runtime_cmd =
           Format.eprintf "unknown eviction policy %S (expected lru|idle)@." s;
           exit 2
     in
+    let protocol =
+      match protocol with
+      | "cc" -> `Cc
+      | "ack" -> `Ack
+      | "retx" -> `Retx
+      | s ->
+          Format.eprintf "unknown protocol %S (expected cc|ack|retx)@." s;
+          exit 2
+    in
     let cfg =
       {
         Sidecar_runtime.Scenario.default_config with
-        Sidecar_runtime.Scenario.flows;
+        Sidecar_runtime.Scenario.protocol;
+        flows;
         table_flows = table;
         policy;
         seed;
@@ -277,10 +287,16 @@ let runtime_cmd =
   let per_flow =
     Arg.(value & flag & info [ "per-flow" ] ~doc:"Also print one line per flow.")
   in
+  let protocol =
+    Arg.(value & opt string "cc"
+         & info [ "protocol" ] ~docv:"PROTO"
+             ~doc:"Sidecar protocol the proxy runs: cc (CC division), ack \
+                   (ACK reduction), or retx (in-network retransmission pair).")
+  in
   Cmd.v
     (Cmd.info "runtime"
-       ~doc:"Many flows through one bounded-table sidecar proxy.")
-    Term.(const run $ flows $ table $ eviction $ idle_ms $ seed
+       ~doc:"Many flows through bounded-table sidecar proxy state.")
+    Term.(const run $ protocol $ flows $ table $ eviction $ idle_ms $ seed
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
           $ per_flow)
 

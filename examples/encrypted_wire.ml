@@ -24,28 +24,28 @@ let () =
 
   (* --- the server seals packets ----------------------------------- *)
   let wires =
-    List.init total (fun pn ->
+    Array.init total (fun pn ->
         let plaintext = Codec.encode_frames ~seq:pn [ Codec.Data { offset = pn } ] in
         Wi.seal key ~conn_id:0xC0FFEEL ~packet_number:pn ~plaintext)
   in
   Format.printf "server sealed %d packets (%d B each on the wire)@." total
-    (String.length (List.hd wires));
+    (String.length wires.(0));
 
   (* --- the server-side sidecar logs ids from the bytes ------------- *)
   let sender_ss = Sender_state.create { Sender_state.default_config with threshold } in
-  List.iteri
+  Array.iteri
     (fun pn wire -> Sender_state.on_send sender_ss ~id:(Wi.extract_id wire ~bits:32) pn)
     wires;
 
   (* demonstrate opacity: the sidecar cannot open anything *)
   let mallory = Wi.key_gen ~seed:666 in
-  (match Wi.open_ mallory (List.hd wires) with
+  (match Wi.open_ mallory wires.(0) with
   | Error `Bad_tag -> Format.printf "(sidecar cannot decrypt: bad tag, as it should be)@."
   | _ -> assert false);
 
   (* --- the network drops a few; the client-side sidecar observes --- *)
   let receiver_rx = Receiver_state.create ~threshold () in
-  List.iteri
+  Array.iteri
     (fun pn wire ->
       if not (List.mem pn dropped) then
         ignore (Receiver_state.on_receive receiver_rx (Wi.extract_id wire ~bits:32)))
@@ -62,7 +62,7 @@ let () =
   | Error e -> Format.printf "decode error: %a@." Sender_state.pp_error e);
 
   (* --- only the client can actually read the data ------------------ *)
-  let sample = List.nth wires 7 in
+  let sample = wires.(7) in
   match Wi.open_ key sample with
   | Ok (pn, plaintext) -> (
       match Codec.decode_frames plaintext with

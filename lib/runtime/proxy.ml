@@ -1,100 +1,62 @@
 module Engine = Netsim.Engine
 module Packet = Netsim.Packet
-module Q = Sidecar_quack
+module Time = Netsim.Sim_time
 module Sframes = Sidecar_protocols.Sframes
-module Proxy_window = Sidecar_protocols.Proxy_window
-
-type config = {
-  capacity : int;
-  policy : Flow_table.policy;
-  bits : int;
-  threshold : int;
-  count_bits : int;
-  quack_every : int;
-  buffer_pkts : int;
-  wire : int;
-}
-
-let default_config =
-  {
-    capacity = 64;
-    policy = Flow_table.Lru;
-    bits = 32;
-    threshold = 20;
-    count_bits = 16;
-    quack_every = 32;
-    buffer_pkts = 256;
-    wire = 1500;
-  }
+module Protocol = Sidecar_protocols.Protocol
 
 type stats = {
-  mutable data_packets : int;
-  mutable degraded_packets : int;
-  mutable buffer_bypass : int;
-  mutable quacks_rx : int;
-  mutable degraded_quacks : int;
-  mutable quacks_tx : int;
-  mutable quack_bytes : int;
-  mutable freq_updates : int;
-  mutable resyncs : int;
-  mutable flushed_on_evict : int;
-}
-
-(* Everything the proxy holds for one tracked flow. This is the state
-   the table ceiling bounds: two power-sum sketches, a window, a FIFO. *)
-type flow_state = {
-  up_rx : Q.Receiver_state.t;  (* observes arrivals; quACKed upstream *)
-  down_ss : int Q.Sender_state.t;  (* meta = forward index *)
-  win : Proxy_window.t;
-  buffer : Packet.t Queue.t;
-  mutable buffer_peak : int;
-  mutable quack_every : int;  (* §2.3: server-configurable *)
-  mutable since_quack : int;
-  mutable quack_index : int;
+  data_packets : int;
+  degraded_packets : int;
+  buffer_bypass : int;
+  quacks_rx : int;
+  degraded_quacks : int;
+  quacks_tx : int;
+  quack_bytes : int;
+  freq_updates : int;
+  resyncs : int;
+  flushed_on_evict : int;
 }
 
 type t = {
   engine : Engine.t;
-  cfg : config;
-  table : flow_state Flow_table.t;
+  protocol : Protocol.t;
+  table : Protocol.flow Flow_table.t;
+  counters : Protocol.counters;
   forward : Packet.t -> unit;
   backward : Packet.t -> unit;
   cost_clock : (unit -> float) option;
   mutable busy : float;
-  stats : stats;
+  mutable data_packets : int;
+  mutable degraded_packets : int;
+  mutable quacks_rx : int;
+  mutable degraded_quacks : int;
+  mutable freq_updates : int;
 }
 
-let create engine cfg ~forward ~backward ?cost_clock () =
-  if cfg.wire <= 0 then invalid_arg "Proxy.create: wire size must be positive";
-  if cfg.buffer_pkts <= 0 then invalid_arg "Proxy.create: buffer must be positive";
-  if cfg.quack_every <= 0 then
-    invalid_arg "Proxy.create: quack interval must be positive";
-  let stats =
-    {
-      data_packets = 0;
-      degraded_packets = 0;
-      buffer_bypass = 0;
-      quacks_rx = 0;
-      degraded_quacks = 0;
-      quacks_tx = 0;
-      quack_bytes = 0;
-      freq_updates = 0;
-      resyncs = 0;
-      flushed_on_evict = 0;
-    }
-  in
-  (* Any state leaving the table flushes its buffer downstream —
-     unpaced and unlogged, which is sound precisely because the
-     pacing/decode state is being destroyed with it: the client's next
-     cumulative quACK resyncs a future re-admission from scratch. *)
-  let on_evict _flow st =
-    let n = Queue.length st.buffer in
-    Queue.iter forward st.buffer;
-    Queue.clear st.buffer;
-    stats.flushed_on_evict <- stats.flushed_on_evict + n
-  in
-  let table = Flow_table.create ~policy:cfg.policy ~on_evict ~capacity:cfg.capacity () in
-  { engine; cfg; table; forward; backward; cost_clock; busy = 0.; stats }
+let create engine ~capacity ~policy ~protocol ~forward ~backward ?cost_clock ()
+    =
+  let counters = Protocol.fresh_counters () in
+  (* Any state leaving the table gets its protocol's eviction hook —
+     for CC division that flushes the pacing buffer downstream, for
+     retransmission it drops the copy buffer. Either way nothing is
+     stranded: end-to-end ACKs keep reliability. *)
+  let on_evict _flow fl = fl.Protocol.on_evict () in
+  let table = Flow_table.create ~policy ~on_evict ~capacity () in
+  {
+    engine;
+    protocol;
+    table;
+    counters;
+    forward;
+    backward;
+    cost_clock;
+    busy = 0.;
+    data_packets = 0;
+    degraded_packets = 0;
+    quacks_rx = 0;
+    degraded_quacks = 0;
+    freq_updates = 0;
+  }
 
 let timed t f =
   match t.cost_clock with
@@ -103,148 +65,94 @@ let timed t f =
       let t0 = clock () in
       Fun.protect ~finally:(fun () -> t.busy <- t.busy +. (clock () -. t0)) f
 
-let fresh_flow t () =
-  {
-    up_rx =
-      Q.Receiver_state.create ~bits:t.cfg.bits ~count_bits:t.cfg.count_bits
-        ~threshold:t.cfg.threshold ();
-    down_ss =
-      Q.Sender_state.create
-        {
-          Q.Sender_state.default_config with
-          bits = t.cfg.bits;
-          threshold = t.cfg.threshold;
-          count_bits = t.cfg.count_bits;
-        };
-    win = Proxy_window.create ~wire:t.cfg.wire;
-    buffer = Queue.create ();
-    buffer_peak = 0;
-    quack_every = t.cfg.quack_every;
-    since_quack = 0;
-    quack_index = 0;
-  }
-
-(* Drain the flow's buffer onto the far segment as long as the AIMD
-   window has room (outstanding = still-logged forwards). *)
-let rec pump t st =
-  let outstanding = Q.Sender_state.outstanding st.down_ss * t.cfg.wire in
-  if outstanding + t.cfg.wire <= Proxy_window.window st.win then
-    match Queue.take_opt st.buffer with
-    | None -> ()
-    | Some p ->
-        Q.Sender_state.on_send st.down_ss ~id:p.Packet.id
-          (Proxy_window.next_index st.win);
-        t.forward p;
-        pump t st
-
-let emit_upstream_quack t st ~flow =
-  st.since_quack <- 0;
-  st.quack_index <- st.quack_index + 1;
-  let q = Q.Receiver_state.emit st.up_rx in
-  let pkt =
-    Sframes.quack_packet ~quack:q ~dst:"server" ~index:st.quack_index
-      ~count_omitted:false ~flow ~now:(Engine.now t.engine)
-  in
-  t.stats.quacks_tx <- t.stats.quacks_tx + 1;
-  t.stats.quack_bytes <- t.stats.quack_bytes + pkt.Packet.size;
-  t.backward pkt
-
-let on_data t p =
-  let now = Engine.now t.engine in
-  match Flow_table.admit t.table ~now p.Packet.flow (fresh_flow t) with
-  | None ->
-      (* Denied a slot: the flow is untracked and sees the path as a
-         plain store-and-forward hop — pure end-to-end behaviour. *)
-      t.stats.degraded_packets <- t.stats.degraded_packets + 1;
-      t.forward p
-  | Some st ->
-      t.stats.data_packets <- t.stats.data_packets + 1;
-      ignore (Q.Receiver_state.on_receive st.up_rx p.Packet.id);
-      st.since_quack <- st.since_quack + 1;
-      if st.since_quack >= st.quack_every then
-        emit_upstream_quack t st ~flow:p.Packet.flow;
-      Queue.push p st.buffer;
-      if Queue.length st.buffer > st.buffer_peak then
-        st.buffer_peak <- Queue.length st.buffer;
-      (* A full buffer means backpressure failed; push the head out
-         unpaced (still logged, so decoding stays sound) rather than
-         drop or reorder. *)
-      if Queue.length st.buffer > t.cfg.buffer_pkts then (
-        match Queue.take_opt st.buffer with
-        | None -> ()
-        | Some head ->
-            Q.Sender_state.on_send st.down_ss ~id:head.Packet.id
-              (Proxy_window.next_index st.win);
-            t.stats.buffer_bypass <- t.stats.buffer_bypass + 1;
-            t.forward head);
-      pump t st
+let fresh_flow t key () =
+  t.protocol.Protocol.init
+    {
+      Protocol.engine = t.engine;
+      flow = key;
+      forward = t.forward;
+      backward = t.backward;
+      counters = t.counters;
+    }
 
 let on_ingress t p =
   timed t (fun () ->
       match p.Packet.payload with
-      | Sframes.Freq_update { dst = "proxy"; interval_packets } -> (
-          (* §2.3: the server's sidecar tunes how often we quACK. *)
-          match Flow_table.find t.table ~now:(Engine.now t.engine) p.Packet.flow with
-          | Some st ->
-              st.quack_every <- max 1 interval_packets;
-              t.stats.freq_updates <- t.stats.freq_updates + 1
+      | Sframes.Freq_update { dst; interval_packets }
+        when String.equal dst t.protocol.Protocol.addr -> (
+          (* §2.3: the far sidecar tunes how often this flow quACKs. *)
+          match
+            Flow_table.find t.table ~now:(Engine.now t.engine) p.Packet.flow
+          with
+          | Some fl ->
+              fl.Protocol.on_freq interval_packets;
+              t.freq_updates <- t.freq_updates + 1
           | None -> ())
       | Sframes.Freq_update _ | Sframes.Quack_frame _ ->
           (* sidecar frames for someone else ride along unchanged *)
           t.forward p
-      | _ -> on_data t p)
-
-let on_client_quack t st quack =
-  match Q.Sender_state.on_quack st.down_ss quack with
-  | Ok rep when not rep.Q.Sender_state.stale ->
-      Proxy_window.on_quack st.win
-        ~acked_pkts:(List.length rep.Q.Sender_state.acked)
-        ~lost_indices:rep.Q.Sender_state.lost;
-      pump t st
-  | Ok _ -> ()
-  | Error (`Threshold_exceeded _) ->
-      (* §3.3 unilateral resync: adopt the client's cumulative sums as
-         the new baseline. This is the designed recovery after an
-         eviction/re-admission cycle (fresh sums vs. cumulative quACK)
-         and after genuine decode overload alike. *)
-      t.stats.resyncs <- t.stats.resyncs + 1;
-      let abandoned = Q.Sender_state.resync_to st.down_ss quack in
-      Proxy_window.on_quack st.win ~acked_pkts:0 ~lost_indices:abandoned;
-      pump t st
-  | Error (`Config_mismatch _) -> ()
+      | _ -> (
+          let now = Engine.now t.engine in
+          match
+            Flow_table.admit t.table ~now p.Packet.flow (fresh_flow t p.Packet.flow)
+          with
+          | None ->
+              (* Denied a slot: the flow is untracked and sees the path
+                 as a plain store-and-forward hop — pure end-to-end
+                 behaviour. *)
+              t.degraded_packets <- t.degraded_packets + 1;
+              t.forward p
+          | Some fl ->
+              t.data_packets <- t.data_packets + 1;
+              fl.Protocol.on_data p))
 
 let on_return t p =
   timed t (fun () ->
       match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "proxy"; index = _ } -> (
-          t.stats.quacks_rx <- t.stats.quacks_rx + 1;
-          match Flow_table.find t.table ~now:(Engine.now t.engine) p.Packet.flow with
-          | Some st -> on_client_quack t st quack
-          | None -> t.stats.degraded_quacks <- t.stats.degraded_quacks + 1)
+      | Sframes.Quack_frame { quack; dst; index }
+        when String.equal dst t.protocol.Protocol.addr -> (
+          t.quacks_rx <- t.quacks_rx + 1;
+          match
+            Flow_table.find t.table ~now:(Engine.now t.engine) p.Packet.flow
+          with
+          | Some fl -> fl.Protocol.on_feedback ~index quack
+          | None -> t.degraded_quacks <- t.degraded_quacks + 1)
       | _ -> t.backward p)
 
-type flow_info = {
-  buffered : int;
-  outstanding : int;
-  window_bytes : int;
-  upstream_interval : int;
-}
+let start t ~until =
+  match t.protocol.Protocol.timer with
+  | None -> ()
+  | Some { Protocol.period; _ } ->
+      let rec tick () =
+        Flow_table.iter t.table (fun _ fl -> fl.Protocol.on_timer ());
+        if Engine.now t.engine < until then
+          Engine.schedule t.engine ~delay:period tick
+      in
+      Engine.schedule t.engine ~delay:period tick
 
 let flow_info t flow =
   match Flow_table.peek t.table flow with
   | None -> None
-  | Some st ->
-      Some
-        {
-          buffered = Queue.length st.buffer;
-          outstanding = Q.Sender_state.outstanding st.down_ss;
-          window_bytes = Proxy_window.window st.win;
-          upstream_interval = st.quack_every;
-        }
+  | Some fl -> Some (fl.Protocol.info ())
 
 let release t flow = Flow_table.remove t.table flow
 let sweep_idle t = Flow_table.sweep_idle t.table ~now:(Engine.now t.engine)
-let stats t = t.stats
+
+let stats t =
+  {
+    data_packets = t.data_packets;
+    degraded_packets = t.degraded_packets;
+    buffer_bypass = t.counters.Protocol.buffer_bypass;
+    quacks_rx = t.quacks_rx;
+    degraded_quacks = t.degraded_quacks;
+    quacks_tx = t.counters.Protocol.quacks_tx;
+    quack_bytes = t.counters.Protocol.quack_bytes;
+    freq_updates = t.freq_updates;
+    resyncs = t.counters.Protocol.resyncs;
+    flushed_on_evict = t.counters.Protocol.flushed_on_evict;
+  }
+
+let counters t = t.counters
 let busy_s t = t.busy
 let occupancy t = Flow_table.occupancy t.table
 let peak_occupancy t = Flow_table.peak_occupancy t.table

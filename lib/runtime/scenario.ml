@@ -8,12 +8,18 @@ module Workload = Netsim.Workload
 module Q = Sidecar_quack
 module Path = Sidecar_protocols.Path
 module Sframes = Sidecar_protocols.Sframes
+module Protocol = Sidecar_protocols.Protocol
+module Proto_cc = Sidecar_protocols.Proto_cc
+module Proto_ar = Sidecar_protocols.Proto_ar
+module Proto_retx = Sidecar_protocols.Proto_retx
 
 type config = {
+  protocol : [ `Cc | `Ack | `Retx ];
   flows : int;
   table_flows : int;
   policy : Flow_table.policy;
   near : Path.segment;
+  middle : Path.segment;
   far : Path.segment;
   mss : int;
   size_dist : Workload.size_dist;
@@ -21,6 +27,8 @@ type config = {
   max_units : int;
   arrival_mean_s : float;
   client_quack_every : int;
+  client_ack_every : int;
+  warmup_units : int;
   keepalive : Time.span;
   bits : int;
   threshold : int;
@@ -39,6 +47,14 @@ let default_far =
 
 let default_near =
   Path.segment ~rate_bps:100_000_000 ~delay:(Time.ms 28) ()
+
+(* Only the [`Retx] protocol uses the middle segment: it becomes the
+   lossy subpath the near/far proxy pair brackets. *)
+let default_middle =
+  Path.segment ~rate_bps:50_000_000 ~delay:(Time.ms 1)
+    ~loss:
+      (Path.Gilbert { p_good_to_bad = 0.01; p_bad_to_good = 0.2; loss_bad = 0.3 })
+    ()
 
 (* §4's parameter selection, applied to the far segment (the link the
    per-flow quACK state must absorb): identifier width from the
@@ -59,10 +75,12 @@ let planned_for (far : Path.segment) =
 let default_config =
   let d = planned_for default_far in
   {
+    protocol = `Cc;
     flows = 200;
     table_flows = 64;
     policy = Flow_table.Lru;
     near = default_near;
+    middle = default_middle;
     far = default_far;
     mss = 1460;
     size_dist = Workload.web_flows;
@@ -70,6 +88,8 @@ let default_config =
     max_units = 2000;
     arrival_mean_s = 0.02;
     client_quack_every = max 2 (min 64 d.Q.Planner.interval_packets);
+    client_ack_every = 32;
+    warmup_units = 200;
     keepalive = 4 * Path.rtt [ default_far ];
     bits = d.Q.Planner.bits;
     (* the planner sizes [t] for one clean interval; short-flow churn
@@ -105,11 +125,14 @@ type report = {
   fct_mean : float;
   data_delivered_bytes : int;
   proxy : Proxy.stats;
+  proxy2 : Proxy.stats option;
   table : Flow_table.stats;
+  table2 : Flow_table.stats option;
   peak_occupancy : int;
   evictions : int;
   srv_resyncs : int;
   freq_updates_sent : int;
+  proxy_retransmissions : int;
   proxy_busy_s : float;
   sim_end : Time.t;
 }
@@ -122,9 +145,13 @@ let run ?cost_clock (cfg : config) =
     invalid_arg "Scenario.run: client quack interval must be positive";
   if cfg.keepalive <= 0 then
     invalid_arg "Scenario.run: keepalive must be positive";
-  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
-  let s2p = fwd.(0) and p2c = fwd.(1) in
-  let c2p = rev.(0) and p2s = rev.(1) in
+  let segments =
+    match cfg.protocol with
+    | `Retx -> [ cfg.near; cfg.middle; cfg.far ]
+    | `Cc | `Ack -> [ cfg.near; cfg.far ]
+  in
+  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed segments in
+  let nseg = Array.length fwd in
   let wire = cfg.mss + 40 in
   let n = cfg.flows in
 
@@ -142,22 +169,69 @@ let run ?cost_clock (cfg : config) =
         Time.of_float_s !t)
   in
 
-  (* ---- proxy ------------------------------------------------------ *)
-  let proxy =
-    Proxy.create engine
-      {
-        Proxy.capacity = cfg.table_flows;
-        policy = cfg.policy;
-        bits = cfg.bits;
-        threshold = cfg.threshold;
-        count_bits = cfg.count_bits;
-        quack_every = cfg.upstream_quack_every;
-        buffer_pkts = cfg.buffer_pkts;
-        wire;
-      }
-      ~forward:(fun p -> ignore (Link.send p2c p))
-      ~backward:(fun p -> ignore (Link.send p2s p))
-      ?cost_clock ()
+  (* ---- proxies ---------------------------------------------------- *)
+  let mk_proxy ~protocol ~forward ~backward =
+    Proxy.create engine ~capacity:cfg.table_flows ~policy:cfg.policy ~protocol
+      ~forward ~backward ?cost_clock ()
+  in
+  (* [proxy] sits at the first junction in every mode; [proxy2] exists
+     only for [`Retx], where the pair brackets the middle segment. *)
+  let proxy, proxy2 =
+    match cfg.protocol with
+    | `Cc ->
+        ( mk_proxy
+            ~protocol:
+              (Proto_cc.make
+                 {
+                   Proto_cc.bits = cfg.bits;
+                   threshold = cfg.threshold;
+                   count_bits = Some cfg.count_bits;
+                   wire;
+                   buffer_pkts = cfg.buffer_pkts;
+                   upstream = Proto_cc.Every cfg.upstream_quack_every;
+                   overflow = Proto_cc.Bypass;
+                 })
+            ~forward:(fun p -> ignore (Link.send fwd.(1) p))
+            ~backward:(fun p -> ignore (Link.send rev.(1) p)),
+          None )
+    | `Ack ->
+        ( mk_proxy
+            ~protocol:
+              (Proto_ar.make
+                 {
+                   Proto_ar.bits = cfg.bits;
+                   threshold = cfg.threshold;
+                   count_bits = Some cfg.count_bits;
+                   quack_every = cfg.upstream_quack_every;
+                   omit_count = false;
+                 })
+            ~forward:(fun p -> ignore (Link.send fwd.(1) p))
+            ~backward:(fun p -> ignore (Link.send rev.(1) p)),
+          None )
+    | `Retx ->
+        let pcfg =
+          {
+            Proto_retx.bits = cfg.bits;
+            threshold = cfg.threshold;
+            strikes_to_lose = 1;
+            buffer_pkts = cfg.buffer_pkts;
+            initial_quack_every = cfg.upstream_quack_every;
+            adaptive = cfg.adaptive;
+            target_missing = cfg.target_missing;
+            subpath_rtt = 2 * cfg.middle.Path.delay;
+            near_addr = "proxyA";
+            far_addr = "proxyB";
+          }
+        in
+        ( mk_proxy
+            ~protocol:(Proto_retx.near pcfg)
+            ~forward:(fun p -> ignore (Link.send fwd.(1) p))
+            ~backward:(fun p -> ignore (Link.send rev.(2) p)),
+          Some
+            (mk_proxy
+               ~protocol:(Proto_retx.far pcfg)
+               ~forward:(fun p -> ignore (Link.send fwd.(2) p))
+               ~backward:(fun p -> ignore (Link.send rev.(1) p))) )
   in
 
   (* ---- per-flow endpoints ----------------------------------------- *)
@@ -173,14 +247,26 @@ let run ?cost_clock (cfg : config) =
   let upstream_interval = Array.make n cfg.upstream_quack_every in
   let srv_resyncs = ref 0 in
   let freq_updates_sent = ref 0 in
+  (* In [`Retx] the server runs no sidecar (the pair is self-contained
+     in-network), but its loss detection must tolerate the reordering
+     local retransmission introduces. *)
+  let server_sidecar =
+    match cfg.protocol with `Cc | `Ack -> true | `Retx -> false
+  in
   let senders =
     Array.init n (fun i ->
         Transport.Sender.create engine ~mss:cfg.mss ~flow:i
           ~id_key:(Q.Identifier.key_of_int (0x51DE + i))
-          ~on_transmit:(fun p ->
-            Q.Sender_state.on_send srv_ss.(i) ~id:p.Packet.id p.Packet.seq)
+          ?pkt_threshold:(match cfg.protocol with `Retx -> Some 1024 | _ -> None)
+          ?on_transmit:
+            (if server_sidecar then
+               Some
+                 (fun p ->
+                   Q.Sender_state.on_send srv_ss.(i) ~id:p.Packet.id
+                     p.Packet.seq)
+             else None)
           ~total_units:units.(i)
-          ~egress:(fun p -> ignore (Link.send s2p p))
+          ~egress:(fun p -> ignore (Link.send fwd.(0) p))
           ())
   in
   let client_rx =
@@ -193,25 +279,47 @@ let run ?cost_clock (cfg : config) =
   let send_client_quack i q =
     client_quack_index.(i) <- client_quack_index.(i) + 1;
     ignore
-      (Link.send c2p
+      (Link.send rev.(0)
          (Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:client_quack_index.(i)
             ~count_omitted:false ~flow:i ~now:(Engine.now engine)))
+  in
+  let receivers_ref = ref [||] in
+  let on_client_data i =
+    match cfg.protocol with
+    | `Cc ->
+        Some
+          (fun (p : Packet.t) ->
+            match Q.Receiver_state.on_receive client_rx.(i) p.Packet.id with
+            | Some q -> send_client_quack i q
+            | None -> ())
+    | `Ack ->
+        (* The ACK-frequency extension keeps immediate ACKs during
+           start-up (the sender needs the clocking) and goes sparse
+           once the flow is established. *)
+        let delivered = ref 0 in
+        Some
+          (fun (_ : Packet.t) ->
+            incr delivered;
+            if !delivered = cfg.warmup_units && Array.length !receivers_ref > i
+            then
+              Transport.Receiver.set_ack_every !receivers_ref.(i)
+                cfg.client_ack_every)
+    | `Retx -> None
   in
   let receivers =
     Array.init n (fun i ->
         Transport.Receiver.create engine ~flow:i ~total_units:units.(i)
-          ~on_data:(fun p ->
-            match Q.Receiver_state.on_receive client_rx.(i) p.Packet.id with
-            | Some q -> send_client_quack i q
-            | None -> ())
-          ~send_ack:(fun p -> ignore (Link.send c2p p))
+          ?on_data:(on_client_data i)
+          ~send_ack:(fun p -> ignore (Link.send rev.(0) p))
           ())
   in
+  receivers_ref := receivers;
 
   (* The server-side sidecar of §2.2/§2.3: decode the proxy's upstream
      quACKs into provisional window space, and steer the proxy's quACK
      cadence toward [target_missing] losses per interval. *)
-  let on_server_quack i quack =
+  let srv_last_index = Array.make n 0 in
+  let on_srv_report i quack =
     match Q.Sender_state.on_quack srv_ss.(i) quack with
     | Ok rep when not rep.Q.Sender_state.stale ->
         (match rep.Q.Sender_state.acked with
@@ -230,7 +338,7 @@ let run ?cost_clock (cfg : config) =
               upstream_interval.(i) <- next;
               incr freq_updates_sent;
               ignore
-                (Link.send s2p
+                (Link.send fwd.(0)
                    (Sframes.freq_packet ~dst:"proxy" ~interval_packets:next
                       ~flow:i ~now:(Engine.now engine)))
             end
@@ -242,37 +350,75 @@ let run ?cost_clock (cfg : config) =
         ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
     | Error (`Config_mismatch _) -> ()
   in
+  let on_server_quack i ~index quack =
+    if index <= srv_last_index.(i) then begin
+      (* quACK indices only regress when the proxy's per-flow state
+         restarted (eviction + re-admission): its fresh counts would
+         look permanently stale, so adopt the new power sums as the
+         baseline (§3.3) — the abandoned in-flight packets are covered
+         by end-to-end recovery. *)
+      incr srv_resyncs;
+      ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
+    end
+    else on_srv_report i quack;
+    srv_last_index.(i) <- index
+  in
 
   (* ---- wiring ------------------------------------------------------ *)
   let delivered_bytes = ref 0 in
-  Link.set_tap p2c (fun p -> delivered_bytes := !delivered_bytes + p.Packet.size);
-  Link.set_deliver s2p (Proxy.on_ingress proxy);
-  Link.set_deliver p2c (fun p ->
-      if p.Packet.flow >= 0 && p.Packet.flow < n then
-        Transport.Receiver.deliver receivers.(p.Packet.flow) p);
-  Link.set_deliver c2p (Proxy.on_return proxy);
-  Link.set_deliver p2s (fun p ->
-      match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "server"; index = _ } ->
-          if p.Packet.flow >= 0 && p.Packet.flow < n then
-            on_server_quack p.Packet.flow quack
-      | _ ->
-          if p.Packet.flow >= 0 && p.Packet.flow < n then
-            Transport.Sender.deliver_ack senders.(p.Packet.flow) p);
+  Link.set_tap fwd.(nseg - 1) (fun p ->
+      delivered_bytes := !delivered_bytes + p.Packet.size);
+  let deliver_client p =
+    if p.Packet.flow >= 0 && p.Packet.flow < n then
+      Transport.Receiver.deliver receivers.(p.Packet.flow) p
+  in
+  let deliver_server p =
+    match p.Packet.payload with
+    | Sframes.Quack_frame { quack; dst = "server"; index } ->
+        if p.Packet.flow >= 0 && p.Packet.flow < n then
+          on_server_quack p.Packet.flow ~index quack
+    | _ ->
+        if p.Packet.flow >= 0 && p.Packet.flow < n then
+          Transport.Sender.deliver_ack senders.(p.Packet.flow) p
+  in
+  Link.set_deliver fwd.(0) (Proxy.on_ingress proxy);
+  (match proxy2 with
+  | None ->
+      Link.set_deliver fwd.(1) deliver_client;
+      Link.set_deliver rev.(0) (Proxy.on_return proxy);
+      Link.set_deliver rev.(1) deliver_server
+  | Some b ->
+      Link.set_deliver fwd.(1) (Proxy.on_ingress b);
+      Link.set_deliver fwd.(2) deliver_client;
+      Link.set_deliver rev.(0) (Proxy.on_return b);
+      Link.set_deliver rev.(1) (Proxy.on_return proxy);
+      Link.set_deliver rev.(2) deliver_server);
 
   let flow_done i = Transport.Receiver.complete_at receivers.(i) <> None in
   let all_done () =
     Array.for_all (fun r -> Transport.Receiver.complete_at r <> None) receivers
   in
 
-  (* Client keepalive: re-emit the cumulative quACK while the flow is
-     open, so a lost quACK can never leave the proxy window closed
-     forever; on completion, release the proxy's slot. Cumulative
-     quACKs make the duplicates harmless. *)
+  (* Protocol timers (the retransmission pair's far proxy quACKs on a
+     subpath-RTT backstop); a no-op for timerless protocols. *)
+  Proxy.start proxy ~until:cfg.until;
+  (match proxy2 with Some b -> Proxy.start b ~until:cfg.until | None -> ());
+
+  (* Client keepalive: for CC division, re-emit the cumulative quACK
+     while the flow is open, so a lost quACK can never leave the proxy
+     window closed forever (cumulative quACKs make the duplicates
+     harmless); for every protocol, release the proxy slots when the
+     flow completes. *)
+  let release_slots i =
+    ignore (Proxy.release proxy i);
+    match proxy2 with Some b -> ignore (Proxy.release b i) | None -> ()
+  in
   let rec keepalive i () =
-    if flow_done i then ignore (Proxy.release proxy i)
+    if flow_done i then release_slots i
     else if Engine.now engine < cfg.until then begin
-      send_client_quack i (Q.Receiver_state.emit client_rx.(i));
+      (match cfg.protocol with
+      | `Cc -> send_client_quack i (Q.Receiver_state.emit client_rx.(i))
+      | `Ack | `Retx -> ());
       Engine.schedule engine ~delay:cfg.keepalive (keepalive i)
     end
   in
@@ -287,8 +433,12 @@ let run ?cost_clock (cfg : config) =
   | Flow_table.Lru -> ()
   | Flow_table.Idle span ->
       let period = max (Time.ms 1) (span / 2) in
-      let rec sweep () =
+      let sweep_all () =
         ignore (Proxy.sweep_idle proxy);
+        match proxy2 with Some b -> ignore (Proxy.sweep_idle b) | None -> ()
+      in
+      let rec sweep () =
+        sweep_all ();
         if Engine.now engine < cfg.until && not (all_done ()) then
           Engine.schedule engine ~delay:period sweep
       in
@@ -338,14 +488,30 @@ let run ?cost_clock (cfg : config) =
     fct_mean = Stats.Summary.mean summary;
     data_delivered_bytes = !delivered_bytes;
     proxy = Proxy.stats proxy;
+    proxy2 = Option.map Proxy.stats proxy2;
     table;
+    table2 = Option.map Proxy.table_stats proxy2;
     peak_occupancy = Proxy.peak_occupancy proxy;
     evictions = table.Flow_table.evicted_lru + table.Flow_table.evicted_idle;
     srv_resyncs = !srv_resyncs;
-    freq_updates_sent = !freq_updates_sent;
-    proxy_busy_s = Proxy.busy_s proxy;
+    freq_updates_sent =
+      (match cfg.protocol with
+      | `Cc | `Ack -> !freq_updates_sent
+      | `Retx -> (Proxy.counters proxy).Protocol.freq_sent);
+    proxy_retransmissions = (Proxy.counters proxy).Protocol.retransmissions;
+    proxy_busy_s =
+      (Proxy.busy_s proxy
+      +. match proxy2 with Some b -> Proxy.busy_s b | None -> 0.);
     sim_end = Engine.now engine;
   }
+
+let pp_proxy_stats ppf (s : Proxy.stats) =
+  Format.fprintf ppf
+    "%d tracked pkts, %d degraded pkts, %d quacks in (%d degraded), %d quacks \
+     out (%d B), %d resyncs, %d flushed on evict"
+    s.Proxy.data_packets s.Proxy.degraded_packets s.Proxy.quacks_rx
+    s.Proxy.degraded_quacks s.Proxy.quacks_tx s.Proxy.quack_bytes
+    s.Proxy.resyncs s.Proxy.flushed_on_evict
 
 let pp_report ppf r =
   Format.fprintf ppf
@@ -353,16 +519,16 @@ let pp_report ppf r =
      fct p50 %.3fs p95 %.3fs p99 %.3fs mean %.3fs@,\
      table: peak %d, admitted %d, evicted %d (lru %d, idle %d), denied %d, \
      released %d@,\
-     proxy: %d tracked pkts, %d degraded pkts, %d quacks in (%d degraded), \
-     %d quacks out (%d B), %d resyncs, %d flushed on evict@,\
-     server sidecars: %d resyncs, %d freq updates@,\
-     delivered %d B downstream@]"
+     proxy: %a"
     r.completed (Array.length r.flows) Time.pp r.sim_end r.fct_p50 r.fct_p95
     r.fct_p99 r.fct_mean r.peak_occupancy r.table.Flow_table.admitted
     r.evictions r.table.Flow_table.evicted_lru r.table.Flow_table.evicted_idle
-    r.table.Flow_table.denied r.table.Flow_table.removed
-    r.proxy.Proxy.data_packets r.proxy.Proxy.degraded_packets
-    r.proxy.Proxy.quacks_rx r.proxy.Proxy.degraded_quacks
-    r.proxy.Proxy.quacks_tx r.proxy.Proxy.quack_bytes r.proxy.Proxy.resyncs
-    r.proxy.Proxy.flushed_on_evict r.srv_resyncs r.freq_updates_sent
+    r.table.Flow_table.denied r.table.Flow_table.removed pp_proxy_stats r.proxy;
+  (match r.proxy2 with
+  | Some s -> Format.fprintf ppf "@,far proxy: %a" pp_proxy_stats s
+  | None -> ());
+  Format.fprintf ppf
+    "@,server sidecars: %d resyncs, %d freq updates@,\
+     proxy retransmissions: %d@,delivered %d B downstream@]"
+    r.srv_resyncs r.freq_updates_sent r.proxy_retransmissions
     r.data_delivered_bytes

@@ -75,16 +75,12 @@ let baseline cfg =
   (result, !ack_bytes)
 
 let run cfg =
-  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
-  let s2p = fwd.(0) and p2c = fwd.(1) in
-  let c2p = rev.(0) and p2s = rev.(1) in
   let quacks = ref 0 in
-  let quack_bytes = ref 0 in
   let client_acks = ref 0 in
   let client_ack_bytes = ref 0 in
   let freed_early = ref 0 in
 
-  (* ---- server ---------------------------------------------------- *)
+  (* ---- server sidecar -------------------------------------------- *)
   (* meta: the packet seq, so quACK-acked ids map back to window
      entries for the provisional release. *)
   let server_ss =
@@ -92,12 +88,7 @@ let run cfg =
       { Q.Sender_state.default_config with bits = cfg.bits; threshold = cfg.threshold }
   in
   let on_transmit p = Q.Sender_state.on_send server_ss ~id:p.Packet.id p.Packet.seq in
-  let sender =
-    Transport.Sender.create engine ~mss:cfg.mss ~on_transmit ~total_units:cfg.units
-      ~egress:(fun p -> ignore (Link.send s2p p))
-      ()
-  in
-  let server_on_quack (q : Q.Quack.t) index =
+  let server_quack ~sender ~index (q : Q.Quack.t) =
     (* Count-omitted mode (§4.3): the proxy quACKs every [n] packets,
        so the [index]-th quACK stands for an implicit count of
        [n * index] — robust to lost quACKs because the sums are
@@ -116,68 +107,57 @@ let run cfg =
     | Error (`Config_mismatch _) -> ()
   in
 
-  (* ---- proxy ----------------------------------------------------- *)
-  let proxy_rx =
-    Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold
-      ~policy:(Q.Receiver_state.Every_packets cfg.quack_every) ()
-  in
-  let proxy_quack_index = ref 0 in
-  let proxy_ingress p =
-    (match Q.Receiver_state.on_receive proxy_rx p.Packet.id with
-    | Some q ->
-        incr proxy_quack_index;
-        let pkt =
-          Sframes.quack_packet ~quack:q ~dst:"server" ~index:!proxy_quack_index
-            ~count_omitted:cfg.omit_count ~flow:0 ~now:(Engine.now engine)
-        in
-        quack_bytes := !quack_bytes + pkt.Packet.size;
-        ignore (Link.send p2s pkt)
-    | None -> ());
-    ignore (Link.send p2c p)
+  (* ---- proxy ------------------------------------------------------ *)
+  let counters = Protocol.fresh_counters () in
+  let proto =
+    Proto_ar.make
+      {
+        Proto_ar.bits = cfg.bits;
+        threshold = cfg.threshold;
+        count_bits = None;
+        quack_every = cfg.quack_every;
+        omit_count = cfg.omit_count;
+      }
   in
 
-  (* ---- client ---------------------------------------------------- *)
+  (* ---- client ----------------------------------------------------- *)
   (* The ACK-frequency extension keeps immediate ACKs during start-up
      (the sender needs the clocking) and goes sparse once the flow is
      established -- the draft's intended use. *)
-  let receiver_ref = ref None in
-  let delivered = ref 0 in
-  let receiver =
-    Transport.Receiver.create engine ~ack_every:2 ~total_units:cfg.units
-      ~on_data:(fun _ ->
-        incr delivered;
-        if !delivered = cfg.warmup_units then
-          match !receiver_ref with
-          | Some r -> Transport.Receiver.set_ack_every r cfg.client_ack_every
-          | None -> ())
-      ~send_ack:(fun p ->
-        incr client_acks;
-        client_ack_bytes := !client_ack_bytes + p.Packet.size;
-        ignore (Link.send c2p p))
-      ()
+  let client (cp : Chain.client_ports) =
+    let delivered = ref 0 in
+    {
+      Chain.on_data =
+        Some
+          (fun _ ->
+            incr delivered;
+            if !delivered = cfg.warmup_units then
+              match cp.Chain.receiver () with
+              | Some r -> Transport.Receiver.set_ack_every r cfg.client_ack_every
+              | None -> ());
+      on_ack =
+        Some
+          (fun p ->
+            incr client_acks;
+            client_ack_bytes := !client_ack_bytes + p.Packet.size);
+      start = (fun () -> ());
+    }
   in
-  receiver_ref := Some receiver;
 
-  (* ---- wiring ---------------------------------------------------- *)
-  Link.set_deliver s2p proxy_ingress;
-  Link.set_deliver p2c (Transport.Receiver.deliver receiver);
-  Link.set_deliver c2p (fun p -> ignore (Link.send p2s p));
-  Link.set_deliver p2s (fun p ->
-      match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "server"; index } ->
-          server_on_quack quack index
-      | _ -> Transport.Sender.deliver_ack sender p);
-  let flow = Transport.Flow.run engine ~sender ~receiver ~until:cfg.until () in
-  let spurious =
-    (* retransmissions of units the client had in fact received *)
-    Transport.Receiver.duplicates receiver
+  let outcome =
+    Chain.run ~seed:cfg.seed ~units:cfg.units ~mss:cfg.mss ~on_transmit
+      ~server_quack ~client
+      ~nodes:[ Node.of_protocol ~counters proto ]
+      ~until:cfg.until
+      [ cfg.near; cfg.far ]
   in
+  let flow = outcome.Chain.flow in
   {
     flow;
     client_acks = !client_acks;
     client_ack_bytes = !client_ack_bytes;
     quacks = !quacks;
-    quack_bytes = !quack_bytes;
+    quack_bytes = counters.Protocol.quack_bytes;
     window_freed_early_bytes = !freed_early;
-    spurious_retx = spurious;
+    spurious_retx = flow.Transport.Flow.duplicates;
   }

@@ -1,5 +1,4 @@
 module Engine = Netsim.Engine
-module Link = Netsim.Link
 module Packet = Netsim.Packet
 module Time = Netsim.Sim_time
 module Q = Sidecar_quack
@@ -60,25 +59,22 @@ let baseline cfg =
   Path.baseline ~seed:cfg.seed ~units:cfg.units ~mss:cfg.mss ~until:cfg.until
     [ cfg.near; cfg.far ]
 
-(* The proxy's AIMD pacing window lives in Proxy_window (shared with
-   the multi-flow runtime). *)
+(* The proxy's AIMD pacing window lives in Proxy_window; the per-flow
+   observe/buffer/pace/quack logic in Proto_cc (both shared with the
+   multi-flow runtime); the topology and endpoints in Chain. *)
 
 let run cfg =
-  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
-  let s2p = fwd.(0) and p2c = fwd.(1) in
-  let c2p = rev.(0) and p2s = rev.(1) in
   let wire = cfg.mss + 40 in
   let quack_interval =
     match cfg.quack_interval with
     | Some i -> i
     | None -> max (Time.ms 1) (Path.rtt [ cfg.far ])
   in
-  let quack_bytes = ref 0 in
   let quacks_from_client = ref 0 in
-  let quacks_from_proxy = ref 0 in
+  let client_quack_bytes = ref 0 in
   let server_decode_failures = ref 0 in
 
-  (* ---- server ---------------------------------------------------- *)
+  (* ---- server sidecar -------------------------------------------- *)
   let server_ss =
     Q.Sender_state.create
       { Q.Sender_state.default_config with bits = cfg.bits; threshold = cfg.threshold }
@@ -86,138 +82,102 @@ let run cfg =
   let on_transmit p =
     Q.Sender_state.on_send server_ss ~id:p.Packet.id p.Packet.size
   in
-  let server =
-    Transport.Sender.create engine ~mss:cfg.mss ~external_cc:true
-      ~cc:(Transport.Newreno.create ~mss:wire ())
-      ~on_transmit ~total_units:cfg.units
-      ~egress:(fun p -> ignore (Link.send s2p p))
-      ()
-  in
-  let server_on_quack q =
+  let server_quack ~sender ~index:_ q =
     match Q.Sender_state.on_quack server_ss q with
     | Ok rep when not rep.Q.Sender_state.stale ->
         let acked_bytes = List.fold_left ( + ) 0 rep.Q.Sender_state.acked in
         if rep.Q.Sender_state.lost <> [] then
-          Transport.Sender.external_congestion server;
+          Transport.Sender.external_congestion sender;
         if acked_bytes > 0 then
-          Transport.Sender.external_ack server ~acked_bytes ~rtt:None
+          Transport.Sender.external_ack sender ~acked_bytes ~rtt:None
     | Ok _ -> ()
     | Error (`Threshold_exceeded _) ->
         incr server_decode_failures;
         ignore (Q.Sender_state.resync_to server_ss q);
         (* conservative: treat as congestion; e2e ACKs keep reliability *)
-        Transport.Sender.external_congestion server
+        Transport.Sender.external_congestion sender
     | Error (`Config_mismatch _) -> incr server_decode_failures
   in
 
-  (* ---- proxy ----------------------------------------------------- *)
-  let proxy_up_rx = Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold () in
-  let proxy_down_ss =
-    Q.Sender_state.create
-      { Q.Sender_state.default_config with bits = cfg.bits; threshold = cfg.threshold }
+  (* ---- proxy ------------------------------------------------------ *)
+  let counters = Protocol.fresh_counters () in
+  let proxy_flow = ref None in
+  let proto =
+    Proto_cc.make
+      {
+        Proto_cc.bits = cfg.bits;
+        threshold = cfg.threshold;
+        count_bits = None;
+        wire;
+        buffer_pkts = cfg.proxy_buffer_pkts;
+        upstream =
+          Proto_cc.Timer
+            {
+              interval = quack_interval;
+              high_watermark = cfg.proxy_buffer_pkts / 2;
+            };
+        overflow = Proto_cc.Drop;
+      }
   in
-  let proxy_win = Proxy_window.create ~wire in
-  let buffer : Packet.t Queue.t = Queue.create () in
-  let buffer_peak = ref 0 in
-  let proxy_quack_index = ref 0 in
-  let rec pump () =
-    let outstanding = Q.Sender_state.outstanding proxy_down_ss * wire in
-    if (not (Queue.is_empty buffer)) && outstanding + wire <= Proxy_window.window proxy_win
-    then begin
-      let p = Queue.pop buffer in
-      Q.Sender_state.on_send proxy_down_ss ~id:p.Packet.id
-        (Proxy_window.next_index proxy_win);
-      ignore (Link.send p2c p);
-      pump ()
-    end
-  in
-  let proxy_ingress p =
-    (* data from the server: observe the id, buffer, pace out *)
-    ignore (Q.Receiver_state.on_receive proxy_up_rx p.Packet.id);
-    if Queue.length buffer < cfg.proxy_buffer_pkts then begin
-      Queue.push p buffer;
-      if Queue.length buffer > !buffer_peak then buffer_peak := Queue.length buffer
-    end;
-    pump ()
-  in
-  let proxy_on_client_quack q =
-    match Q.Sender_state.on_quack proxy_down_ss q with
-    | Ok rep when not rep.Q.Sender_state.stale ->
-        Proxy_window.on_quack proxy_win
-          ~acked_pkts:(List.length rep.Q.Sender_state.acked)
-          ~lost_indices:rep.Q.Sender_state.lost;
-        pump ()
-    | Ok _ -> ()
-    | Error (`Threshold_exceeded _) ->
-        let abandoned = Q.Sender_state.resync_to proxy_down_ss q in
-        Proxy_window.on_quack proxy_win ~acked_pkts:0 ~lost_indices:abandoned;
-        pump ()
-    | Error (`Config_mismatch _) -> ()
-  in
-  (* ---- client ---------------------------------------------------- *)
-  let client_rx = Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold () in
-  let client_quack_index = ref 0 in
-  let receiver =
-    Transport.Receiver.create engine ~total_units:cfg.units
-      ~on_data:(fun p -> ignore (Q.Receiver_state.on_receive client_rx p.Packet.id))
-      ~send_ack:(fun p -> ignore (Link.send c2p p))
-      ()
-  in
-  let flow_complete () = Transport.Receiver.complete_at receiver <> None in
-  let rec client_quack_timer () =
-    let q = Q.Receiver_state.emit client_rx in
-    incr client_quack_index;
-    incr quacks_from_client;
-    let pkt =
-      Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:!client_quack_index
-        ~count_omitted:false ~flow:0 ~now:(Engine.now engine)
+
+  (* ---- client sidecar --------------------------------------------- *)
+  let client (cp : Chain.client_ports) =
+    let client_rx =
+      Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold ()
     in
-    quack_bytes := !quack_bytes + pkt.Packet.size;
-    ignore (Link.send c2p pkt);
-    if Engine.now engine < cfg.until && not (flow_complete ()) then
-      Engine.schedule engine ~delay:quack_interval client_quack_timer
-  in
-
-  (* Backpressure: while the forwarding buffer is above the high
-     watermark, the proxy withholds its quACKs so the server's window
-     stops growing ("drain ... at a slower rate", §2.1). *)
-  let high_watermark = cfg.proxy_buffer_pkts / 2 in
-  let rec proxy_quack_timer () =
-    if Queue.length buffer < high_watermark then begin
-      let q = Q.Receiver_state.emit proxy_up_rx in
-      incr proxy_quack_index;
-      incr quacks_from_proxy;
+    let client_quack_index = ref 0 in
+    let rec client_quack_timer () =
+      let q = Q.Receiver_state.emit client_rx in
+      incr client_quack_index;
+      incr quacks_from_client;
       let pkt =
-        Sframes.quack_packet ~quack:q ~dst:"server" ~index:!proxy_quack_index
-          ~count_omitted:false ~flow:0 ~now:(Engine.now engine)
+        Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:!client_quack_index
+          ~count_omitted:false ~flow:0 ~now:(Engine.now cp.Chain.engine)
       in
-      quack_bytes := !quack_bytes + pkt.Packet.size;
-      ignore (Link.send p2s pkt)
-    end;
-    if Engine.now engine < cfg.until && not (flow_complete ()) then
-      Engine.schedule engine ~delay:quack_interval proxy_quack_timer
+      client_quack_bytes := !client_quack_bytes + pkt.Packet.size;
+      cp.Chain.inject pkt;
+      if Engine.now cp.Chain.engine < cfg.until && not (cp.Chain.complete ())
+      then
+        Engine.schedule cp.Chain.engine ~delay:quack_interval
+          client_quack_timer
+    in
+    {
+      Chain.on_data =
+        Some
+          (fun p ->
+            ignore (Q.Receiver_state.on_receive client_rx p.Packet.id));
+      on_ack = None;
+      start =
+        (fun () ->
+          Engine.schedule cp.Chain.engine ~delay:quack_interval
+            client_quack_timer);
+    }
   in
 
-  (* ---- wiring ---------------------------------------------------- *)
-  Link.set_deliver s2p proxy_ingress;
-  Link.set_deliver p2c (Transport.Receiver.deliver receiver);
-  Link.set_deliver c2p (fun p ->
-      match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "proxy"; _ } -> proxy_on_client_quack quack
-      | _ -> ignore (Link.send p2s p) (* e2e ACKs continue to the server *));
-  Link.set_deliver p2s (fun p ->
-      match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "server"; _ } -> server_on_quack quack
-      | _ -> Transport.Sender.deliver_ack server p);
-  Engine.schedule engine ~delay:quack_interval client_quack_timer;
-  Engine.schedule engine ~delay:quack_interval proxy_quack_timer;
-  let flow = Transport.Flow.run engine ~sender:server ~receiver ~until:cfg.until () in
+  let outcome =
+    Chain.run ~seed:cfg.seed ~units:cfg.units ~mss:cfg.mss ~external_cc:true
+      ~cc:(Transport.Newreno.create ~mss:wire ())
+      ~on_transmit ~server_quack ~client
+      ~nodes:
+        [
+          Node.of_protocol ~counters
+            ~expose:(fun fl -> proxy_flow := Some fl)
+            proto;
+        ]
+      ~until:cfg.until
+      [ cfg.near; cfg.far ]
+  in
+  let proxy_info =
+    match !proxy_flow with
+    | Some fl -> fl.Protocol.info ()
+    | None -> Protocol.no_info
+  in
   {
-    flow;
+    flow = outcome.Chain.flow;
     quacks_from_client = !quacks_from_client;
-    quacks_from_proxy = !quacks_from_proxy;
-    quack_bytes = !quack_bytes;
-    proxy_buffer_peak = !buffer_peak;
-    proxy_window_final = Proxy_window.window proxy_win;
+    quacks_from_proxy = counters.Protocol.quacks_tx;
+    quack_bytes = !client_quack_bytes + counters.Protocol.quack_bytes;
+    proxy_buffer_peak = proxy_info.Protocol.buffer_peak;
+    proxy_window_final = proxy_info.Protocol.window_bytes;
     server_decode_failures = !server_decode_failures;
   }

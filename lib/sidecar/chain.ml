@@ -1,0 +1,104 @@
+module Engine = Netsim.Engine
+module Link = Netsim.Link
+module Packet = Netsim.Packet
+module Time = Netsim.Sim_time
+
+let wire built ~until ~continue specs =
+  let { Path.engine; fwd; rev } = built in
+  let n = Array.length fwd in
+  if List.length specs <> n - 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Chain.wire: %d node(s) for %d junction(s) (segments - 1)"
+         (List.length specs) (n - 1));
+  List.mapi
+    (fun j spec ->
+      let ports =
+        {
+          Node.engine;
+          index = j;
+          forward = (fun p -> ignore (Link.send fwd.(j + 1) p));
+          backward = (fun p -> ignore (Link.send rev.(n - 1 - j) p));
+          until;
+          continue;
+        }
+      in
+      let node = spec ports in
+      Link.set_deliver fwd.(j) node.Node.fwd;
+      Link.set_deliver rev.(n - 2 - j) node.Node.rev;
+      node)
+    specs
+
+type client_ports = {
+  engine : Engine.t;
+  inject : Packet.t -> unit;
+  until : Time.t;
+  receiver : unit -> Transport.Receiver.t option;
+  complete : unit -> bool;
+}
+
+type client_hooks = {
+  on_data : (Packet.t -> unit) option;
+  on_ack : (Packet.t -> unit) option;
+  start : unit -> unit;
+}
+
+type outcome = { flow : Transport.Flow.result; built : Path.built }
+
+let run ?(seed = 1) ?(units = 2000) ?(mss = 1460) ?(ack_every = 2)
+    ?pkt_threshold ?(external_cc = false) ?cc ?on_transmit ?server_quack
+    ?client ?(nodes = []) ?(until = Time.s 300) segments =
+  let built = Path.build ~seed segments in
+  let { Path.engine; fwd; rev } = built in
+  let n = Array.length fwd in
+  let receiver_ref = ref None in
+  let complete () =
+    match !receiver_ref with
+    | Some r -> Transport.Receiver.complete_at r <> None
+    | None -> false
+  in
+  let continue () = Engine.now engine < until && not (complete ()) in
+  let node_ts = wire built ~until ~continue nodes in
+  let sender =
+    Transport.Sender.create engine ~mss ?pkt_threshold ~external_cc ?cc
+      ?on_transmit ~total_units:units
+      ~egress:(fun p -> ignore (Link.send fwd.(0) p))
+      ()
+  in
+  let inject p = ignore (Link.send rev.(0) p) in
+  let cp =
+    { engine; inject; until; receiver = (fun () -> !receiver_ref); complete }
+  in
+  let hooks = Option.map (fun f -> f cp) client in
+  let on_data = Option.bind hooks (fun h -> h.on_data) in
+  let send_ack =
+    match Option.bind hooks (fun h -> h.on_ack) with
+    | None -> inject
+    | Some tap ->
+        fun p ->
+          tap p;
+          inject p
+  in
+  let receiver =
+    Transport.Receiver.create engine ~ack_every ?on_data ~total_units:units
+      ~send_ack ()
+  in
+  receiver_ref := Some receiver;
+  Link.set_deliver fwd.(n - 1) (Transport.Receiver.deliver receiver);
+  (match server_quack with
+  | None -> Link.set_deliver rev.(n - 1) (Transport.Sender.deliver_ack sender)
+  | Some mk ->
+      let on_quack = mk ~sender in
+      Link.set_deliver rev.(n - 1) (fun p ->
+          match p.Packet.payload with
+          | Sframes.Quack_frame { quack; dst; index }
+            when String.equal dst Protocol.server_addr ->
+              on_quack ~index quack
+          | _ -> Transport.Sender.deliver_ack sender p));
+  (* Deterministic start order: the client sidecar schedules first,
+     then nodes left to right — ties in the event heap resolve by
+     insertion order, so this order is part of the pinned behaviour. *)
+  (match hooks with Some h -> h.start () | None -> ());
+  List.iter Node.start node_ts;
+  let flow = Transport.Flow.run engine ~sender ~receiver ~until () in
+  { flow; built }

@@ -1,0 +1,73 @@
+(** The shared harness for single-flow sidecar experiments: one
+    sender, one receiver, and a list of {!Node}s wired between the
+    {!Path} segments.
+
+    [run] collapses the topology/timer scaffolding every protocol
+    module used to duplicate: it builds the path, instantiates one
+    node per junction, creates the end hosts (with optional sidecar
+    taps on each), wires every link, runs start hooks in a
+    deterministic order (client sidecar first, then nodes left to
+    right), and drives the flow to completion. *)
+
+val wire :
+  Path.built ->
+  until:Netsim.Sim_time.t ->
+  continue:(unit -> bool) ->
+  Node.spec list ->
+  Node.t list
+(** Lower-level entry: instantiate one node per junction of an
+    already-built path and install its handlers on the adjacent
+    links (junction [j] receives [fwd.(j)] and [rev.(n-2-j)], sends on
+    [fwd.(j+1)] and [rev.(n-1-j)]). End-host links ([fwd.(n-1)],
+    [rev.(n-1)]) are left unwired for the caller. Start hooks are
+    {e not} run. @raise Invalid_argument when the node count does not
+    match the junction count. *)
+
+(** What a client-side sidecar gets to work with. *)
+type client_ports = {
+  engine : Netsim.Engine.t;
+  inject : Netsim.Packet.t -> unit;  (** send onto the first return link *)
+  until : Netsim.Sim_time.t;
+  receiver : unit -> Transport.Receiver.t option;
+      (** the receiving end host, once built (always [Some] by the
+          time any hook runs) *)
+  complete : unit -> bool;  (** has the flow delivered every unit? *)
+}
+
+type client_hooks = {
+  on_data : (Netsim.Packet.t -> unit) option;
+      (** per-arrival tap (the §2.1 client sidecar observes ids here) *)
+  on_ack : (Netsim.Packet.t -> unit) option;
+      (** tap on each outgoing e2e ACK, before it enters the path *)
+  start : unit -> unit;  (** schedule client-side timers *)
+}
+
+type outcome = {
+  flow : Transport.Flow.result;
+  built : Path.built;  (** for post-run link observations *)
+}
+
+val run :
+  ?seed:int ->
+  ?units:int ->
+  ?mss:int ->
+  ?ack_every:int ->
+  ?pkt_threshold:int ->
+  ?external_cc:bool ->
+  ?cc:Transport.Cc.t ->
+  ?on_transmit:(Netsim.Packet.t -> unit) ->
+  ?server_quack:
+    (sender:Transport.Sender.t -> index:int -> Sidecar_quack.Quack.t -> unit) ->
+  ?client:(client_ports -> client_hooks) ->
+  ?nodes:Node.spec list ->
+  ?until:Netsim.Sim_time.t ->
+  Path.segment list ->
+  outcome
+(** Build, wire, start, and run one flow end to end. Defaults mirror
+    {!Path.baseline} exactly (units 2000, mss 1460, ack every 2,
+    until 300 s), so [run] with pass-through nodes and no hooks is the
+    baseline. [on_transmit] is the server sidecar's transmission tap;
+    [server_quack] receives quACK frames addressed to
+    {!Protocol.server_addr} arriving on the last return link (all
+    other packets go to the sender's ACK input). [nodes] must supply
+    one spec per junction. *)

@@ -132,8 +132,11 @@ let baseline cfg =
   summarize ~mss:cfg.mss ~units:cfg.units_per_flow
     (Array.init 2 (fun i -> (senders.(i), receivers.(i))))
 
-(* Per-flow CC-division state at the proxy (one AIMD window each,
-   competing for the shared far link). *)
+(* Per-flow CC-division state at the proxy: one {!Proto_cc} flow
+   instance each (AIMD window + observe/buffer/pace), competing for the
+   shared far link. The protocol instances are driven directly — the
+   same code the single-flow {!Cc_division} harness and the multi-flow
+   runtime run behind a {!Node}. *)
 let run cfg =
   let engine, s2p, p2s, p2c, c2p = build_links cfg in
   let wire = cfg.mss + 40 in
@@ -142,51 +145,37 @@ let run cfg =
     | Some i -> i
     | None -> max (Time.ms 1) (Path.rtt [ cfg.far ])
   in
-  let proxy_down = Array.init 2 (fun _ ->
-      Q.Sender_state.create
-        { Q.Sender_state.default_config with threshold = cfg.threshold })
-  in
-  let proxy_up = Array.init 2 (fun _ ->
-      Q.Receiver_state.create ~threshold:cfg.threshold ())
-  in
   let client_rx = Array.init 2 (fun _ ->
       Q.Receiver_state.create ~threshold:cfg.threshold ())
   in
-  let win = Array.make 2 (10 * wire) in
-  let ssthresh = Array.make 2 max_int in
-  let forwarded = Array.make 2 0 in
-  let recovery_mark = Array.make 2 0 in
-  let buffers = Array.init 2 (fun _ -> Queue.create ()) in
+  let proto =
+    Proto_cc.make
+      {
+        Proto_cc.bits = Q.Sender_state.default_config.Q.Sender_state.bits;
+        threshold = cfg.threshold;
+        count_bits = None;
+        wire;
+        (* unbounded: this experiment studies window fairness, not
+           buffer contention *)
+        buffer_pkts = max_int;
+        upstream =
+          Proto_cc.Timer { interval = quack_interval; high_watermark = max_int };
+        overflow = Proto_cc.Drop;
+      }
+  in
+  let counters = Protocol.fresh_counters () in
+  let flows =
+    Array.init 2 (fun i ->
+        proto.Protocol.init
+          {
+            Protocol.engine;
+            flow = i;
+            forward = (fun p -> ignore (Link.send p2c p));
+            backward = (fun p -> ignore (Link.send p2s.(i) p));
+            counters;
+          })
+  in
   let quack_idx = Array.make 2 0 in
-  let rec pump i =
-    let outstanding = Q.Sender_state.outstanding proxy_down.(i) * wire in
-    if (not (Queue.is_empty buffers.(i))) && outstanding + wire <= win.(i) then begin
-      let p = Queue.pop buffers.(i) in
-      Q.Sender_state.on_send proxy_down.(i) ~id:p.Packet.id forwarded.(i);
-      forwarded.(i) <- forwarded.(i) + 1;
-      ignore (Link.send p2c p);
-      pump i
-    end
-  in
-  let on_client_quack i q =
-    match Q.Sender_state.on_quack proxy_down.(i) q with
-    | Ok rep when not rep.Q.Sender_state.stale ->
-        let acked = List.length rep.Q.Sender_state.acked in
-        if List.exists (fun idx -> idx >= recovery_mark.(i)) rep.Q.Sender_state.lost
-        then begin
-          recovery_mark.(i) <- forwarded.(i);
-          ssthresh.(i) <- max (2 * wire) (win.(i) / 2);
-          win.(i) <- ssthresh.(i)
-        end;
-        if acked > 0 then
-          if win.(i) < ssthresh.(i) then win.(i) <- win.(i) + (acked * wire)
-          else win.(i) <- win.(i) + max 1 (acked * wire * wire / win.(i));
-        pump i
-    | Ok _ -> ()
-    | Error _ ->
-        ignore (Q.Sender_state.resync_to proxy_down.(i) q);
-        pump i
-  in
   let server_ss = Array.init 2 (fun _ ->
       Q.Sender_state.create
         { Q.Sender_state.default_config with threshold = cfg.threshold })
@@ -209,10 +198,7 @@ let run cfg =
           ())
   in
   for i = 0 to 1 do
-    Link.set_deliver s2p.(i) (fun p ->
-        ignore (Q.Receiver_state.on_receive proxy_up.(i) p.Packet.id);
-        Queue.push p buffers.(i);
-        pump i);
+    Link.set_deliver s2p.(i) (fun p -> flows.(i).Protocol.on_data p);
     Link.set_deliver p2s.(i) (fun p ->
         match p.Packet.payload with
         | Sframes.Quack_frame { quack; dst = "server"; _ } -> (
@@ -234,8 +220,8 @@ let run cfg =
       Transport.Receiver.deliver receivers.(p.Packet.flow) p);
   Link.set_deliver c2p (fun p ->
       match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "proxy"; index = _ } ->
-          on_client_quack p.Packet.flow quack
+      | Sframes.Quack_frame { quack; dst = "proxy"; index } ->
+          flows.(p.Packet.flow).Protocol.on_feedback ~index quack
       | _ -> ignore (Link.send p2s.(p.Packet.flow) p));
   let all_done () =
     Array.for_all
@@ -243,19 +229,15 @@ let run cfg =
       receivers
   in
   let rec timers i () =
-    (* client quACK for flow i; proxy quACK for flow i rides the same tick *)
+    (* client quACK for flow i; proxy quACK for flow i rides the same
+       tick (the quACK frame carries the flow id as its 5-tuple) *)
     let cq = Q.Receiver_state.emit client_rx.(i) in
     quack_idx.(i) <- quack_idx.(i) + 1;
     ignore
       (Link.send c2p
          (Sframes.quack_packet ~quack:cq ~dst:"proxy" ~index:quack_idx.(i)
             ~count_omitted:false ~flow:i ~now:(Engine.now engine)));
-    (* the quACK frame carries the flow id as its 5-tuple *)
-    let pq = Q.Receiver_state.emit proxy_up.(i) in
-    ignore
-      (Link.send p2s.(i)
-         (Sframes.quack_packet ~quack:pq ~dst:"server" ~index:quack_idx.(i)
-            ~count_omitted:false ~flow:i ~now:(Engine.now engine)));
+    flows.(i).Protocol.on_timer ();
     if Engine.now engine < cfg.until && not (all_done ()) then
       Engine.schedule engine ~delay:quack_interval (timers i)
   in

@@ -1,0 +1,75 @@
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Time = Netsim.Sim_time
+
+type ports = {
+  engine : Engine.t;
+  index : int;
+  forward : Packet.t -> unit;
+  backward : Packet.t -> unit;
+  until : Time.t;
+  continue : unit -> bool;
+}
+
+type t = {
+  fwd : Packet.t -> unit;
+  rev : Packet.t -> unit;
+  start : unit -> unit;
+}
+
+type spec = ports -> t
+
+let pass_through ports =
+  { fwd = ports.forward; rev = ports.backward; start = (fun () -> ()) }
+
+let start t = t.start ()
+
+let of_protocol ?(flow_id = 0) ?counters ?expose (proto : Protocol.t) : spec =
+ fun ports ->
+  let counters =
+    match counters with Some c -> c | None -> Protocol.fresh_counters ()
+  in
+  let ctx =
+    {
+      Protocol.engine = ports.engine;
+      flow = flow_id;
+      forward = ports.forward;
+      backward = ports.backward;
+      counters;
+    }
+  in
+  let fl = proto.Protocol.init ctx in
+  (match expose with Some f -> f fl | None -> ());
+  let fwd p =
+    match p.Packet.payload with
+    | Sframes.Freq_update { dst; interval_packets }
+      when String.equal dst proto.Protocol.addr ->
+        fl.Protocol.on_freq interval_packets
+    | Sframes.Freq_update _ | Sframes.Quack_frame _ ->
+        (* control traffic for another node rides along unchanged *)
+        ports.forward p
+    | _ -> fl.Protocol.on_data p
+  in
+  let rev p =
+    match p.Packet.payload with
+    | Sframes.Quack_frame { quack; dst; index }
+      when String.equal dst proto.Protocol.addr ->
+        fl.Protocol.on_feedback ~index quack
+    | _ -> ports.backward p
+  in
+  let start () =
+    match proto.Protocol.timer with
+    | None -> ()
+    | Some { Protocol.period; scope } ->
+        let cond =
+          match scope with
+          | Protocol.Flow_active -> ports.continue
+          | Protocol.Until -> fun () -> Engine.now ports.engine < ports.until
+        in
+        let rec loop () =
+          fl.Protocol.on_timer ();
+          if cond () then Engine.schedule ports.engine ~delay:period loop
+        in
+        Engine.schedule ports.engine ~delay:period loop
+  in
+  { fwd; rev; start }

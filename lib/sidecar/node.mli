@@ -1,0 +1,50 @@
+(** A sidecar node at one path junction.
+
+    A node owns the two packet handlers of a junction (one per
+    direction) and any timers it needs. {!Chain} wires a node between
+    two {!Path} segments: packets delivered by the upstream forward
+    link enter [fwd], packets delivered by the downstream return link
+    enter [rev], and the node sends onward through its ports.
+
+    Construction (applying a {!spec} to its {!ports}) must have no
+    engine side effects; all scheduling belongs in [start], which the
+    harness invokes in deterministic order (client sidecar first, then
+    nodes left to right) so same-seed runs stay reproducible. *)
+
+type ports = {
+  engine : Netsim.Engine.t;
+  index : int;  (** junction index, left to right from the sender *)
+  forward : Netsim.Packet.t -> unit;  (** send toward the receiver *)
+  backward : Netsim.Packet.t -> unit;  (** send toward the sender *)
+  until : Netsim.Sim_time.t;  (** simulation horizon *)
+  continue : unit -> bool;
+      (** [true] while the run is inside the horizon and the flow has
+          not completed — the standard timer-reschedule condition *)
+}
+
+type t = {
+  fwd : Netsim.Packet.t -> unit;  (** handler for sender-side arrivals *)
+  rev : Netsim.Packet.t -> unit;  (** handler for receiver-side arrivals *)
+  start : unit -> unit;  (** schedule timers; engine effects live here *)
+}
+
+type spec = ports -> t
+
+val pass_through : spec
+(** The identity node: forwards both directions untouched. A chain of
+    pass-through nodes is behaviourally the {!Path.baseline}. *)
+
+val start : t -> unit
+
+val of_protocol :
+  ?flow_id:int -> ?counters:Protocol.counters ->
+  ?expose:(Protocol.flow -> unit) -> Protocol.t -> spec
+(** Adapt a {!Protocol} to a single-flow junction: [Sframes] frames
+    addressed to the protocol's [addr] are routed to [on_freq] /
+    [on_feedback], other sidecar frames ride along unchanged, data
+    packets go to [on_data], and the protocol's timer (if any) is
+    scheduled by [start]. [flow_id] (default 0) tags emitted frames;
+    [counters] (fresh if omitted) collects tallies — share one record
+    across a node pair to sum them; [expose] hands the harness the
+    per-flow handle so reports can read {!Protocol.flow.info} after
+    the run. *)

@@ -29,7 +29,31 @@ type segment = {
   codel : bool;
 }
 
+let check_loss what = function
+  | No_loss -> ()
+  | Bernoulli p ->
+      if not (p >= 0. && p <= 1.) then
+        invalid_arg
+          (Printf.sprintf "Path.segment: %s Bernoulli probability %g not in [0, 1]"
+             what p)
+  | Gilbert { p_good_to_bad; p_bad_to_good; loss_bad } ->
+      let check name p =
+        if not (p >= 0. && p <= 1.) then
+          invalid_arg
+            (Printf.sprintf "Path.segment: %s Gilbert %s %g not in [0, 1]" what
+               name p)
+      in
+      check "p_good_to_bad" p_good_to_bad;
+      check "p_bad_to_good" p_bad_to_good;
+      check "loss_bad" loss_bad
+
 let segment ?(loss = No_loss) ?(rev_loss = No_loss) ?(codel = false) ~rate_bps ~delay () =
+  if rate_bps <= 0 then
+    invalid_arg (Printf.sprintf "Path.segment: rate %d bps not positive" rate_bps);
+  if delay < 0 then
+    invalid_arg (Printf.sprintf "Path.segment: negative delay %d ns" delay);
+  check_loss "forward" loss;
+  check_loss "reverse" rev_loss;
   { rate_bps; delay; loss; rev_loss; codel }
 
 let rtt segments = 2 * List.fold_left (fun acc s -> acc + s.delay) 0 segments

@@ -28,6 +28,9 @@ type segment = {
 val segment :
   ?loss:loss_spec -> ?rev_loss:loss_spec -> ?codel:bool -> rate_bps:int ->
   delay:Netsim.Sim_time.span -> unit -> segment
+(** @raise Invalid_argument (naming the offending field and value) on
+    [rate_bps <= 0], negative [delay], or any loss probability outside
+    [\[0, 1\]] (NaN included). *)
 
 val rtt : segment list -> Netsim.Sim_time.span
 (** End-to-end round-trip propagation of the path. *)

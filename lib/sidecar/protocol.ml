@@ -1,0 +1,80 @@
+module Engine = Netsim.Engine
+module Packet = Netsim.Packet
+module Time = Netsim.Sim_time
+
+let server_addr = "server"
+
+type counters = {
+  mutable quacks_tx : int;
+  mutable quack_bytes : int;
+  mutable resyncs : int;
+  mutable buffer_bypass : int;
+  mutable flushed_on_evict : int;
+  mutable freq_sent : int;
+  mutable retransmissions : int;
+}
+
+let fresh_counters () =
+  {
+    quacks_tx = 0;
+    quack_bytes = 0;
+    resyncs = 0;
+    buffer_bypass = 0;
+    flushed_on_evict = 0;
+    freq_sent = 0;
+    retransmissions = 0;
+  }
+
+type ctx = {
+  engine : Engine.t;
+  flow : int;
+  forward : Packet.t -> unit;
+  backward : Packet.t -> unit;
+  counters : counters;
+}
+
+type info = {
+  buffered : int;
+  outstanding : int;
+  window_bytes : int;
+  upstream_interval : int;
+  buffer_peak : int;
+}
+
+let no_info =
+  {
+    buffered = 0;
+    outstanding = 0;
+    window_bytes = 0;
+    upstream_interval = 0;
+    buffer_peak = 0;
+  }
+
+type flow = {
+  on_data : Packet.t -> unit;
+  on_feedback : index:int -> Sidecar_quack.Quack.t -> unit;
+  on_freq : int -> unit;
+  on_timer : unit -> unit;
+  on_evict : unit -> unit;
+  info : unit -> info;
+}
+
+type timer_scope = Flow_active | Until
+type timer = { period : Time.span; scope : timer_scope }
+
+type t = { name : string; addr : string; timer : timer option; init : ctx -> flow }
+
+module type S = sig
+  type config
+
+  val make : config -> t
+end
+
+let send_quack ctx ~dst ~index ~count_omitted quack =
+  let pkt =
+    Sframes.quack_packet ~quack ~dst ~index ~count_omitted ~flow:ctx.flow
+      ~now:(Engine.now ctx.engine)
+  in
+  ctx.counters.quacks_tx <- ctx.counters.quacks_tx + 1;
+  ctx.counters.quack_bytes <- ctx.counters.quack_bytes + pkt.Packet.size;
+  ctx.backward pkt

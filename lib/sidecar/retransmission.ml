@@ -97,179 +97,46 @@ let baseline cfg =
   Transport.Flow.run engine ~sender ~receiver ~until:cfg.until ()
 
 let run cfg =
-  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed (segments cfg) in
-  let s2a = fwd.(0) and a2b = fwd.(1) and b2c = fwd.(2) in
-  (* return path, receiver side first: client→B, B→A, A→server *)
-  let c2b = rev.(0) and b2a = rev.(1) and a2s = rev.(2) in
-  let quacks = ref 0 in
-  let quack_bytes = ref 0 in
-  let freq_updates = ref 0 in
-  let proxy_retx = ref 0 in
-
-  (* ---- proxy A: sender side of the subpath ----------------------- *)
-  (* meta: the buffered packet itself, so missing packets can be
-     resent byte-identical. *)
-  let a_ss =
-    Q.Sender_state.create
-      {
-        Q.Sender_state.default_config with
-        bits = cfg.bits;
-        threshold = cfg.threshold;
-        strikes_to_lose = cfg.strikes_to_lose;
-      }
+  let counters = Protocol.fresh_counters () in
+  let near_flow = ref None in
+  let pcfg =
+    {
+      Proto_retx.bits = cfg.bits;
+      threshold = cfg.threshold;
+      strikes_to_lose = cfg.strikes_to_lose;
+      buffer_pkts = cfg.buffer_pkts;
+      initial_quack_every = cfg.initial_quack_every;
+      adaptive = cfg.adaptive;
+      target_missing = cfg.target_missing;
+      subpath_rtt = 2 * cfg.middle.Path.delay;
+      near_addr = "proxyA";
+      far_addr = "proxyB";
+    }
   in
-  (* Copy buffer keyed by uid; bounded. *)
-  let buffer : (int, Packet.t) Hashtbl.t = Hashtbl.create 1024 in
-  let buffer_fifo : int Queue.t = Queue.create () in
-  let buffer_peak = ref 0 in
-  let quack_every = ref cfg.initial_quack_every in
-  let since_freq_update = ref 0 in
-  (* Suppress duplicate refills of the same packet while a previous
-     local retransmission is still crossing the subpath. *)
-  let resend_holdoff = (2 * cfg.middle.Path.delay) + Time.ms 1 in
-  let last_resend : (int, Time.t) Hashtbl.t = Hashtbl.create 64 in
-  let a_forward (p : Packet.t) =
-    Q.Sender_state.on_send a_ss ~id:p.Packet.id p;
-    if Hashtbl.length buffer >= cfg.buffer_pkts then begin
-      match Queue.take_opt buffer_fifo with
-      | Some old -> Hashtbl.remove buffer old
-      | None -> ()
-    end;
-    Hashtbl.replace buffer p.Packet.uid p;
-    Queue.push p.Packet.uid buffer_fifo;
-    if Hashtbl.length buffer > !buffer_peak then buffer_peak := Hashtbl.length buffer;
-    ignore (Link.send a2b p)
+  let outcome =
+    Chain.run ~seed:cfg.seed ~units:cfg.units ~mss:cfg.mss
+      ~pkt_threshold:(pkt_threshold cfg)
+      ~nodes:
+        [
+          Node.of_protocol ~counters
+            ~expose:(fun fl -> near_flow := Some fl)
+            (Proto_retx.near pcfg);
+          Node.of_protocol ~counters (Proto_retx.far pcfg);
+        ]
+      ~until:cfg.until (segments cfg)
   in
-  let a_ingress (p : Packet.t) = a_forward p in
-  let a_on_quack q =
-    match Q.Sender_state.on_quack a_ss q with
-    | Ok rep when not rep.Q.Sender_state.stale ->
-        (* confirmed-past-B packets no longer need copies *)
-        List.iter
-          (fun (p : Packet.t) -> Hashtbl.remove buffer p.Packet.uid)
-          rep.Q.Sender_state.acked;
-        (* local retransmission of decoded losses (and indeterminate
-           candidates: duplicates are harmless, gaps are not) *)
-        let resend (p : Packet.t) =
-          let now = Engine.now engine in
-          let held =
-            match Hashtbl.find_opt last_resend p.Packet.uid with
-            | Some t0 -> Time.diff now t0 < resend_holdoff
-            | None -> false
-          in
-          if (not held) && Hashtbl.mem buffer p.Packet.uid then begin
-            Hashtbl.replace last_resend p.Packet.uid now;
-            incr proxy_retx;
-            a_forward p
-          end
-        in
-        List.iter resend rep.Q.Sender_state.lost;
-        (* adaptive frequency (§4.3): target a constant number of
-           missing packets per quACK *)
-        if cfg.adaptive then begin
-          let n_acked = List.length rep.Q.Sender_state.acked
-          and n_lost = List.length rep.Q.Sender_state.lost in
-          let total = n_acked + n_lost in
-          incr since_freq_update;
-          if total > 0 && !since_freq_update >= 4 then begin
-            since_freq_update := 0;
-            let observed_loss = float_of_int n_lost /. float_of_int total in
-            let next =
-              Q.Frequency.adapt_interval ~current:!quack_every
-                ~observed_loss ~target_missing:cfg.target_missing
-            in
-            (* The quACK must arrive (and the refill land) before the
-               end hosts' own loss detection notices the gap, so the
-               interval is clamped to stay well inside one end-to-end
-               reordering window regardless of what the loss ratio
-               alone would suggest. *)
-            let next = max 8 (min next 64) in
-            if next <> !quack_every then begin
-              quack_every := next;
-              incr freq_updates;
-              ignore
-                (Link.send a2b
-                   (Sframes.freq_packet ~dst:"proxyB" ~interval_packets:next
-                      ~flow:0 ~now:(Engine.now engine)))
-            end
-          end
-        end
-    | Ok _ -> ()
-    | Error (`Threshold_exceeded _) ->
-        (* abandon and resync; the packets' fate falls back to e2e *)
-        ignore (Q.Sender_state.resync_to a_ss q)
-    | Error (`Config_mismatch _) -> ()
+  let near_info =
+    match !near_flow with
+    | Some fl -> fl.Protocol.info ()
+    | None -> Protocol.no_info
   in
-
-  (* ---- proxy B: receiver side of the subpath --------------------- *)
-  let b_rx = Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold () in
-  let b_since = ref 0 in
-  let b_interval = ref cfg.initial_quack_every in
-  let b_quack_index = ref 0 in
-  let b_emit () =
-    b_since := 0;
-    let q = Q.Receiver_state.emit b_rx in
-    incr b_quack_index;
-    incr quacks;
-    let pkt =
-      Sframes.quack_packet ~quack:q ~dst:"proxyA" ~index:!b_quack_index
-        ~count_omitted:false ~flow:0 ~now:(Engine.now engine)
-    in
-    quack_bytes := !quack_bytes + pkt.Packet.size;
-    ignore (Link.send b2a pkt)
-  in
-  (* Time backstop: at low data rates a packet-count interval is slow
-     in wall-clock terms, so also quACK once per ~subpath RTT while
-     packets are pending. *)
-  let b_timer_period = max (Time.ms 1) (2 * cfg.middle.Path.delay) in
-  let rec b_timer () =
-    if !b_since > 0 then b_emit ();
-    if Engine.now engine < cfg.until then
-      Engine.schedule engine ~delay:b_timer_period b_timer
-  in
-  Engine.schedule engine ~delay:b_timer_period b_timer;
-  let b_ingress (p : Packet.t) =
-    match p.Packet.payload with
-    | Sframes.Freq_update { dst = "proxyB"; interval_packets } ->
-        b_interval := interval_packets
-    | _ ->
-        ignore (Q.Receiver_state.on_receive b_rx p.Packet.id);
-        incr b_since;
-        if !b_since >= !b_interval then b_emit ();
-        ignore (Link.send b2c p)
-  in
-
-  (* ---- end hosts -------------------------------------------------- *)
-  let sender =
-    Transport.Sender.create engine ~mss:cfg.mss
-      ~pkt_threshold:(pkt_threshold cfg) ~total_units:cfg.units
-      ~egress:(fun p -> ignore (Link.send s2a p))
-      ()
-  in
-  let receiver =
-    Transport.Receiver.create engine ~total_units:cfg.units
-      ~send_ack:(fun p -> ignore (Link.send c2b p))
-      ()
-  in
-
-  (* ---- wiring ----------------------------------------------------- *)
-  Link.set_deliver s2a a_ingress;
-  Link.set_deliver a2b b_ingress;
-  Link.set_deliver b2c (Transport.Receiver.deliver receiver);
-  Link.set_deliver c2b (fun p -> ignore (Link.send b2a p));
-  Link.set_deliver b2a (fun p ->
-      match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "proxyA"; _ } -> a_on_quack quack
-      | _ -> ignore (Link.send a2s p));
-  Link.set_deliver a2s (Transport.Sender.deliver_ack sender);
-  let flow = Transport.Flow.run engine ~sender ~receiver ~until:cfg.until () in
   {
-    flow;
-    proxy_retransmissions = !proxy_retx;
-    quacks = !quacks;
-    quack_bytes = !quack_bytes;
-    freq_updates = !freq_updates;
-    final_quack_every = !quack_every;
-    buffer_peak = !buffer_peak;
-    subpath_loss_observed = Link.loss_rate_observed a2b;
+    flow = outcome.Chain.flow;
+    proxy_retransmissions = counters.Protocol.retransmissions;
+    quacks = counters.Protocol.quacks_tx;
+    quack_bytes = counters.Protocol.quack_bytes;
+    freq_updates = counters.Protocol.freq_sent;
+    final_quack_every = near_info.Protocol.upstream_interval;
+    buffer_peak = near_info.Protocol.buffer_peak;
+    subpath_loss_observed = Link.loss_rate_observed outcome.Chain.built.Path.fwd.(1);
   }

@@ -39,68 +39,79 @@ let pp_report ppf r =
     | None -> "-")
     r.proxy_buffer_peak_units
 
+(* The split proxy is not a {!Protocol} — it terminates the transport
+   rather than observing it — but it is still a {!Node}: two junction
+   handlers plus a start hook. The custom spec below is the pattern for
+   any sidecar that needs full control of its junction. *)
 let run cfg =
-  let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
-  let s2p = fwd.(0) and p2c = fwd.(1) in
-  let c2p = rev.(0) and p2s = rev.(1) in
-
+  let built = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
+  let { Path.engine; fwd; rev } = built in
+  let server_done = ref None in
+  let buffer_peak = ref 0 in
+  let tx_ref = ref None in
+  let spec (ports : Node.ports) =
+    (* connection 2: proxy -> client; units stream in from connection 1.
+       Contiguous-prefix release: the proxy can only forward units it
+       holds; out-of-order arrivals wait for the gap to fill. *)
+    let got = Bytes.make cfg.units '\000' in
+    let watermark = ref 0 in
+    let proxy_rx =
+      Transport.Receiver.create engine ~total_units:cfg.units
+        ~on_data:(fun p ->
+          match p.Netsim.Packet.payload with
+          | Transport.Frames.Data { offset } when offset >= 0 && offset < cfg.units ->
+              if Bytes.get got offset = '\000' then begin
+                Bytes.set got offset '\001';
+                while !watermark < cfg.units && Bytes.get got !watermark = '\001' do
+                  incr watermark
+                done;
+                (match !tx_ref with
+                | Some tx ->
+                    Transport.Sender.make_available tx !watermark;
+                    let backlog =
+                      !watermark - (Transport.Sender.stats tx).Transport.Sender.acked_units
+                    in
+                    if backlog > !buffer_peak then buffer_peak := backlog
+                | None -> ());
+                if !watermark = cfg.units && !server_done = None then
+                  server_done := Some (Netsim.Engine.now engine)
+              end
+          | _ -> ())
+        ~send_ack:ports.Node.backward ()
+    in
+    let tx =
+      Transport.Sender.create engine ~mss:cfg.mss ~initially_available:0
+        ~total_units:cfg.units ~egress:ports.Node.forward ()
+    in
+    tx_ref := Some tx;
+    {
+      Node.fwd = Transport.Receiver.deliver proxy_rx;
+      rev = Transport.Sender.deliver_ack tx;
+      start = (fun () -> Transport.Sender.start tx);
+    }
+  in
+  let continue () = Netsim.Engine.now engine < cfg.until in
+  let nodes = Chain.wire built ~until:cfg.until ~continue [ spec ] in
   (* connection 1: server -> proxy *)
   let server =
     Transport.Sender.create engine ~mss:cfg.mss ~total_units:cfg.units
-      ~egress:(fun p -> ignore (Link.send s2p p))
+      ~egress:(fun p -> ignore (Link.send fwd.(0) p))
       ()
   in
-  (* connection 2: proxy -> client; units stream in from connection 1 *)
-  let proxy_tx = ref None in
-  let server_done = ref None in
-  (* contiguous-prefix release: the proxy can only forward units it
-     holds; out-of-order arrivals wait for the gap to fill *)
-  let got = Bytes.make cfg.units '\000' in
-  let watermark = ref 0 in
-  let buffer_peak = ref 0 in
-  let proxy_rx =
-    Transport.Receiver.create engine ~total_units:cfg.units
-      ~on_data:(fun p ->
-        match p.Netsim.Packet.payload with
-        | Transport.Frames.Data { offset } when offset >= 0 && offset < cfg.units ->
-            if Bytes.get got offset = '\000' then begin
-              Bytes.set got offset '\001';
-              while !watermark < cfg.units && Bytes.get got !watermark = '\001' do
-                incr watermark
-              done;
-              (match !proxy_tx with
-              | Some tx ->
-                  Transport.Sender.make_available tx !watermark;
-                  let backlog =
-                    !watermark - (Transport.Sender.stats tx).Transport.Sender.acked_units
-                  in
-                  if backlog > !buffer_peak then buffer_peak := backlog
-              | None -> ());
-              if !watermark = cfg.units && !server_done = None then
-                server_done := Some (Netsim.Engine.now engine)
-            end
-        | _ -> ())
-      ~send_ack:(fun p -> ignore (Link.send p2s p))
-      ()
-  in
-  let tx =
-    Transport.Sender.create engine ~mss:cfg.mss ~initially_available:0
-      ~total_units:cfg.units
-      ~egress:(fun p -> ignore (Link.send p2c p))
-      ()
-  in
-  proxy_tx := Some tx;
   let client =
     Transport.Receiver.create engine ~total_units:cfg.units
-      ~send_ack:(fun p -> ignore (Link.send c2p p))
+      ~send_ack:(fun p -> ignore (Link.send rev.(0) p))
       ()
   in
-  Link.set_deliver s2p (Transport.Receiver.deliver proxy_rx);
-  Link.set_deliver p2s (Transport.Sender.deliver_ack server);
-  Link.set_deliver p2c (Transport.Receiver.deliver client);
-  Link.set_deliver c2p (Transport.Sender.deliver_ack tx);
+  Link.set_deliver fwd.(1) (Transport.Receiver.deliver client);
+  Link.set_deliver rev.(1) (Transport.Sender.deliver_ack server);
   Transport.Sender.start server;
-  Transport.Sender.start tx;
+  List.iter Node.start nodes;
+  let tx =
+    match !tx_ref with
+    | Some tx -> tx
+    | None -> invalid_arg "Split_pep.run: node spec was not applied"
+  in
   let client_flow =
     Transport.Flow.run engine ~sender:tx ~receiver:client ~until:cfg.until ()
   in

@@ -202,6 +202,91 @@ let test_scenario_adaptive_frequency () =
   check bool "freq updates applied" true
     (r.Scenario.proxy.Proxy.freq_updates > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Scenario under the other protocols: the same bounded-table runtime
+   drives ACK reduction and the retransmission pair.                   *)
+
+let test_scenario_ack_deterministic () =
+  (* 200 flows under ACK reduction: completes, deterministic, and the
+     eviction → fresh proxy state → §3.3 server resync loop is
+     actually exercised (the acceptance criterion for `Ack). *)
+  let cfg =
+    {
+      Scenario.default_config with
+      Scenario.protocol = `Ack;
+      flows = 200;
+      table_flows = 24;
+      max_units = 120;
+      arrival_mean_s = 0.01;
+      until = Time.s 120;
+    }
+  in
+  let r1 = Scenario.run cfg in
+  let r2 = Scenario.run cfg in
+  check bool "identical reports" true (compare r1 r2 = 0);
+  check int "all flows complete" (Array.length r1.Scenario.flows)
+    r1.Scenario.completed;
+  check bool "evictions happened" true (r1.Scenario.evictions > 0);
+  check bool "proxy quacked upstream" true
+    (r1.Scenario.proxy.Proxy.quacks_tx > 0);
+  check bool "re-admission resynced at servers" true
+    (r1.Scenario.srv_resyncs > 0);
+  check bool "no second proxy" true (r1.Scenario.proxy2 = None)
+
+let test_scenario_retx_deterministic () =
+  (* 200 flows under the bracketing retransmission pair: completes,
+     deterministic, the near proxy locally resends, and eviction of
+     near state forces §3.3 resyncs when the far proxy's cumulative
+     quACKs meet a fresh copy of the power sums. *)
+  let cfg =
+    {
+      Scenario.default_config with
+      Scenario.protocol = `Retx;
+      flows = 200;
+      table_flows = 12;
+      max_units = 120;
+      arrival_mean_s = 0.01;
+      until = Time.s 120;
+    }
+  in
+  let r1 = Scenario.run cfg in
+  let r2 = Scenario.run cfg in
+  check bool "identical reports" true (compare r1 r2 = 0);
+  check int "all flows complete" (Array.length r1.Scenario.flows)
+    r1.Scenario.completed;
+  check bool "evictions happened" true (r1.Scenario.evictions > 0);
+  check bool "far proxy exists" true (r1.Scenario.proxy2 <> None);
+  (match r1.Scenario.proxy2 with
+  | Some far -> check bool "far proxy quacked" true (far.Proxy.quacks_tx > 0)
+  | None -> ());
+  check bool "near proxy locally resent" true
+    (r1.Scenario.proxy_retransmissions > 0);
+  check bool "re-admission resynced at near proxy" true
+    (r1.Scenario.proxy.Proxy.resyncs > 0);
+  check int "no server-side sidecars" 0 r1.Scenario.srv_resyncs
+
+let test_scenario_ack_thins_acks () =
+  (* With in-network quACKs feeding the server, thinned client ACKs
+     must not stall anything: all complete, and a capacity-0 run (no
+     quACKs at all, but also no thinning harm) still completes. *)
+  let cfg = { small_cfg with Scenario.protocol = `Ack } in
+  let r = Scenario.run cfg in
+  check int "all flows complete" (Array.length r.Scenario.flows)
+    r.Scenario.completed;
+  let r0 = Scenario.run { cfg with Scenario.table_flows = 0 } in
+  check int "degraded still completes" (Array.length r0.Scenario.flows)
+    r0.Scenario.completed;
+  check int "nothing tracked" 0 r0.Scenario.proxy.Proxy.data_packets
+
+let test_scenario_retx_degrades_gracefully () =
+  let cfg = { small_cfg with Scenario.protocol = `Retx } in
+  let r0 = Scenario.run { cfg with Scenario.table_flows = 0 } in
+  check int "pure e2e over lossy middle completes"
+    (Array.length r0.Scenario.flows)
+    r0.Scenario.completed;
+  check int "no local resends without state" 0
+    r0.Scenario.proxy_retransmissions
+
 (* Eviction/re-admission under many random table sizes never corrupts
    delivery (ISSUE satellite 4a as a property). *)
 let prop_eviction_never_corrupts =
@@ -248,5 +333,16 @@ let () =
           Alcotest.test_case "adaptive frequency" `Slow
             test_scenario_adaptive_frequency;
           qt prop_eviction_never_corrupts;
+        ] );
+      ( "scenario-protocols",
+        [
+          Alcotest.test_case "ack: deterministic at 200 flows" `Slow
+            test_scenario_ack_deterministic;
+          Alcotest.test_case "retx: deterministic at 200 flows" `Slow
+            test_scenario_retx_deterministic;
+          Alcotest.test_case "ack: thinned ACKs still complete" `Slow
+            test_scenario_ack_thins_acks;
+          Alcotest.test_case "retx: degrades to e2e" `Slow
+            test_scenario_retx_degrades_gracefully;
         ] );
     ]
