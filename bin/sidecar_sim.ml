@@ -53,6 +53,55 @@ let delay ~name ~default doc =
 let loss ~name ~default doc =
   Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
 
+(* Machine-readable output and the flight recorder, shared by the
+   scenario subcommands. [--json FILE] writes the run's report as
+   JSON; [--trace CATS] enables trace categories process-wide before
+   the engine is built (tracing provably never changes results — the
+   golden suite pins that) and dumps the recorded ring afterwards. *)
+
+let json_arg =
+  Arg.(value & opt (some string) None
+       & info [ "json" ] ~docv:"FILE" ~doc:"Also write the report as JSON to $(docv).")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"CATS"
+           ~doc:"Enable trace categories (comma-separated from link, quack, \
+                 proto, table; or $(b,all)) and dump recorded events after \
+                 the run.")
+
+let set_trace = function
+  | None -> false
+  | Some "all" ->
+      Obs.Sink.set_default_trace_categories Obs.Trace.all_categories;
+      true
+  | Some spec ->
+      let cats =
+        List.map
+          (fun s ->
+            match Obs.Trace.category_of_string (String.trim s) with
+            | Some c -> c
+            | None ->
+                Format.eprintf "unknown trace category %S (expected link, \
+                                quack, proto, table or all)@." s;
+                exit 2)
+          (String.split_on_char ',' spec)
+      in
+      Obs.Sink.set_default_trace_categories cats;
+      true
+
+(* Write [--json], dump [--trace]; call after the run. *)
+let finish ~traced json_file report_json =
+  (match json_file with
+  | None -> ()
+  | Some file ->
+      Obs.Json.to_file file report_json;
+      Format.printf "(wrote %s)@." file);
+  if traced then
+    match Obs.Sink.last () with
+    | Some sink -> Format.printf "%a" Obs.Trace.dump (Obs.Sink.trace sink)
+    | None -> ()
+
 (* ------------------------------------------------------------------ *)
 (* quack: a single encode/decode round trip                            *)
 
@@ -92,7 +141,9 @@ let quack_cmd =
 (* cc-division                                                         *)
 
 let cc_cmd =
-  let run units seed baseline near_rate near_delay far_rate far_delay far_loss =
+  let run units seed baseline near_rate near_delay far_rate far_delay far_loss
+      json trace =
+    let traced = set_trace trace in
     let cfg =
       {
         Cc_division.default_config with
@@ -105,9 +156,16 @@ let cc_cmd =
             ();
       }
     in
-    if baseline then
-      Format.printf "%a@." Transport.Flow.pp_result (Cc_division.baseline cfg)
-    else Format.printf "%a@." Cc_division.pp_report (Cc_division.run cfg)
+    if baseline then begin
+      let r = Cc_division.baseline cfg in
+      Format.printf "%a@." Transport.Flow.pp_result r;
+      finish ~traced json (Transport.Flow.json_result r)
+    end
+    else begin
+      let rep = Cc_division.run cfg in
+      Format.printf "%a@." Cc_division.pp_report rep;
+      finish ~traced json (Cc_division.json_report rep)
+    end
   in
   Cmd.v
     (Cmd.info "cc-division" ~doc:"Congestion-control division (paper sec 2.1).")
@@ -117,21 +175,28 @@ let cc_cmd =
       $ delay ~name:"near-delay" ~default:(Time.ms 28) "Server-proxy one-way delay (ms)."
       $ rate ~name:"far-rate" ~default:20_000_000 "Proxy-client rate (Mbit/s)."
       $ delay ~name:"far-delay" ~default:(Time.ms 2) "Proxy-client one-way delay (ms)."
-      $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability.")
+      $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
+      $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* ack-reduction                                                       *)
 
 let ar_cmd =
-  let run units seed baseline quack_every client_ack_every =
+  let run units seed baseline quack_every client_ack_every json trace =
+    let traced = set_trace trace in
     let cfg =
       { Ack_reduction.default_config with units; seed; quack_every; client_ack_every }
     in
     if baseline then begin
       let r, bytes = Ack_reduction.baseline cfg in
-      Format.printf "%a@.client ack bytes: %d@." Transport.Flow.pp_result r bytes
+      Format.printf "%a@.client ack bytes: %d@." Transport.Flow.pp_result r bytes;
+      finish ~traced json (Transport.Flow.json_result r)
     end
-    else Format.printf "%a@." Ack_reduction.pp_report (Ack_reduction.run cfg)
+    else begin
+      let rep = Ack_reduction.run cfg in
+      Format.printf "%a@." Ack_reduction.pp_report rep;
+      finish ~traced json (Ack_reduction.json_report rep)
+    end
   in
   let quack_every =
     Arg.(value & opt int 32 & info [ "quack-every" ] ~doc:"Proxy quACK interval (packets).")
@@ -141,13 +206,15 @@ let ar_cmd =
   in
   Cmd.v
     (Cmd.info "ack-reduction" ~doc:"ACK reduction (paper sec 2.2).")
-    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ client_ack)
+    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ client_ack
+          $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* retransmission                                                      *)
 
 let rx_cmd =
-  let run units seed baseline quack_every adaptive avg_loss =
+  let run units seed baseline quack_every adaptive avg_loss json trace =
+    let traced = set_trace trace in
     let middle_loss =
       if avg_loss <= 0. then Path.No_loss
       else
@@ -171,9 +238,16 @@ let rx_cmd =
           };
       }
     in
-    if baseline then
-      Format.printf "%a@." Transport.Flow.pp_result (Retransmission.baseline cfg)
-    else Format.printf "%a@." Retransmission.pp_report (Retransmission.run cfg)
+    if baseline then begin
+      let r = Retransmission.baseline cfg in
+      Format.printf "%a@." Transport.Flow.pp_result r;
+      finish ~traced json (Transport.Flow.json_result r)
+    end
+    else begin
+      let rep = Retransmission.run cfg in
+      Format.printf "%a@." Retransmission.pp_report rep;
+      finish ~traced json (Retransmission.json_report rep)
+    end
   in
   let quack_every =
     Arg.(value & opt int 8 & info [ "quack-every" ] ~doc:"Initial quACK interval (packets).")
@@ -187,7 +261,8 @@ let rx_cmd =
   in
   Cmd.v
     (Cmd.info "retransmission" ~doc:"In-network retransmission (paper sec 2.3).")
-    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ adaptive $ avg_loss)
+    Term.(const run $ units $ seed $ baseline_flag $ quack_every $ adaptive
+          $ avg_loss $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fairness                                                            *)
@@ -220,7 +295,9 @@ let fairness_cmd =
 (* runtime: many flows through one bounded-table proxy                  *)
 
 let runtime_cmd =
-  let run protocol flows table eviction idle_ms seed far_loss per_flow =
+  let run protocol flows table eviction idle_ms seed far_loss per_flow json
+      trace =
+    let traced = set_trace trace in
     let policy =
       match eviction with
       | "lru" -> Sidecar_runtime.Flow_table.Lru
@@ -266,7 +343,8 @@ let runtime_cmd =
             fr.Sidecar_runtime.Scenario.transmissions
             fr.Sidecar_runtime.Scenario.retransmissions
             fr.Sidecar_runtime.Scenario.timeouts)
-        r.Sidecar_runtime.Scenario.flows
+        r.Sidecar_runtime.Scenario.flows;
+    finish ~traced json (Sidecar_runtime.Scenario.json_report r)
   in
   let flows =
     Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows.")
@@ -298,7 +376,7 @@ let runtime_cmd =
        ~doc:"Many flows through bounded-table sidecar proxy state.")
     Term.(const run $ protocol $ flows $ table $ eviction $ idle_ms $ seed
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
-          $ per_flow)
+          $ per_flow $ json_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -140,15 +140,19 @@ let () =
   in
   Format.printf "%a@.@." Transport.Flow.pp_result outcome.Chain.flow;
 
+  let c = Obs.Metrics.Counter.get in
   Format.printf
     "ack reduction: %d quACKs (%d B) to the server, %d B freed early@."
-    ar_counters.Protocol.quacks_tx ar_counters.Protocol.quack_bytes
+    (c ar_counters.Protocol.quacks_tx)
+    (c ar_counters.Protocol.quack_bytes)
     !freed_early;
   Format.printf
     "retx pair:     %d quACKs (%d B) across the subpath, %d local refills, \
      %d interval updates@."
-    retx_counters.Protocol.quacks_tx retx_counters.Protocol.quack_bytes
-    retx_counters.Protocol.retransmissions retx_counters.Protocol.freq_sent;
+    (c retx_counters.Protocol.quacks_tx)
+    (c retx_counters.Protocol.quack_bytes)
+    (c retx_counters.Protocol.retransmissions)
+    (c retx_counters.Protocol.freq_sent);
   match (base.Chain.flow.Transport.Flow.fct, outcome.Chain.flow.Transport.Flow.fct)
   with
   | Some b, Some s ->

@@ -3,13 +3,34 @@ type t = {
   events : (unit -> unit) Event_heap.t;
   rng : Rng.t;
   mutable stopped : bool;
+  obs : Obs.Sink.t;
+  events_fired : Obs.Metrics.Counter.t;
 }
 
-let create ?(seed = 1) () =
-  { clock = Sim_time.zero; events = Event_heap.create (); rng = Rng.create seed; stopped = false }
+let create ?(seed = 1) ?obs () =
+  let obs = match obs with Some o -> o | None -> Obs.Sink.create () in
+  let metrics = Obs.Sink.metrics obs in
+  let events_fired = Obs.Metrics.counter metrics "engine.events_fired" in
+  let t =
+    {
+      clock = Sim_time.zero;
+      events = Event_heap.create ();
+      rng = Rng.create seed;
+      stopped = false;
+      obs;
+      events_fired;
+    }
+  in
+  Obs.Metrics.int_source metrics "engine.pending" (fun () ->
+      Event_heap.size t.events);
+  Obs.Metrics.int_source metrics "engine.now_ns" (fun () -> t.clock);
+  t
 
 let now t = t.clock
 let rng t = t.rng
+let obs t = t.obs
+let metrics t = Obs.Sink.metrics t.obs
+let trace t = Obs.Sink.trace t.obs
 
 let schedule_at t time f =
   let time = if time < t.clock then t.clock else time in
@@ -30,7 +51,16 @@ let run ?until ?(max_events = 200_000_000) t =
     if t.stopped || !fired >= max_events then continue := false
     else begin
       match Event_heap.peek_time t.events with
-      | None -> continue := false
+      | None ->
+          (* Heap drained before the horizon: the simulation is idle
+             for the rest of the window, so the clock still advances to
+             [until] — callers computing durations or rates from [now]
+             after a run must see the full window, not the instant of
+             the last event. *)
+          (match until with
+          | Some limit when limit > t.clock -> t.clock <- limit
+          | _ -> ());
+          continue := false
       | Some time ->
           (match until with
           | Some limit when time > limit ->
@@ -42,6 +72,7 @@ let run ?until ?(max_events = 200_000_000) t =
               | Some (_, f) ->
                   t.clock <- time;
                   incr fired;
+                  Obs.Metrics.Counter.incr t.events_fired;
                   f ()))
     end
   done

@@ -2,18 +2,34 @@
 
     Components schedule closures; [run] pops them in time order and
     advances the clock. Everything observable in a simulation happens
-    inside a scheduled event. *)
+    inside a scheduled event.
+
+    Every engine owns an observability sink ({!Obs.Sink}): components
+    built against the engine register their metrics and record their
+    trace events there, so one handle reports on the whole
+    simulation. *)
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?obs:Obs.Sink.t -> unit -> t
 (** [seed] (default 1) drives the root RNG; all randomness in a
-    simulation must derive from it for reproducibility. *)
+    simulation must derive from it for reproducibility. [obs] defaults
+    to a fresh sink (which picks up the process-wide default trace
+    categories — normally none, i.e. tracing off). *)
 
 val now : t -> Sim_time.t
 val rng : t -> Rng.t
 (** The root RNG. Components should call {!Rng.split} on it at set-up
     time rather than share it at run time. *)
+
+val obs : t -> Obs.Sink.t
+val metrics : t -> Obs.Metrics.t
+(** Shorthand for [Obs.Sink.metrics (obs t)]. The engine registers
+    ["engine.events_fired"], ["engine.pending"] and ["engine.now_ns"]
+    itself. *)
+
+val trace : t -> Obs.Trace.t
+(** Shorthand for [Obs.Sink.trace (obs t)]. *)
 
 val schedule : t -> delay:Sim_time.span -> (unit -> unit) -> unit
 (** Schedule a closure [delay] ns from now. Negative delays are
@@ -28,7 +44,9 @@ val pending : t -> int
 val run : ?until:Sim_time.t -> ?max_events:int -> t -> unit
 (** Process events until the queue is empty, the clock passes [until],
     or [max_events] have fired (a runaway-simulation backstop,
-    default 200 million). *)
+    default 200 million). When the queue drains before [until], the
+    clock still advances to [until]: a run over a window covers the
+    whole window even if the simulation goes idle early. *)
 
 val stop : t -> unit
 (** Make the current [run] return after the in-progress event. *)

@@ -1,11 +1,27 @@
+module Counter = Obs.Metrics.Counter
+
 type stats = {
-  mutable sent : int;
-  mutable delivered : int;
-  mutable dropped_loss : int;
-  mutable dropped_queue : int;
-  mutable dropped_aqm : int;
-  mutable bytes_sent : int;
-  mutable bytes_delivered : int;
+  sent : int;
+  delivered : int;
+  dropped_loss : int;
+  dropped_queue : int;
+  dropped_aqm : int;
+  bytes_sent : int;
+  bytes_delivered : int;
+  queue_peak : int;
+}
+
+(* Per-link tallies are registry cells, not a bespoke record: the
+   engine's metrics registry iterates them for reports, while the hot
+   path still pays a single mutable-int bump per update. *)
+type cells = {
+  sent : Counter.t;
+  delivered : Counter.t;
+  dropped_loss : Counter.t;
+  dropped_queue : Counter.t;
+  dropped_aqm : Counter.t;
+  bytes_sent : Counter.t;
+  bytes_delivered : Counter.t;
   mutable queue_peak : int;
 }
 
@@ -24,7 +40,8 @@ type t = {
   queue : (Packet.t * Sim_time.t) Queue.t;  (* packet, enqueue time *)
   mutable transmitting : bool;
   sojourn : Stats.Summary.t;
-  stats : stats;
+  cells : cells;
+  trace : Obs.Trace.t;
 }
 
 let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
@@ -32,6 +49,23 @@ let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
   if rate_bps <= 0 then invalid_arg "Link.create: rate must be positive";
   if queue_capacity_pkts <= 0 then invalid_arg "Link.create: capacity must be positive";
   if jitter < 0 then invalid_arg "Link.create: negative jitter";
+  let metrics = Engine.metrics engine in
+  let field f = Printf.sprintf "link.%s.%s" name f in
+  let cells =
+    {
+      sent = Obs.Metrics.counter metrics (field "sent");
+      delivered = Obs.Metrics.counter metrics (field "delivered");
+      dropped_loss = Obs.Metrics.counter metrics (field "dropped_loss");
+      dropped_queue = Obs.Metrics.counter metrics (field "dropped_queue");
+      dropped_aqm = Obs.Metrics.counter metrics (field "dropped_aqm");
+      bytes_sent = Obs.Metrics.counter metrics (field "bytes_sent");
+      bytes_delivered = Obs.Metrics.counter metrics (field "bytes_delivered");
+      queue_peak = 0;
+    }
+  in
+  let sojourn = Stats.Summary.create () in
+  Obs.Metrics.int_source metrics (field "queue_peak") (fun () -> cells.queue_peak);
+  Obs.Metrics.attach_summary metrics (field "sojourn_s") sojourn;
   {
     engine;
     name;
@@ -46,24 +80,20 @@ let create engine ~name ~rate_bps ~delay ?(queue_capacity_pkts = 1024)
     tap = None;
     queue = Queue.create ();
     transmitting = false;
-    sojourn = Stats.Summary.create ();
-    stats =
-      {
-        sent = 0;
-        delivered = 0;
-        dropped_loss = 0;
-        dropped_queue = 0;
-        dropped_aqm = 0;
-        bytes_sent = 0;
-        bytes_delivered = 0;
-        queue_peak = 0;
-      };
+    sojourn;
+    cells;
+    trace = Engine.trace engine;
   }
 
 let set_deliver t f = t.deliver <- f
 let set_tap t f = t.tap <- Some f
 let clear_tap t = t.tap <- None
 let tx_time t ~size = size * 8 * 1_000_000_000 / t.rate_bps
+
+let trace_drop t p reason =
+  if Obs.Trace.on t.trace Obs.Trace.Link then
+    Obs.Trace.record t.trace ~time:(Engine.now t.engine)
+      (Obs.Trace.Drop { link = t.name; flow = p.Packet.flow; reason })
 
 (* Serve the head of the queue: consult the AQM, transmit, roll the
    loss model at the end of serialisation, then propagate. *)
@@ -80,7 +110,8 @@ let rec start_service t =
         in
         (match verdict with
         | Aqm.Drop ->
-            t.stats.dropped_aqm <- t.stats.dropped_aqm + 1;
+            Counter.incr t.cells.dropped_aqm;
+            trace_drop t p Obs.Trace.Aqm;
             start_service t
         | Aqm.Forward ->
             Stats.Summary.add t.sojourn
@@ -89,14 +120,23 @@ let rec start_service t =
             Engine.schedule t.engine ~delay:(tx_time t ~size:p.Packet.size)
               (fun () ->
                 t.transmitting <- false;
-                if Loss.drops t.loss t.rng then
-                  t.stats.dropped_loss <- t.stats.dropped_loss + 1
+                if Loss.drops t.loss t.rng then begin
+                  Counter.incr t.cells.dropped_loss;
+                  trace_drop t p Obs.Trace.Loss_model
+                end
                 else begin
                   let extra = if t.jitter > 0 then Rng.int t.rng (t.jitter + 1) else 0 in
                   Engine.schedule t.engine ~delay:(t.delay + extra) (fun () ->
-                      t.stats.delivered <- t.stats.delivered + 1;
-                      t.stats.bytes_delivered <-
-                        t.stats.bytes_delivered + p.Packet.size;
+                      Counter.incr t.cells.delivered;
+                      Counter.add t.cells.bytes_delivered p.Packet.size;
+                      if Obs.Trace.on t.trace Obs.Trace.Link then
+                        Obs.Trace.record t.trace ~time:(Engine.now t.engine)
+                          (Obs.Trace.Deliver
+                             {
+                               link = t.name;
+                               flow = p.Packet.flow;
+                               size = p.Packet.size;
+                             });
                       (match t.tap with Some f -> f p | None -> ());
                       t.deliver p)
                 end;
@@ -105,26 +145,44 @@ let rec start_service t =
 
 let send t p =
   if Queue.length t.queue >= t.queue_capacity then begin
-    t.stats.dropped_queue <- t.stats.dropped_queue + 1;
+    Counter.incr t.cells.dropped_queue;
+    trace_drop t p Obs.Trace.Queue_full;
     false
   end
   else begin
-    t.stats.sent <- t.stats.sent + 1;
-    t.stats.bytes_sent <- t.stats.bytes_sent + p.Packet.size;
+    Counter.incr t.cells.sent;
+    Counter.add t.cells.bytes_sent p.Packet.size;
+    if Obs.Trace.on t.trace Obs.Trace.Link then
+      Obs.Trace.record t.trace ~time:(Engine.now t.engine)
+        (Obs.Trace.Enqueue
+           { link = t.name; flow = p.Packet.flow; size = p.Packet.size });
     Queue.push (p, Engine.now t.engine) t.queue;
     let depth = Queue.length t.queue + if t.transmitting then 1 else 0 in
-    if depth > t.stats.queue_peak then t.stats.queue_peak <- depth;
+    if depth > t.cells.queue_peak then t.cells.queue_peak <- depth;
     start_service t;
     true
   end
 
 let name t = t.name
-let stats t = t.stats
+
+let stats t : stats =
+  {
+    sent = Counter.get t.cells.sent;
+    delivered = Counter.get t.cells.delivered;
+    dropped_loss = Counter.get t.cells.dropped_loss;
+    dropped_queue = Counter.get t.cells.dropped_queue;
+    dropped_aqm = Counter.get t.cells.dropped_aqm;
+    bytes_sent = Counter.get t.cells.bytes_sent;
+    bytes_delivered = Counter.get t.cells.bytes_delivered;
+    queue_peak = t.cells.queue_peak;
+  }
+
 let queue_len t = Queue.length t.queue + if t.transmitting then 1 else 0
 let mean_sojourn t = Stats.Summary.mean t.sojourn
 let rate_bps t = t.rate_bps
 let delay t = t.delay
 
 let loss_rate_observed t =
-  if t.stats.sent = 0 then 0.
-  else float_of_int t.stats.dropped_loss /. float_of_int t.stats.sent
+  let sent = Counter.get t.cells.sent in
+  if sent = 0 then 0.
+  else float_of_int (Counter.get t.cells.dropped_loss) /. float_of_int sent

@@ -11,15 +11,19 @@
 
 type t
 
+(** A point-in-time snapshot of the link's tallies. The live values
+    are registry cells in the engine's metrics registry (named
+    ["link.<name>.<field>"]); this record is built on demand by
+    {!stats} for harness code that wants plain fields. *)
 type stats = {
-  mutable sent : int;  (** accepted into the queue *)
-  mutable delivered : int;
-  mutable dropped_loss : int;  (** loss-model drops *)
-  mutable dropped_queue : int;  (** tail drops (counted, not "sent") *)
-  mutable dropped_aqm : int;  (** CoDel drops at dequeue *)
-  mutable bytes_sent : int;
-  mutable bytes_delivered : int;
-  mutable queue_peak : int;
+  sent : int;  (** accepted into the queue *)
+  delivered : int;
+  dropped_loss : int;  (** loss-model drops *)
+  dropped_queue : int;  (** tail drops (counted, not "sent") *)
+  dropped_aqm : int;  (** CoDel drops at dequeue *)
+  bytes_sent : int;
+  bytes_delivered : int;
+  queue_peak : int;
 }
 
 val create :
@@ -58,7 +62,10 @@ val send : t -> Packet.t -> bool
 (** Offer a packet; [false] means tail-dropped. *)
 
 val name : t -> string
+
 val stats : t -> stats
+(** Snapshot of the live registry cells; cheap, build-on-read. *)
+
 val queue_len : t -> int
 (** Packets waiting or in service. *)
 

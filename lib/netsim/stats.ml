@@ -1,178 +1,7 @@
-module Summary = struct
-  type t = {
-    mutable n : int;
-    mutable mean : float;
-    mutable m2 : float;
-    mutable min : float;
-    mutable max : float;
-  }
-
-  let create () = { n = 0; mean = 0.; m2 = 0.; min = infinity; max = neg_infinity }
-
-  let add t x =
-    t.n <- t.n + 1;
-    let delta = x -. t.mean in
-    t.mean <- t.mean +. (delta /. float_of_int t.n);
-    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
-    if x < t.min then t.min <- x;
-    if x > t.max then t.max <- x
-
-  let count t = t.n
-  let mean t = if t.n = 0 then 0. else t.mean
-  let stddev t = if t.n < 2 then 0. else sqrt (t.m2 /. float_of_int (t.n - 1))
-
-  (* [nan], not 0., for an empty summary: a silent 0. reads as a real
-     extremum and masks empty-series bugs in bench output. *)
-  let min t = if t.n = 0 then nan else t.min
-  let max t = if t.n = 0 then nan else t.max
-
-  let pp ppf t =
-    Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f" (count t)
-      (mean t) (stddev t) (min t) (max t)
-end
-
-module Quantile = struct
-  (* P² streaming quantile estimation (Jain & Chlamtac, CACM 1985):
-     five markers track (min, p/2, p, (1+p)/2, max) in O(1) memory.
-     Fully deterministic — no sampling, so no RNG involved. *)
-  type t = {
-    p : float;
-    mutable n : int;  (* observations so far *)
-    heights : float array;  (* the 5 marker heights q_i *)
-    pos : int array;  (* actual marker positions n_i, 1-indexed *)
-    desired : float array;  (* desired positions n'_i *)
-    incr : float array;  (* per-observation increments of n'_i *)
-    first : float array;  (* the first five observations, for exact startup *)
-  }
-
-  let create p =
-    if not (p > 0. && p < 1.) then
-      invalid_arg "Stats.Quantile.create: p must be in (0, 1)";
-    {
-      p;
-      n = 0;
-      heights = Array.make 5 0.;
-      pos = [| 1; 2; 3; 4; 5 |];
-      desired = [| 1.; 1. +. (2. *. p); 1. +. (4. *. p); 3. +. (2. *. p); 5. |];
-      incr = [| 0.; p /. 2.; p; (1. +. p) /. 2.; 1. |];
-      first = Array.make 5 0.;
-    }
-
-  let prob t = t.p
-  let count t = t.n
-
-  (* Piecewise-parabolic prediction of marker [i] moved by [d] (±1). *)
-  let parabolic t i d =
-    let q = t.heights and n = t.pos in
-    let fi = float_of_int in
-    q.(i)
-    +. d
-       /. fi (n.(i + 1) - n.(i - 1))
-       *. ((fi (n.(i) - n.(i - 1)) +. d)
-           *. (q.(i + 1) -. q.(i))
-           /. fi (n.(i + 1) - n.(i))
-          +. (fi (n.(i + 1) - n.(i)) -. d)
-             *. (q.(i) -. q.(i - 1))
-             /. fi (n.(i) - n.(i - 1)))
-
-  let linear t i d =
-    let q = t.heights and n = t.pos in
-    q.(i) +. (float_of_int d *. (q.(i + d) -. q.(i)) /. float_of_int (n.(i + d) - n.(i)))
-
-  let add t x =
-    if t.n < 5 then begin
-      t.first.(t.n) <- x;
-      t.n <- t.n + 1;
-      if t.n = 5 then begin
-        let init = Array.copy t.first in
-        Array.sort Float.compare init;
-        Array.blit init 0 t.heights 0 5
-      end
-    end
-    else begin
-      let q = t.heights in
-      let k =
-        if x < q.(0) then begin
-          q.(0) <- x;
-          0
-        end
-        else if x >= q.(4) then begin
-          q.(4) <- x;
-          3
-        end
-        else begin
-          let k = ref 0 in
-          for i = 1 to 3 do
-            if x >= q.(i) then k := i
-          done;
-          !k
-        end
-      in
-      for i = k + 1 to 4 do
-        t.pos.(i) <- t.pos.(i) + 1
-      done;
-      for i = 0 to 4 do
-        t.desired.(i) <- t.desired.(i) +. t.incr.(i)
-      done;
-      for i = 1 to 3 do
-        let d = t.desired.(i) -. float_of_int t.pos.(i) in
-        if
-          (d >= 1. && t.pos.(i + 1) - t.pos.(i) > 1)
-          || (d <= -1. && t.pos.(i - 1) - t.pos.(i) < -1)
-        then begin
-          let s = if d >= 0. then 1 else -1 in
-          let h = parabolic t i (float_of_int s) in
-          let h = if q.(i - 1) < h && h < q.(i + 1) then h else linear t i s in
-          q.(i) <- h;
-          t.pos.(i) <- t.pos.(i) + s
-        end
-      done;
-      t.n <- t.n + 1
-    end
-
-  let estimate t =
-    if t.n = 0 then nan
-    else if t.n <= 5 then begin
-      (* exact (nearest-rank) while the marker array is not yet live *)
-      let xs = Array.sub t.first 0 t.n in
-      Array.sort Float.compare xs;
-      let rank = int_of_float (Float.ceil (t.p *. float_of_int t.n)) in
-      xs.(Stdlib.max 0 (Stdlib.min (t.n - 1) (rank - 1)))
-    end
-    else t.heights.(2)
-end
-
-module Quantiles = struct
-  type t = { q50 : Quantile.t; q95 : Quantile.t; q99 : Quantile.t }
-
-  let create () =
-    { q50 = Quantile.create 0.5; q95 = Quantile.create 0.95; q99 = Quantile.create 0.99 }
-
-  let add t x =
-    Quantile.add t.q50 x;
-    Quantile.add t.q95 x;
-    Quantile.add t.q99 x
-
-  let count t = Quantile.count t.q50
-  let p50 t = Quantile.estimate t.q50
-  let p95 t = Quantile.estimate t.q95
-  let p99 t = Quantile.estimate t.q99
-
-  let pp ppf t =
-    Format.fprintf ppf "n=%d p50=%.3f p95=%.3f p99=%.3f" (count t) (p50 t)
-      (p95 t) (p99 t)
-end
-
-module Series = struct
-  type t = { name : string; mutable samples : (Sim_time.t * float) list; mutable n : int }
-
-  let create name = { name; samples = []; n = 0 }
-
-  let add t ~time v =
-    t.samples <- (time, v) :: t.samples;
-    t.n <- t.n + 1
-
-  let name t = t.name
-  let to_list t = List.rev t.samples
-  let length t = t.n
-end
+(* The statistics toolkit lives in [Obs.Stats] (observability must sit
+   below the simulator in the dependency graph so links and engines can
+   register metrics); this re-export keeps the historical
+   [Netsim.Stats] spelling working, type equalities included.
+   [Sim_time.t] is [int], so [Series.add ~time] accepts simulation
+   timestamps unchanged. *)
+include Obs.Stats

@@ -1,0 +1,42 @@
+(** A minimal JSON value type with a deterministic writer and a small
+    parser — just enough for machine-readable reports and their schema
+    checks, without adding a dependency.
+
+    Writer guarantees, relied on by golden tests: object fields are
+    emitted in construction order, floats render as the shorter of
+    [%.12g]/[%.17g] that round-trips, and non-finite floats (which
+    JSON cannot represent) render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-printed with two-space indentation; deterministic. *)
+
+val to_string : t -> string
+
+val to_file : string -> t -> unit
+(** Write [pp] output plus a trailing newline. Overwrites. *)
+
+val of_string : string -> (t, string) result
+(** Parse a single JSON value (surrounding whitespace allowed).
+    Numbers with a ['.'], ['e'] or ['E'] parse as [Float], others as
+    [Int]. [Error msg] carries a byte offset. *)
+
+val of_file : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val schema_of : t -> t
+(** Structural schema: values become their type names ("int", "float",
+    "string", "bool", "null"), objects keep their field names, and a
+    list becomes a single-element list of the schema of its first
+    element (or ["empty"]). Used to pin report {e shapes} in golden
+    tests while letting the numbers move. *)

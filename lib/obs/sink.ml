@@ -1,0 +1,30 @@
+type t = { metrics : Metrics.t; trace : Trace.t }
+
+let default_categories : Trace.category list ref = ref []
+let set_default_trace_categories cats = default_categories := cats
+let default_trace_categories () = !default_categories
+
+let last_created : t option ref = ref None
+
+let create ?trace_capacity ?trace_categories () =
+  let trace = Trace.create ?capacity:trace_capacity () in
+  let cats =
+    match trace_categories with Some cs -> cs | None -> !default_categories
+  in
+  List.iter (Trace.enable trace) cats;
+  let t = { metrics = Metrics.create (); trace } in
+  last_created := Some t;
+  t
+
+let last () = !last_created
+
+let metrics t = t.metrics
+let trace t = t.trace
+
+let to_json t =
+  Json.Obj
+    [ ("metrics", Metrics.to_json t.metrics); ("trace", Trace.to_json t.trace) ]
+
+let pp ppf t =
+  Metrics.pp ppf t.metrics;
+  if Trace.total t.trace > 0 then Trace.dump ppf t.trace

@@ -1,0 +1,38 @@
+(** One observability sink: a metrics registry plus a trace ring.
+
+    Every [Netsim.Engine] owns one; components created against an
+    engine register their metrics and record their trace events into
+    the engine's sink, so one handle dumps the whole simulation.
+
+    Harnesses that build their engines internally (experiment [run]
+    functions, golden tests) can't thread a sink through; they enable
+    tracing via the process-wide default instead: categories set with
+    {!set_default_trace_categories} apply to every sink created
+    afterwards. This is deterministic — it only depends on program
+    order — and it is how the golden suite replays a whole experiment
+    with tracing fully on to prove observability never perturbs the
+    simulation. *)
+
+type t
+
+val create : ?trace_capacity:int -> ?trace_categories:Trace.category list -> unit -> t
+(** [trace_categories] defaults to the process-wide default (itself
+    initially empty: tracing off). *)
+
+val metrics : t -> Metrics.t
+val trace : t -> Trace.t
+
+val set_default_trace_categories : Trace.category list -> unit
+val default_trace_categories : unit -> Trace.category list
+
+val last : unit -> t option
+(** The most recently created sink in this process. Read-only
+    observability: this is how a CLI driver reaches the trace of the
+    engine an experiment [run] function built internally and never
+    exposed. [None] before the first {!create}. *)
+
+val to_json : t -> Json.t
+(** [{"metrics": ..., "trace": ...}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Metrics dump, then the trace dump when anything was recorded. *)

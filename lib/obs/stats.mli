@@ -1,4 +1,9 @@
-(** Run-time statistics helpers for simulations and benchmarks. *)
+(** Run-time statistics helpers for simulations and benchmarks.
+
+    This is the single implementation; [Netsim.Stats] re-exports it so
+    simulator code keeps its historical spelling. Timestamps are raw
+    integer nanoseconds ([Netsim.Sim_time.t] is [int], so the types
+    line up without this library depending on the simulator). *)
 
 (** Streaming summary statistics (Welford's algorithm). *)
 module Summary : sig
@@ -19,6 +24,7 @@ module Summary : sig
   (** [nan] when empty. *)
 
   val pp : Format.formatter -> t -> unit
+  val to_json : t -> Json.t
 end
 
 (** Streaming quantile estimation (the P² algorithm): one target
@@ -57,17 +63,42 @@ module Quantiles : sig
   val p95 : t -> float
   val p99 : t -> float
   val pp : Format.formatter -> t -> unit
+  val to_json : t -> Json.t
 end
 
-(** Time-stamped samples, e.g. a goodput or cwnd trace. *)
+(** Time-stamped samples, e.g. a goodput or cwnd trace — bounded.
+
+    Keeps at most [capacity] samples by deterministic keep-every-k
+    decimation: when full, the keep stride doubles and the retained
+    set is re-filtered, so what remains is exactly the samples whose
+    arrival index is a multiple of the final stride. Long runs keep a
+    uniformly-spaced sketch of the whole series instead of growing
+    without bound (or silently biasing toward the newest samples). *)
 module Series : sig
   type t
 
-  val create : string -> t
-  val add : t -> time:Sim_time.t -> float -> unit
+  val default_capacity : int
+  (** 8192 samples. *)
+
+  val create : ?capacity:int -> string -> t
+  (** @raise Invalid_argument when [capacity < 1]. *)
+
+  val add : t -> time:int -> float -> unit
   val name : t -> string
-  val to_list : t -> (Sim_time.t * float) list
-  (** Chronological order. *)
+  val capacity : t -> int
+
+  val stride : t -> int
+  (** Current keep-every-k stride; 1 until the first decimation. *)
+
+  val to_list : t -> (int * float) list
+  (** Retained samples, chronological order. *)
 
   val length : t -> int
+  (** Retained sample count (≤ capacity). *)
+
+  val total : t -> int
+  (** Samples ever added. *)
+
+  val dropped : t -> int
+  (** [total - length]: samples decimated away. *)
 end

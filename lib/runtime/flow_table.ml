@@ -172,6 +172,19 @@ let peak_occupancy t = t.peak
 let capacity t = t.capacity
 let stats t = t.stats
 
+let register t metrics ~prefix =
+  let field f = Printf.sprintf "%s.%s" prefix f in
+  let src name read = Obs.Metrics.int_source metrics (field name) read in
+  src "admitted" (fun () -> t.stats.admitted);
+  src "evicted_lru" (fun () -> t.stats.evicted_lru);
+  src "evicted_idle" (fun () -> t.stats.evicted_idle);
+  src "removed" (fun () -> t.stats.removed);
+  src "denied" (fun () -> t.stats.denied);
+  src "hits" (fun () -> t.stats.hits);
+  src "misses" (fun () -> t.stats.misses);
+  src "occupancy" (fun () -> t.occupancy);
+  src "peak_occupancy" (fun () -> t.peak)
+
 let iter t f =
   let rec loop = function
     | None -> ()

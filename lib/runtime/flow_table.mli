@@ -75,5 +75,11 @@ val peak_occupancy : 'a t -> int
 val capacity : 'a t -> int
 val stats : 'a t -> stats
 
+val register : 'a t -> Obs.Metrics.t -> prefix:string -> unit
+(** Expose every {!stats} field plus occupancy and peak occupancy in a
+    metrics registry as read-on-demand sources named
+    ["<prefix>.<field>"]. The table keeps sole ownership of the
+    mutable record; the registry reads it live. *)
+
 val iter : 'a t -> (int -> 'a -> unit) -> unit
 (** Most- to least-recently-used order (deterministic). *)

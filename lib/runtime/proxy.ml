@@ -3,6 +3,7 @@ module Packet = Netsim.Packet
 module Time = Netsim.Sim_time
 module Sframes = Sidecar_protocols.Sframes
 module Protocol = Sidecar_protocols.Protocol
+module Counter = Obs.Metrics.Counter
 
 type stats = {
   data_packets : int;
@@ -19,6 +20,7 @@ type stats = {
 
 type t = {
   engine : Engine.t;
+  label : string;
   protocol : Protocol.t;
   table : Protocol.flow Flow_table.t;
   counters : Protocol.counters;
@@ -26,24 +28,36 @@ type t = {
   backward : Packet.t -> unit;
   cost_clock : (unit -> float) option;
   mutable busy : float;
-  mutable data_packets : int;
-  mutable degraded_packets : int;
-  mutable quacks_rx : int;
-  mutable degraded_quacks : int;
-  mutable freq_updates : int;
+  data_packets : Counter.t;
+  degraded_packets : Counter.t;
+  quacks_rx : Counter.t;
+  degraded_quacks : Counter.t;
+  freq_updates : Counter.t;
+  trace : Obs.Trace.t;
 }
 
 let create engine ~capacity ~policy ~protocol ~forward ~backward ?cost_clock ()
     =
   let counters = Protocol.fresh_counters () in
+  let label = Printf.sprintf "proxy.%s" protocol.Protocol.addr in
+  let metrics = Engine.metrics engine in
+  let trace = Engine.trace engine in
+  let field f = Printf.sprintf "%s.%s" label f in
   (* Any state leaving the table gets its protocol's eviction hook —
      for CC division that flushes the pacing buffer downstream, for
      retransmission it drops the copy buffer. Either way nothing is
      stranded: end-to-end ACKs keep reliability. *)
-  let on_evict _flow fl = fl.Protocol.on_evict () in
+  let on_evict flow fl =
+    Obs.Trace.record trace ~time:(Engine.now engine)
+      (Obs.Trace.Evict { table = label; flow });
+    fl.Protocol.on_evict ()
+  in
   let table = Flow_table.create ~policy ~on_evict ~capacity () in
+  Protocol.register_counters metrics ~prefix:label counters;
+  Flow_table.register table metrics ~prefix:(field "table");
   {
     engine;
+    label;
     protocol;
     table;
     counters;
@@ -51,11 +65,12 @@ let create engine ~capacity ~policy ~protocol ~forward ~backward ?cost_clock ()
     backward;
     cost_clock;
     busy = 0.;
-    data_packets = 0;
-    degraded_packets = 0;
-    quacks_rx = 0;
-    degraded_quacks = 0;
-    freq_updates = 0;
+    data_packets = Obs.Metrics.counter metrics (field "data_packets");
+    degraded_packets = Obs.Metrics.counter metrics (field "degraded_packets");
+    quacks_rx = Obs.Metrics.counter metrics (field "quacks_rx");
+    degraded_quacks = Obs.Metrics.counter metrics (field "degraded_quacks");
+    freq_updates = Obs.Metrics.counter metrics (field "freq_updates");
+    trace;
   }
 
 let timed t f =
@@ -86,13 +101,15 @@ let on_ingress t p =
           with
           | Some fl ->
               fl.Protocol.on_freq interval_packets;
-              t.freq_updates <- t.freq_updates + 1
+              Counter.incr t.freq_updates
           | None -> ())
       | Sframes.Freq_update _ | Sframes.Quack_frame _ ->
           (* sidecar frames for someone else ride along unchanged *)
           t.forward p
       | _ -> (
           let now = Engine.now t.engine in
+          let tracing = Obs.Trace.on t.trace Obs.Trace.Table in
+          let known = tracing && Flow_table.mem t.table p.Packet.flow in
           match
             Flow_table.admit t.table ~now p.Packet.flow (fresh_flow t p.Packet.flow)
           with
@@ -100,10 +117,16 @@ let on_ingress t p =
               (* Denied a slot: the flow is untracked and sees the path
                  as a plain store-and-forward hop — pure end-to-end
                  behaviour. *)
-              t.degraded_packets <- t.degraded_packets + 1;
+              Counter.incr t.degraded_packets;
+              if tracing then
+                Obs.Trace.record t.trace ~time:now
+                  (Obs.Trace.Deny { table = t.label; flow = p.Packet.flow });
               t.forward p
           | Some fl ->
-              t.data_packets <- t.data_packets + 1;
+              Counter.incr t.data_packets;
+              if tracing && not known then
+                Obs.Trace.record t.trace ~time:now
+                  (Obs.Trace.Admit { table = t.label; flow = p.Packet.flow });
               fl.Protocol.on_data p))
 
 let on_return t p =
@@ -111,12 +134,12 @@ let on_return t p =
       match p.Packet.payload with
       | Sframes.Quack_frame { quack; dst; index }
         when String.equal dst t.protocol.Protocol.addr -> (
-          t.quacks_rx <- t.quacks_rx + 1;
+          Counter.incr t.quacks_rx;
           match
             Flow_table.find t.table ~now:(Engine.now t.engine) p.Packet.flow
           with
           | Some fl -> fl.Protocol.on_feedback ~index quack
-          | None -> t.degraded_quacks <- t.degraded_quacks + 1)
+          | None -> Counter.incr t.degraded_quacks)
       | _ -> t.backward p)
 
 let start t ~until =
@@ -139,17 +162,18 @@ let release t flow = Flow_table.remove t.table flow
 let sweep_idle t = Flow_table.sweep_idle t.table ~now:(Engine.now t.engine)
 
 let stats t =
+  let get = Counter.get in
   {
-    data_packets = t.data_packets;
-    degraded_packets = t.degraded_packets;
-    buffer_bypass = t.counters.Protocol.buffer_bypass;
-    quacks_rx = t.quacks_rx;
-    degraded_quacks = t.degraded_quacks;
-    quacks_tx = t.counters.Protocol.quacks_tx;
-    quack_bytes = t.counters.Protocol.quack_bytes;
-    freq_updates = t.freq_updates;
-    resyncs = t.counters.Protocol.resyncs;
-    flushed_on_evict = t.counters.Protocol.flushed_on_evict;
+    data_packets = get t.data_packets;
+    degraded_packets = get t.degraded_packets;
+    buffer_bypass = get t.counters.Protocol.buffer_bypass;
+    quacks_rx = get t.quacks_rx;
+    degraded_quacks = get t.degraded_quacks;
+    quacks_tx = get t.counters.Protocol.quacks_tx;
+    quack_bytes = get t.counters.Protocol.quack_bytes;
+    freq_updates = get t.freq_updates;
+    resyncs = get t.counters.Protocol.resyncs;
+    flushed_on_evict = get t.counters.Protocol.flushed_on_evict;
   }
 
 let counters t = t.counters

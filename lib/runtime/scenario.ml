@@ -497,13 +497,66 @@ let run ?cost_clock (cfg : config) =
     freq_updates_sent =
       (match cfg.protocol with
       | `Cc | `Ack -> !freq_updates_sent
-      | `Retx -> (Proxy.counters proxy).Protocol.freq_sent);
-    proxy_retransmissions = (Proxy.counters proxy).Protocol.retransmissions;
+      | `Retx ->
+          Obs.Metrics.Counter.get (Proxy.counters proxy).Protocol.freq_sent);
+    proxy_retransmissions =
+      Obs.Metrics.Counter.get (Proxy.counters proxy).Protocol.retransmissions;
     proxy_busy_s =
       (Proxy.busy_s proxy
       +. match proxy2 with Some b -> Proxy.busy_s b | None -> 0.);
     sim_end = Engine.now engine;
   }
+
+let json_proxy_stats (s : Proxy.stats) =
+  Obs.Json.Obj
+    [
+      ("data_packets", Obs.Json.Int s.Proxy.data_packets);
+      ("degraded_packets", Obs.Json.Int s.Proxy.degraded_packets);
+      ("buffer_bypass", Obs.Json.Int s.Proxy.buffer_bypass);
+      ("quacks_rx", Obs.Json.Int s.Proxy.quacks_rx);
+      ("degraded_quacks", Obs.Json.Int s.Proxy.degraded_quacks);
+      ("quacks_tx", Obs.Json.Int s.Proxy.quacks_tx);
+      ("quack_bytes", Obs.Json.Int s.Proxy.quack_bytes);
+      ("freq_updates", Obs.Json.Int s.Proxy.freq_updates);
+      ("resyncs", Obs.Json.Int s.Proxy.resyncs);
+      ("flushed_on_evict", Obs.Json.Int s.Proxy.flushed_on_evict);
+    ]
+
+let json_table_stats (s : Flow_table.stats) =
+  Obs.Json.Obj
+    [
+      ("admitted", Obs.Json.Int s.Flow_table.admitted);
+      ("evicted_lru", Obs.Json.Int s.Flow_table.evicted_lru);
+      ("evicted_idle", Obs.Json.Int s.Flow_table.evicted_idle);
+      ("removed", Obs.Json.Int s.Flow_table.removed);
+      ("denied", Obs.Json.Int s.Flow_table.denied);
+      ("hits", Obs.Json.Int s.Flow_table.hits);
+      ("misses", Obs.Json.Int s.Flow_table.misses);
+    ]
+
+let json_report r =
+  let opt f = function Some x -> f x | None -> Obs.Json.Null in
+  Obs.Json.Obj
+    [
+      ("flows", Obs.Json.Int (Array.length r.flows));
+      ("completed", Obs.Json.Int r.completed);
+      ("fct_p50_s", Obs.Json.Float r.fct_p50);
+      ("fct_p95_s", Obs.Json.Float r.fct_p95);
+      ("fct_p99_s", Obs.Json.Float r.fct_p99);
+      ("fct_mean_s", Obs.Json.Float r.fct_mean);
+      ("data_delivered_bytes", Obs.Json.Int r.data_delivered_bytes);
+      ("proxy", json_proxy_stats r.proxy);
+      ("proxy2", opt json_proxy_stats r.proxy2);
+      ("table", json_table_stats r.table);
+      ("table2", opt json_table_stats r.table2);
+      ("peak_occupancy", Obs.Json.Int r.peak_occupancy);
+      ("evictions", Obs.Json.Int r.evictions);
+      ("srv_resyncs", Obs.Json.Int r.srv_resyncs);
+      ("freq_updates_sent", Obs.Json.Int r.freq_updates_sent);
+      ("proxy_retransmissions", Obs.Json.Int r.proxy_retransmissions);
+      ("proxy_busy_s", Obs.Json.Float r.proxy_busy_s);
+      ("sim_end_ns", Obs.Json.Int r.sim_end);
+    ]
 
 let pp_proxy_stats ppf (s : Proxy.stats) =
   Format.fprintf ppf

@@ -118,3 +118,7 @@ val run : ?cost_clock:(unit -> float) -> config -> report
     bit-reproducible reports. *)
 
 val pp_report : Format.formatter -> report -> unit
+
+val json_report : report -> Obs.Json.t
+(** Schema-stable JSON mirror of {!report} (per-flow rows summarised
+    to a count; [`Retx]-only sections null otherwise). *)

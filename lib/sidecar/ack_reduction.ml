@@ -52,6 +52,18 @@ let pp_report ppf r =
     Transport.Flow.pp_result r.flow r.client_acks r.client_ack_bytes r.quacks
     r.quack_bytes r.window_freed_early_bytes r.spurious_retx
 
+let json_report r =
+  Obs.Json.Obj
+    [
+      ("flow", Transport.Flow.json_result r.flow);
+      ("client_acks", Obs.Json.Int r.client_acks);
+      ("client_ack_bytes", Obs.Json.Int r.client_ack_bytes);
+      ("quacks", Obs.Json.Int r.quacks);
+      ("quack_bytes", Obs.Json.Int r.quack_bytes);
+      ("window_freed_early_bytes", Obs.Json.Int r.window_freed_early_bytes);
+      ("spurious_retx", Obs.Json.Int r.spurious_retx);
+    ]
+
 let baseline cfg =
   let ack_bytes = ref 0 in
   let { Path.engine; fwd; rev } = Path.build ~seed:cfg.seed [ cfg.near; cfg.far ] in
@@ -157,7 +169,7 @@ let run cfg =
     client_acks = !client_acks;
     client_ack_bytes = !client_ack_bytes;
     quacks = !quacks;
-    quack_bytes = counters.Protocol.quack_bytes;
+    quack_bytes = Obs.Metrics.Counter.get counters.Protocol.quack_bytes;
     window_freed_early_bytes = !freed_early;
     spurious_retx = flow.Transport.Flow.duplicates;
   }

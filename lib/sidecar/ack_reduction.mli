@@ -45,6 +45,9 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val json_report : report -> Obs.Json.t
+(** Schema-stable JSON mirror of {!report}. *)
+
 val run : config -> report
 val baseline : config -> Transport.Flow.result * int
 (** Same path, no sidecar, default ACK frequency (every 2). Returns

@@ -55,6 +55,18 @@ let pp_report ppf r =
     r.quack_bytes r.proxy_buffer_peak r.proxy_window_final
     r.server_decode_failures
 
+let json_report r =
+  Obs.Json.Obj
+    [
+      ("flow", Transport.Flow.json_result r.flow);
+      ("quacks_from_client", Obs.Json.Int r.quacks_from_client);
+      ("quacks_from_proxy", Obs.Json.Int r.quacks_from_proxy);
+      ("quack_bytes", Obs.Json.Int r.quack_bytes);
+      ("proxy_buffer_peak", Obs.Json.Int r.proxy_buffer_peak);
+      ("proxy_window_final", Obs.Json.Int r.proxy_window_final);
+      ("server_decode_failures", Obs.Json.Int r.server_decode_failures);
+    ]
+
 let baseline cfg =
   Path.baseline ~seed:cfg.seed ~units:cfg.units ~mss:cfg.mss ~until:cfg.until
     [ cfg.near; cfg.far ]
@@ -175,8 +187,10 @@ let run cfg =
   {
     flow = outcome.Chain.flow;
     quacks_from_client = !quacks_from_client;
-    quacks_from_proxy = counters.Protocol.quacks_tx;
-    quack_bytes = !client_quack_bytes + counters.Protocol.quack_bytes;
+    quacks_from_proxy = Obs.Metrics.Counter.get counters.Protocol.quacks_tx;
+    quack_bytes =
+      !client_quack_bytes
+      + Obs.Metrics.Counter.get counters.Protocol.quack_bytes;
     proxy_buffer_peak = proxy_info.Protocol.buffer_peak;
     proxy_window_final = proxy_info.Protocol.window_bytes;
     server_decode_failures = !server_decode_failures;

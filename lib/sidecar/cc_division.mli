@@ -48,6 +48,9 @@ type report = {
 
 val pp_report : Format.formatter -> report -> unit
 
+val json_report : report -> Obs.Json.t
+(** Schema-stable JSON mirror of {!report}. *)
+
 val run : config -> report
 val baseline : config -> Transport.Flow.result
 (** Identical path, no sidecar anywhere. *)

@@ -77,7 +77,7 @@ let make cfg =
       | Some head ->
           Q.Sender_state.on_send down_ss ~id:head.Packet.id
             (Proxy_window.next_index win);
-          ctx.counters.buffer_bypass <- ctx.counters.buffer_bypass + 1;
+          Obs.Metrics.Counter.incr ctx.counters.buffer_bypass;
           ctx.forward head
     in
     let on_data p =
@@ -104,7 +104,7 @@ let make cfg =
           if Queue.length buffer > cfg.buffer_pkts then bypass_head ());
       pump ()
     in
-    let on_feedback ~index:_ q =
+    let on_feedback ~index q =
       match Q.Sender_state.on_quack down_ss q with
       | Ok rep when not rep.Q.Sender_state.stale ->
           Proxy_window.on_quack win
@@ -117,7 +117,9 @@ let make cfg =
              as the new baseline — the designed recovery after an
              eviction/re-admission cycle and after genuine decode
              overload alike. *)
-          ctx.counters.resyncs <- ctx.counters.resyncs + 1;
+          Obs.Metrics.Counter.incr ctx.counters.resyncs;
+          Protocol.trace ctx
+            (Obs.Trace.Resync { node = "proxy"; flow = ctx.flow; to_index = index });
           let abandoned = Q.Sender_state.resync_to down_ss q in
           Proxy_window.on_quack win ~acked_pkts:0 ~lost_indices:abandoned;
           pump ()
@@ -139,8 +141,7 @@ let make cfg =
       let flushed = Queue.length buffer in
       Queue.iter ctx.forward buffer;
       Queue.clear buffer;
-      ctx.counters.flushed_on_evict <-
-        ctx.counters.flushed_on_evict + flushed
+      Obs.Metrics.Counter.add ctx.counters.flushed_on_evict flushed
     in
     let info () =
       {

@@ -77,7 +77,12 @@ let near cfg =
             in
             if (not held) && Hashtbl.mem buffer p.Packet.uid then begin
               Hashtbl.replace last_resend p.Packet.uid now;
-              ctx.counters.retransmissions <- ctx.counters.retransmissions + 1;
+              Obs.Metrics.Counter.incr ctx.counters.retransmissions;
+              let tr = Engine.trace ctx.engine in
+              if Obs.Trace.on tr Obs.Trace.Proto then
+                Obs.Trace.record tr ~time:now
+                  (Obs.Trace.Retransmit
+                     { node = cfg.near_addr; flow = ctx.flow; seq = p.Packet.seq });
               forward p
             end
           in
@@ -104,7 +109,10 @@ let near cfg =
               let next = max 8 (min next 64) in
               if next <> !quack_every then begin
                 quack_every := next;
-                ctx.counters.freq_sent <- ctx.counters.freq_sent + 1;
+                Obs.Metrics.Counter.incr ctx.counters.freq_sent;
+                Protocol.trace ctx
+                  (Obs.Trace.Freq_update
+                     { dst = cfg.far_addr; flow = ctx.flow; interval = next });
                 ctx.forward
                   (Sframes.freq_packet ~dst:cfg.far_addr ~interval_packets:next
                      ~flow:ctx.flow ~now:(Engine.now ctx.engine))
@@ -114,7 +122,10 @@ let near cfg =
       | Ok _ -> ()
       | Error (`Threshold_exceeded _) ->
           (* abandon and resync; the packets' fate falls back to e2e *)
-          ctx.counters.resyncs <- ctx.counters.resyncs + 1;
+          Obs.Metrics.Counter.incr ctx.counters.resyncs;
+          Protocol.trace ctx
+            (Obs.Trace.Resync
+               { node = cfg.near_addr; flow = ctx.flow; to_index = !last_index });
           ignore (Q.Sender_state.resync_to ss q)
       | Error (`Config_mismatch _) -> ()
     in
@@ -126,7 +137,10 @@ let near cfg =
            power sums as the new baseline (§3.3) and drop the copies
            of whatever was abandoned in flight — those losses fall
            back to end-to-end recovery. *)
-        ctx.counters.resyncs <- ctx.counters.resyncs + 1;
+        Obs.Metrics.Counter.incr ctx.counters.resyncs;
+        Protocol.trace ctx
+          (Obs.Trace.Resync
+             { node = cfg.near_addr; flow = ctx.flow; to_index = index });
         List.iter
           (fun (p : Packet.t) -> Hashtbl.remove buffer p.Packet.uid)
           (Q.Sender_state.resync_to ss q)

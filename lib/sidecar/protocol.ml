@@ -1,29 +1,40 @@
 module Engine = Netsim.Engine
 module Packet = Netsim.Packet
 module Time = Netsim.Sim_time
+module Counter = Obs.Metrics.Counter
 
 let server_addr = "server"
 
 type counters = {
-  mutable quacks_tx : int;
-  mutable quack_bytes : int;
-  mutable resyncs : int;
-  mutable buffer_bypass : int;
-  mutable flushed_on_evict : int;
-  mutable freq_sent : int;
-  mutable retransmissions : int;
+  quacks_tx : Counter.t;
+  quack_bytes : Counter.t;
+  resyncs : Counter.t;
+  buffer_bypass : Counter.t;
+  flushed_on_evict : Counter.t;
+  freq_sent : Counter.t;
+  retransmissions : Counter.t;
 }
 
 let fresh_counters () =
   {
-    quacks_tx = 0;
-    quack_bytes = 0;
-    resyncs = 0;
-    buffer_bypass = 0;
-    flushed_on_evict = 0;
-    freq_sent = 0;
-    retransmissions = 0;
+    quacks_tx = Counter.create ();
+    quack_bytes = Counter.create ();
+    resyncs = Counter.create ();
+    buffer_bypass = Counter.create ();
+    flushed_on_evict = Counter.create ();
+    freq_sent = Counter.create ();
+    retransmissions = Counter.create ();
   }
+
+let register_counters metrics ~prefix c =
+  let field f = Printf.sprintf "%s.%s" prefix f in
+  Obs.Metrics.attach_counter metrics (field "quacks_tx") c.quacks_tx;
+  Obs.Metrics.attach_counter metrics (field "quack_bytes") c.quack_bytes;
+  Obs.Metrics.attach_counter metrics (field "resyncs") c.resyncs;
+  Obs.Metrics.attach_counter metrics (field "buffer_bypass") c.buffer_bypass;
+  Obs.Metrics.attach_counter metrics (field "flushed_on_evict") c.flushed_on_evict;
+  Obs.Metrics.attach_counter metrics (field "freq_sent") c.freq_sent;
+  Obs.Metrics.attach_counter metrics (field "retransmissions") c.retransmissions
 
 type ctx = {
   engine : Engine.t;
@@ -70,11 +81,19 @@ module type S = sig
   val make : config -> t
 end
 
+let trace ctx ev =
+  Obs.Trace.record (Engine.trace ctx.engine) ~time:(Engine.now ctx.engine) ev
+
 let send_quack ctx ~dst ~index ~count_omitted quack =
   let pkt =
     Sframes.quack_packet ~quack ~dst ~index ~count_omitted ~flow:ctx.flow
       ~now:(Engine.now ctx.engine)
   in
-  ctx.counters.quacks_tx <- ctx.counters.quacks_tx + 1;
-  ctx.counters.quack_bytes <- ctx.counters.quack_bytes + pkt.Packet.size;
+  Counter.incr ctx.counters.quacks_tx;
+  Counter.add ctx.counters.quack_bytes pkt.Packet.size;
+  let tr = Engine.trace ctx.engine in
+  if Obs.Trace.on tr Obs.Trace.Quack then
+    Obs.Trace.record tr ~time:(Engine.now ctx.engine)
+      (Obs.Trace.Quack_sent
+         { dst; flow = ctx.flow; index; bytes = pkt.Packet.size });
   ctx.backward pkt

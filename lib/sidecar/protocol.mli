@@ -18,20 +18,30 @@ val server_addr : string
 (** The conventional quACK destination for the sending end host's
     sidecar ("server"). *)
 
-(** Aggregate tallies a harness reads after a run. Protocol instances
-    sharing one record (a bracketing proxy pair, or all the flows of a
-    multi-flow proxy) simply sum into it. *)
+(** Aggregate tallies a harness reads after a run. The fields are
+    [Obs.Metrics.Counter] cells: protocol instances sharing one record
+    (a bracketing proxy pair, or all the flows of a multi-flow proxy)
+    sum into the same cells, and a harness can expose the record in an
+    engine's metrics registry with {!register_counters} — same cells,
+    no copying. *)
 type counters = {
-  mutable quacks_tx : int;  (** quACKs emitted *)
-  mutable quack_bytes : int;  (** wire bytes of those quACKs *)
-  mutable resyncs : int;  (** §3.3 unilateral resyncs after decode overload *)
-  mutable buffer_bypass : int;  (** packets pushed out unpaced (full buffer) *)
-  mutable flushed_on_evict : int;  (** buffered packets flushed by eviction *)
-  mutable freq_sent : int;  (** frequency-update frames emitted *)
-  mutable retransmissions : int;  (** local (in-network) retransmissions *)
+  quacks_tx : Obs.Metrics.Counter.t;  (** quACKs emitted *)
+  quack_bytes : Obs.Metrics.Counter.t;  (** wire bytes of those quACKs *)
+  resyncs : Obs.Metrics.Counter.t;
+      (** §3.3 unilateral resyncs after decode overload *)
+  buffer_bypass : Obs.Metrics.Counter.t;
+      (** packets pushed out unpaced (full buffer) *)
+  flushed_on_evict : Obs.Metrics.Counter.t;
+      (** buffered packets flushed by eviction *)
+  freq_sent : Obs.Metrics.Counter.t;  (** frequency-update frames emitted *)
+  retransmissions : Obs.Metrics.Counter.t;
+      (** local (in-network) retransmissions *)
 }
 
 val fresh_counters : unit -> counters
+
+val register_counters : Obs.Metrics.t -> prefix:string -> counters -> unit
+(** Attach every cell under ["<prefix>.<field>"]. *)
 
 (** Everything a protocol instance may touch: the engine (clock and
     timers only — identity comes from the harness), the flow tag its
@@ -100,4 +110,11 @@ val send_quack :
   ctx -> dst:string -> index:int -> count_omitted:bool ->
   Sidecar_quack.Quack.t -> unit
 (** Emit one quACK on the return path ([ctx.backward]), tallying
-    [quacks_tx] and [quack_bytes]. *)
+    [quacks_tx] and [quack_bytes] and recording a [Quack_sent] trace
+    event when the [Quack] category is enabled. *)
+
+val trace : ctx -> Obs.Trace.event -> unit
+(** Record a trace event on the engine's ring at the current clock
+    (masked by the event's category, like [Obs.Trace.record]). For
+    rare events — resyncs, evictions; hot paths should guard with
+    [Obs.Trace.on] before building the event. *)

@@ -66,6 +66,19 @@ let pp_report ppf r =
     r.quack_bytes r.freq_updates r.final_quack_every r.buffer_peak
     (100. *. r.subpath_loss_observed)
 
+let json_report r =
+  Obs.Json.Obj
+    [
+      ("flow", Transport.Flow.json_result r.flow);
+      ("proxy_retransmissions", Obs.Json.Int r.proxy_retransmissions);
+      ("quacks", Obs.Json.Int r.quacks);
+      ("quack_bytes", Obs.Json.Int r.quack_bytes);
+      ("freq_updates", Obs.Json.Int r.freq_updates);
+      ("final_quack_every", Obs.Json.Int r.final_quack_every);
+      ("buffer_peak", Obs.Json.Int r.buffer_peak);
+      ("subpath_loss_observed", Obs.Json.Float r.subpath_loss_observed);
+    ]
+
 let segments cfg = [ cfg.ingress; cfg.middle; cfg.egress ]
 
 (* Both the baseline and the sidecar run use the same endpoint
@@ -132,10 +145,11 @@ let run cfg =
   in
   {
     flow = outcome.Chain.flow;
-    proxy_retransmissions = counters.Protocol.retransmissions;
-    quacks = counters.Protocol.quacks_tx;
-    quack_bytes = counters.Protocol.quack_bytes;
-    freq_updates = counters.Protocol.freq_sent;
+    proxy_retransmissions =
+      Obs.Metrics.Counter.get counters.Protocol.retransmissions;
+    quacks = Obs.Metrics.Counter.get counters.Protocol.quacks_tx;
+    quack_bytes = Obs.Metrics.Counter.get counters.Protocol.quack_bytes;
+    freq_updates = Obs.Metrics.Counter.get counters.Protocol.freq_sent;
     final_quack_every = near_info.Protocol.upstream_interval;
     buffer_peak = near_info.Protocol.buffer_peak;
     subpath_loss_observed = Link.loss_rate_observed outcome.Chain.built.Path.fwd.(1);

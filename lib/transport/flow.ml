@@ -26,6 +26,22 @@ let pp_result ppf r =
     r.units r.transmissions r.retransmissions r.congestion_events r.timeouts
     r.acks_sent r.duplicates r.goodput_mbps
 
+let json_result r =
+  Obs.Json.Obj
+    [
+      ("completed", Obs.Json.Bool r.completed);
+      ( "fct_ns",
+        match r.fct with Some f -> Obs.Json.Int f | None -> Obs.Json.Null );
+      ("units", Obs.Json.Int r.units);
+      ("transmissions", Obs.Json.Int r.transmissions);
+      ("retransmissions", Obs.Json.Int r.retransmissions);
+      ("congestion_events", Obs.Json.Int r.congestion_events);
+      ("timeouts", Obs.Json.Int r.timeouts);
+      ("acks_sent", Obs.Json.Int r.acks_sent);
+      ("duplicates", Obs.Json.Int r.duplicates);
+      ("goodput_mbps", Obs.Json.Float r.goodput_mbps);
+    ]
+
 let run engine ~sender ~receiver ?(until = Time.s 300) () =
   Sender.start sender;
   Engine.run ~until engine;

@@ -20,6 +20,10 @@ type result = {
 
 val pp_result : Format.formatter -> result -> unit
 
+val json_result : result -> Obs.Json.t
+(** Schema-stable: one field per {!result} field, [fct] as [fct_ns]
+    (null when incomplete). *)
+
 val run :
   Netsim.Engine.t ->
   sender:Sender.t ->

@@ -169,6 +169,22 @@ let test_engine_until () =
   check int "stopped by horizon" 9 !count;
   check int "clock clamped" 95 (Engine.now e)
 
+let test_engine_drain_advances_to_until () =
+  (* Regression: when the queue drains before the horizon, the clock
+     must still advance to [until] — callers use [Engine.now] as "time
+     simulated so far" and schedule follow-up phases relative to it. *)
+  let e = Engine.create () in
+  Engine.schedule e ~delay:10 ignore;
+  Engine.run ~until:1000 e;
+  check int "drained queue still reaches horizon" 1000 (Engine.now e);
+  (* an idle run advances too *)
+  Engine.run ~until:2000 e;
+  check int "idle run advances" 2000 (Engine.now e);
+  (* without a horizon the clock stays at the last event *)
+  Engine.schedule e ~delay:5 ignore;
+  Engine.run e;
+  check int "unbounded run stops at last event" 2005 (Engine.now e)
+
 let test_engine_stop () =
   let e = Engine.create () in
   let count = ref 0 in
@@ -402,6 +418,29 @@ let test_series () =
     (Stats.Series.to_list s);
   check Alcotest.string "name" "cwnd" (Stats.Series.name s)
 
+let test_series_decimation () =
+  let s = Stats.Series.create ~capacity:8 "rtt" in
+  for i = 0 to 99 do
+    Stats.Series.add s ~time:i (float_of_int i)
+  done;
+  check int "total counts every add" 100 (Stats.Series.total s);
+  check bool "bounded" true (Stats.Series.length s <= 8);
+  check int "dropped is the difference" (100 - Stats.Series.length s)
+    (Stats.Series.dropped s);
+  let stride = Stats.Series.stride s in
+  check bool "stride grew" true (stride > 1);
+  let kept = Stats.Series.to_list s in
+  check bool "non-empty" true (kept <> []);
+  List.iter
+    (fun (t, v) ->
+      (* time = arrival index here, so retention is visible directly *)
+      check int (Printf.sprintf "kept sample %d on stride" t) 0 (t mod stride);
+      check (Alcotest.float 0.) "value preserved" (float_of_int t) v)
+    kept;
+  (* chronological order *)
+  let times = List.map fst kept in
+  check (Alcotest.list int) "chronological" (List.sort compare times) times
+
 (* ------------------------------------------------------------------ *)
 (* Jitter / reordering                                                 *)
 
@@ -622,26 +661,77 @@ let test_pacer_capacity () =
   check int "backlog peak" 2 (Pacer.backlog_peak pacer)
 
 (* ------------------------------------------------------------------ *)
-(* Trace                                                               *)
+(* Trace (typed events via Obs)                                        *)
 
 let test_trace_ring () =
-  let t = Trace.create ~capacity:4 () in
+  let t = Obs.Trace.create ~capacity:4 () in
+  Obs.Trace.enable t Obs.Trace.Link;
   for i = 1 to 6 do
-    Trace.record t ~time:(i * 10) (Printf.sprintf "e%d" i)
+    Obs.Trace.record t ~time:(i * 10)
+      (Obs.Trace.Deliver { link = "l"; flow = i; size = 100 })
   done;
-  check (Alcotest.list (Alcotest.pair int Alcotest.string)) "keeps newest 4"
-    [ (30, "e3"); (40, "e4"); (50, "e5"); (60, "e6") ]
-    (Trace.events t);
-  check int "dropped" 2 (Trace.dropped t);
-  Trace.clear t;
-  check int "cleared" 0 (List.length (Trace.events t))
+  let flows =
+    List.map
+      (fun (time, ev) ->
+        match ev with
+        | Obs.Trace.Deliver { flow; _ } -> (time, flow)
+        | _ -> Alcotest.fail "unexpected event kind")
+      (Obs.Trace.events t)
+  in
+  check (Alcotest.list (Alcotest.pair int int)) "keeps newest 4"
+    [ (30, 3); (40, 4); (50, 5); (60, 6) ]
+    flows;
+  check int "dropped" 2 (Obs.Trace.dropped t);
+  Obs.Trace.clear t;
+  check int "cleared" 0 (List.length (Obs.Trace.events t))
 
-let test_trace_recordf () =
-  let t = Trace.create () in
-  Trace.recordf t ~time:5 "seq=%d id=%#x" 7 255;
-  match Trace.events t with
-  | [ (5, msg) ] -> check Alcotest.string "formatted" "seq=7 id=0xff" msg
-  | _ -> Alcotest.fail "expected one event"
+let test_trace_mask () =
+  let t = Obs.Trace.create () in
+  Obs.Trace.record t ~time:1 (Obs.Trace.Admit { table = "tbl"; flow = 1 });
+  check int "everything masked off by default" 0 (Obs.Trace.total t);
+  Obs.Trace.enable t Obs.Trace.Table;
+  check bool "on" true (Obs.Trace.on t Obs.Trace.Table);
+  check bool "others still off" false (Obs.Trace.on t Obs.Trace.Quack);
+  Obs.Trace.record t ~time:2 (Obs.Trace.Admit { table = "tbl"; flow = 2 });
+  Obs.Trace.record t ~time:3
+    (Obs.Trace.Quack_sent { dst = "server"; flow = 2; index = 1; bytes = 32 });
+  check int "only the enabled category records" 1 (Obs.Trace.total t);
+  Obs.Trace.disable t Obs.Trace.Table;
+  Obs.Trace.record t ~time:4 (Obs.Trace.Admit { table = "tbl"; flow = 3 });
+  check int "disable works" 1 (Obs.Trace.total t)
+
+let test_link_traces_when_enabled () =
+  (* The same seeded run with tracing fully on and fully off must
+     deliver identically — observability must not perturb — and the
+     traced run's ring must describe the packet lifecycle. *)
+  let run ~traced =
+    let e = Engine.create ~seed:5 () in
+    if traced then Obs.Trace.enable_all (Engine.trace e);
+    let delivered = ref [] in
+    let link =
+      Link.create e ~name:"t" ~rate_bps:10_000_000 ~delay:(Sim_time.ms 2)
+        ~loss:(Loss.bernoulli 0.2)
+        ~deliver:(fun p -> delivered := p.Packet.uid :: !delivered)
+        ()
+    in
+    for i = 0 to 99 do
+      ignore (Link.send link (mk_packet i))
+    done;
+    Engine.run e;
+    (!delivered, Link.stats link, Engine.trace e)
+  in
+  let d_on, s_on, tr = run ~traced:true in
+  let d_off, s_off, tr_off = run ~traced:false in
+  check bool "identical delivery either way" true (d_on = d_off);
+  check bool "identical stats either way" true (s_on = s_off);
+  check int "untraced run records nothing" 0 (Obs.Trace.total tr_off);
+  let count pred = List.length (List.filter pred (Obs.Trace.events tr)) in
+  check int "one enqueue per offered packet" 100
+    (count (fun (_, ev) -> match ev with Obs.Trace.Enqueue _ -> true | _ -> false));
+  check int "deliver events match callback" (List.length d_on)
+    (count (fun (_, ev) -> match ev with Obs.Trace.Deliver _ -> true | _ -> false));
+  check int "drop events are the remainder" (100 - List.length d_on)
+    (count (fun (_, ev) -> match ev with Obs.Trace.Drop _ -> true | _ -> false))
 
 (* ------------------------------------------------------------------ *)
 (* Conservation: every accepted packet is accounted for exactly once   *)
@@ -730,7 +820,8 @@ let test_cross_run_determinism () =
   let run seed =
     let e = Engine.create ~seed () in
     let wl_rng = Rng.split (Engine.rng e) in
-    let trace = Trace.create ~capacity:8192 () in
+    let trace = Obs.Trace.create ~capacity:8192 () in
+    Obs.Trace.enable trace Obs.Trace.Proto;
     let link =
       Link.create e ~name:"d" ~rate_bps:8_000_000 ~delay:(Sim_time.ms 4)
         ~jitter:(Sim_time.ms 2) ~queue_capacity_pkts:64
@@ -738,7 +829,8 @@ let test_cross_run_determinism () =
           (Loss.gilbert_elliott ~loss_bad:0.3 ~p_good_to_bad:0.05
              ~p_bad_to_good:0.2 ())
         ~deliver:(fun p ->
-          Trace.recordf trace ~time:(Engine.now e) "rx uid=%d" p.Packet.uid)
+          Obs.Trace.record trace ~time:(Engine.now e)
+            (Obs.Trace.Note { who = "rx"; flow = p.Packet.uid; what = "" }))
         ()
     in
     let uid = ref 0 in
@@ -754,7 +846,7 @@ let test_cross_run_determinism () =
     in
     Engine.schedule e ~delay:0 burst;
     Engine.run e;
-    (Trace.events trace, Link.stats link, Engine.now e)
+    (Obs.Trace.events trace, Link.stats link, Engine.now e)
   in
   check bool "same seed, identical trace and stats" true (run 1234 = run 1234);
   check bool "different seed diverges" true (run 1234 <> run 99)
@@ -787,6 +879,8 @@ let () =
           Alcotest.test_case "ordering" `Quick test_engine_ordering;
           Alcotest.test_case "nested scheduling" `Quick test_engine_nested_scheduling;
           Alcotest.test_case "until horizon" `Quick test_engine_until;
+          Alcotest.test_case "drain advances to until" `Quick
+            test_engine_drain_advances_to_until;
           Alcotest.test_case "stop" `Quick test_engine_stop;
           Alcotest.test_case "negative delay" `Quick test_engine_negative_delay_clamped;
         ] );
@@ -811,6 +905,7 @@ let () =
           Alcotest.test_case "summary" `Quick test_summary;
           Alcotest.test_case "summary empty" `Quick test_summary_empty;
           Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "series decimation" `Quick test_series_decimation;
           Alcotest.test_case "quantile empty" `Quick test_quantile_empty;
           Alcotest.test_case "quantile small-n exact" `Quick test_quantile_small;
           Alcotest.test_case "quantile P2 accuracy" `Quick test_quantile_accuracy;
@@ -846,7 +941,9 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "ring buffer" `Quick test_trace_ring;
-          Alcotest.test_case "recordf" `Quick test_trace_recordf;
+          Alcotest.test_case "category mask" `Quick test_trace_mask;
+          Alcotest.test_case "tracing never perturbs" `Quick
+            test_link_traces_when_enabled;
         ] );
       ( "conservation",
         [ Alcotest.test_case "loss+aqm+jitter+overflow" `Quick test_link_conservation_under_everything ] );

@@ -1,0 +1,284 @@
+(* Unit and property tests for the observability library: the JSON
+   writer/parser pair, the metrics registry, the trace ring, and the
+   P² quantile estimator checked against exact order statistics. *)
+
+open Obs
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let string = Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("name", Json.String "fig5");
+      ("n", Json.Int 42);
+      ("rate", Json.Float 1.5);
+      ("done", Json.Bool true);
+      ("missing", Json.Null);
+      ("rows", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ("nested", Json.Obj [ ("p50", Json.Float 0.125) ]);
+    ]
+
+let test_json_roundtrip () =
+  let s = Json.to_string sample_json in
+  match Json.of_string s with
+  | Ok v -> check bool "writer output reparses to itself" true (v = sample_json)
+  | Error e -> Alcotest.fail ("parse failed: " ^ e)
+
+let test_json_float_formatting () =
+  check string "integer-valued float keeps a point" "1.0"
+    (Json.to_string (Json.Float 1.));
+  check string "short decimal" "0.125" (Json.to_string (Json.Float 0.125));
+  check string "negative" "-2.5" (Json.to_string (Json.Float (-2.5)));
+  check string "nan is null" "null" (Json.to_string (Json.Float nan));
+  check string "infinity is null" "null" (Json.to_string (Json.Float infinity));
+  (* a float needing full precision must round-trip *)
+  let tricky = 0.1 +. 0.2 in
+  match Json.of_string (Json.to_string (Json.Float tricky)) with
+  | Ok (Json.Float f) -> check bool "round-trips exactly" true (f = tricky)
+  | _ -> Alcotest.fail "expected a float back"
+
+let test_json_escapes () =
+  let v = Json.String "a\"b\\c\nd\te" in
+  check string "escaped" {|"a\"b\\c\nd\te"|} (Json.to_string v);
+  match Json.of_string (Json.to_string v) with
+  | Ok w -> check bool "escape round-trip" true (v = w)
+  | Error e -> Alcotest.fail e
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+    | Error _ -> ()
+  in
+  List.iter bad [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_json_member () =
+  check bool "present" true (Json.member "n" sample_json = Some (Json.Int 42));
+  check bool "absent" true (Json.member "zzz" sample_json = None);
+  check bool "non-object" true (Json.member "x" (Json.Int 1) = None)
+
+let test_json_schema_of () =
+  let schema = Json.schema_of sample_json in
+  check string "schema shape"
+    (Json.to_string
+       (Json.Obj
+          [
+            ("name", Json.String "string");
+            ("n", Json.String "int");
+            ("rate", Json.String "float");
+            ("done", Json.String "bool");
+            ("missing", Json.String "null");
+            ("rows", Json.List [ Json.String "int" ]);
+            ("nested", Json.Obj [ ("p50", Json.String "float") ]);
+          ]))
+    (Json.to_string schema);
+  check string "empty list schema" {|[
+  "empty"
+]|}
+    (Json.to_string (Json.schema_of (Json.List [])))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+
+let test_metrics_registration_order () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "b.first" in
+  let g = Metrics.gauge m "a.second" in
+  Metrics.int_source m "c.third" (fun () -> 7);
+  Metrics.Counter.add c 3;
+  Metrics.Gauge.set g 2.5;
+  let seen = ref [] in
+  Metrics.iter m (fun name _ -> seen := name :: !seen);
+  check (Alcotest.list string) "registration order, not alphabetical"
+    [ "b.first"; "a.second"; "c.third" ]
+    (List.rev !seen);
+  check bool "counter read" true (Metrics.find m "b.first" = Some (Metrics.Int 3));
+  check bool "gauge read" true
+    (Metrics.find m "a.second" = Some (Metrics.Float 2.5));
+  check bool "source read live" true
+    (Metrics.find m "c.third" = Some (Metrics.Int 7));
+  check int "cardinal" 3 (Metrics.cardinal m)
+
+let test_metrics_duplicate_names () =
+  let m = Metrics.create () in
+  let a = Metrics.counter m "link.sent" in
+  let b = Metrics.counter m "link.sent" in
+  let c = Metrics.counter m "link.sent" in
+  Metrics.Counter.incr a;
+  Metrics.Counter.add b 2;
+  Metrics.Counter.add c 3;
+  check bool "first keeps the bare name" true
+    (Metrics.find m "link.sent" = Some (Metrics.Int 1));
+  check bool "second gets #2" true
+    (Metrics.find m "link.sent#2" = Some (Metrics.Int 2));
+  check bool "third gets #3" true
+    (Metrics.find m "link.sent#3" = Some (Metrics.Int 3))
+
+let test_metrics_attach_shared_cell () =
+  (* one live cell visible through two registries — the protocol
+     counters pattern *)
+  let cell = Metrics.Counter.create () in
+  let m1 = Metrics.create () and m2 = Metrics.create () in
+  Metrics.attach_counter m1 "shared" cell;
+  Metrics.attach_counter m2 "shared" cell;
+  Metrics.Counter.add cell 5;
+  check bool "registry 1 sees it" true
+    (Metrics.find m1 "shared" = Some (Metrics.Int 5));
+  check bool "registry 2 sees it" true
+    (Metrics.find m2 "shared" = Some (Metrics.Int 5))
+
+let test_metrics_to_json () =
+  let m = Metrics.create () in
+  Metrics.Counter.add (Metrics.counter m "events") 9;
+  Metrics.Gauge.set (Metrics.gauge m "load") 0.5;
+  let s = Metrics.summary m "sojourn" in
+  Stats.Summary.add s 1.;
+  Stats.Summary.add s 3.;
+  match Json.of_string (Json.to_string (Metrics.to_json m)) with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      check bool "counter field" true (Json.member "events" v = Some (Json.Int 9));
+      check bool "gauge field" true
+        (Json.member "load" v = Some (Json.Float 0.5));
+      (match Json.member "sojourn" v with
+      | Some (Json.Obj _ as summary) ->
+          check bool "summary n" true (Json.member "n" summary = Some (Json.Int 2))
+      | _ -> Alcotest.fail "expected a summary object")
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                               *)
+
+let test_trace_event_json () =
+  let ev = Trace.Drop { link = "far"; flow = 3; reason = Trace.Loss_model } in
+  let j = Trace.json_of_event ~time:17 ev in
+  check bool "t_ns" true (Json.member "t_ns" j = Some (Json.Int 17));
+  check bool "type" true (Json.member "type" j = Some (Json.String "drop"));
+  check bool "reason" true (Json.member "reason" j = Some (Json.String "loss"));
+  check bool "flow" true (Json.member "flow" j = Some (Json.Int 3))
+
+let test_trace_to_json_counts () =
+  let t = Trace.create ~capacity:2 () in
+  Trace.enable t Trace.Proto;
+  for i = 1 to 5 do
+    Trace.record t ~time:i (Trace.Note { who = "x"; flow = i; what = "" })
+  done;
+  let j = Trace.to_json t in
+  check bool "total" true (Json.member "total" j = Some (Json.Int 5));
+  check bool "dropped" true (Json.member "dropped" j = Some (Json.Int 3));
+  match Json.member "events" j with
+  | Some (Json.List evs) -> check int "ring kept 2" 2 (List.length evs)
+  | _ -> Alcotest.fail "expected events list"
+
+let test_trace_category_strings () =
+  List.iter
+    (fun c ->
+      check bool "category string round-trip" true
+        (Trace.category_of_string (Trace.category_to_string c) = Some c))
+    Trace.all_categories;
+  check bool "unknown string" true (Trace.category_of_string "bogus" = None)
+
+let test_sink_default_categories () =
+  let saved = Sink.default_trace_categories () in
+  Fun.protect
+    ~finally:(fun () -> Sink.set_default_trace_categories saved)
+    (fun () ->
+      Sink.set_default_trace_categories [ Trace.Quack ];
+      let s = Sink.create () in
+      check bool "default applied" true (Trace.on (Sink.trace s) Trace.Quack);
+      check bool "others off" true (not (Trace.on (Sink.trace s) Trace.Link));
+      let explicit = Sink.create ~trace_categories:[ Trace.Link ] () in
+      check bool "explicit wins" true (Trace.on (Sink.trace explicit) Trace.Link);
+      check bool "explicit excludes default" true
+        (not (Trace.on (Sink.trace explicit) Trace.Quack)))
+
+(* ------------------------------------------------------------------ *)
+(* P² quantiles vs exact order statistics                              *)
+
+(* nearest-rank quantile: what Quantile.estimate computes exactly for
+   n <= 5, and the reference the marker path is compared against *)
+let exact_quantile p xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  a.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let qcheck_quantile =
+  let open QCheck in
+  let values n = Gen.list_size (Gen.return n) (Gen.float_bound_exclusive 1000.) in
+  let ps = [ 0.5; 0.9; 0.95 ] in
+  [
+    Test.make ~name:"P2 exact path (n<=5) equals nearest rank" ~count:300
+      (make
+         Gen.(pair (oneofl ps) (int_range 1 5 >>= values))
+         ~print:(fun (p, xs) ->
+           Printf.sprintf "p=%g xs=[%s]" p
+             (String.concat "; " (List.map string_of_float xs))))
+      (fun (p, xs) ->
+        let q = Stats.Quantile.create p in
+        List.iter (Stats.Quantile.add q) xs;
+        Stats.Quantile.estimate q = exact_quantile p xs);
+    Test.make ~name:"P2 marker path (n>5) tracks the exact quantile" ~count:200
+      (make
+         Gen.(pair (oneofl ps) (int_range 50 300 >>= values))
+         ~print:(fun (p, xs) ->
+           Printf.sprintf "p=%g n=%d" p (List.length xs)))
+      (fun (p, xs) ->
+        let q = Stats.Quantile.create p in
+        List.iter (Stats.Quantile.add q) xs;
+        let est = Stats.Quantile.estimate q in
+        let lo = exact_quantile (Stdlib.max 0.01 (p -. 0.15)) xs
+        and hi = exact_quantile (Stdlib.min 0.99 (p +. 0.15)) xs in
+        (* the estimate must land inside a generous rank bracket
+           around the target: P² is approximate but must not wander
+           outside the neighbourhood of the true order statistic *)
+        Float.is_finite est && est >= lo -. 1e-9 && est <= hi +. 1e-9);
+    Test.make ~name:"P2 estimate stays within observed range" ~count:200
+      (make
+         Gen.(int_range 6 200 >>= values)
+         ~print:(fun xs -> Printf.sprintf "n=%d" (List.length xs)))
+      (fun xs ->
+        let q = Stats.Quantile.create 0.5 in
+        List.iter (Stats.Quantile.add q) xs;
+        let est = Stats.Quantile.estimate q in
+        let mn = List.fold_left Stdlib.min infinity xs
+        and mx = List.fold_left Stdlib.max neg_infinity xs in
+        est >= mn && est <= mx);
+  ]
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "float formatting" `Quick test_json_float_formatting;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "member" `Quick test_json_member;
+          Alcotest.test_case "schema_of" `Quick test_json_schema_of;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registration order" `Quick
+            test_metrics_registration_order;
+          Alcotest.test_case "duplicate names" `Quick test_metrics_duplicate_names;
+          Alcotest.test_case "shared cells" `Quick test_metrics_attach_shared_cell;
+          Alcotest.test_case "to_json" `Quick test_metrics_to_json;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "event json" `Quick test_trace_event_json;
+          Alcotest.test_case "to_json counts" `Quick test_trace_to_json_counts;
+          Alcotest.test_case "category strings" `Quick test_trace_category_strings;
+          Alcotest.test_case "sink defaults" `Quick test_sink_default_categories;
+        ] );
+      ("quantile-props", q qcheck_quantile);
+    ]

@@ -83,8 +83,33 @@ let snap_rx () =
     ]
   ^ "\n"
 
+(* ------------------------------------------------------------------ *)
+(* JSON schema pins: the machine-readable report shapes are part of
+   the interface (CI's benchcheck and downstream replotting parse
+   them), so their schemas are goldens too — the numbers may move,
+   the field names and types may not. *)
+
+let schema_snap json_of () = Obs.Json.to_string (Obs.Json.schema_of (json_of ())) ^ "\n"
+
 let fixtures =
-  [ ("proto_cc", snap_cc); ("proto_ar", snap_ar); ("proto_rx", snap_rx) ]
+  [
+    ("proto_cc", snap_cc);
+    ("proto_ar", snap_ar);
+    ("proto_rx", snap_rx);
+    ( "schema_cc",
+      schema_snap (fun () ->
+          Cc_division.json_report (Cc_division.run Cc_division.default_config)) );
+    ( "schema_ar",
+      schema_snap (fun () ->
+          Ack_reduction.json_report (Ack_reduction.run Ack_reduction.default_config)) );
+    ( "schema_rx",
+      schema_snap (fun () ->
+          Retransmission.json_report (Retransmission.run Retransmission.default_config)) );
+    ( "schema_runtime",
+      schema_snap (fun () ->
+          let module S = Sidecar_runtime.Scenario in
+          S.json_report (S.run { S.default_config with S.flows = 40 })) );
+  ]
 
 (* ------------------------------------------------------------------ *)
 
@@ -115,9 +140,31 @@ let golden_case (name, snap) =
         (name ^ " matches the committed pre-refactor snapshot")
         expected got)
 
+(* The observability guarantee, enforced byte-for-byte: the same run
+   with every trace category enabled must reproduce the same fixture.
+   Recording is ring writes only — no RNG draws, no scheduling — so a
+   divergence here means some code path made behaviour depend on
+   whether anyone is watching. *)
+let traced_case (name, snap) =
+  Alcotest.test_case (name ^ " traced") `Slow (fun () ->
+      let saved = Obs.Sink.default_trace_categories () in
+      Obs.Sink.set_default_trace_categories Obs.Trace.all_categories;
+      let got =
+        Fun.protect
+          ~finally:(fun () -> Obs.Sink.set_default_trace_categories saved)
+          snap
+      in
+      let expected = read_file (Filename.concat "golden" (name ^ ".txt")) in
+      Alcotest.(check string)
+        (name ^ " is byte-identical with tracing fully enabled")
+        expected got)
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "gen" :: dir :: _ -> gen dir
   | _ ->
       Alcotest.run "sidecar_golden"
-        [ ("golden", List.map golden_case fixtures) ]
+        [
+          ("golden", List.map golden_case fixtures);
+          ("golden-traced", List.map traced_case fixtures);
+        ]

@@ -1,0 +1,74 @@
+(* benchcheck: validate the bench harness's machine-readable outputs.
+
+   Usage: benchcheck FILE.json [FILE.json ...]
+
+   Each file must be a "sidecar-bench-1" document:
+     { "schema": "sidecar-bench-1",
+       "rows": [ { "section": <string>, ...fields }, ... ] }
+   where every row has a string "section", at least one numeric field,
+   and no null values — the bench writes nan/inf as null, so a null
+   here means a measurement silently failed and the run must not be
+   archived as data. Exits non-zero (listing every problem) on any
+   violation; prints a one-line summary per valid file. *)
+
+let errors = ref 0
+
+let err path fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr errors;
+      Printf.eprintf "benchcheck: %s: %s\n" path msg)
+    fmt
+
+let check_row path i = function
+  | Obs.Json.Obj fields ->
+      (match List.assoc_opt "section" fields with
+      | Some (Obs.Json.String _) -> ()
+      | Some _ -> err path "row %d: \"section\" is not a string" i
+      | None -> err path "row %d: missing \"section\"" i);
+      let numeric = ref 0 in
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Obs.Json.Int _ -> incr numeric
+          | Obs.Json.Float f ->
+              if Float.is_finite f then incr numeric
+              else err path "row %d: field %S is not finite" i name
+          | Obs.Json.Null ->
+              err path
+                "row %d: field %S is null (a measurement produced nan/inf)" i
+                name
+          | Obs.Json.String _ | Obs.Json.Bool _ -> ()
+          | Obs.Json.List _ | Obs.Json.Obj _ ->
+              err path "row %d: field %S is nested (rows must be flat)" i name)
+        fields;
+      if !numeric = 0 then err path "row %d: no numeric field" i
+  | _ -> err path "row %d: not an object" i
+
+let check_file path =
+  match Obs.Json.of_file path with
+  | Error e -> err path "unparseable: %s" e
+  | Ok doc -> (
+      (match Obs.Json.member "schema" doc with
+      | Some (Obs.Json.String "sidecar-bench-1") -> ()
+      | Some (Obs.Json.String s) -> err path "unknown schema %S" s
+      | _ -> err path "missing \"schema\" tag");
+      match Obs.Json.member "rows" doc with
+      | Some (Obs.Json.List []) -> err path "empty \"rows\""
+      | Some (Obs.Json.List rows) ->
+          List.iteri (check_row path) rows;
+          if !errors = 0 then
+            Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
+      | _ -> err path "missing \"rows\" list")
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: (_ :: _ as paths) ->
+      List.iter check_file paths;
+      if !errors > 0 then begin
+        Printf.eprintf "benchcheck: %d problem(s)\n" !errors;
+        exit 1
+      end
+  | _ ->
+      prerr_endline "usage: benchcheck FILE.json [FILE.json ...]";
+      exit 2

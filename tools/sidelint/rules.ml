@@ -130,14 +130,14 @@ let partial_ident = function
 let effectful_ident = function
   | [ ("print_endline" | "print_string" | "print_newline" | "print_char"
       | "print_int" | "print_float" | "print_bytes") as f ] ->
-      Some (f ^ " writes to stdout from library code; use Netsim.Stats or Netsim.Trace")
+      Some (f ^ " writes to stdout from library code; use Obs.Metrics or Obs.Trace")
   | [ ("prerr_endline" | "prerr_string" | "prerr_newline") as f ] ->
-      Some (f ^ " writes to stderr from library code; use Netsim.Stats or Netsim.Trace")
+      Some (f ^ " writes to stderr from library code; use Obs.Metrics or Obs.Trace")
   | [ "Printf"; ("printf" | "eprintf") ]
   | [ "Format"; ("printf" | "eprintf") ] ->
       Some
         "direct console output from library code; return data or use \
-         Netsim.Stats/Trace (pp functions over an explicit formatter are fine)"
+         Obs.Metrics/Trace (pp functions over an explicit formatter are fine)"
   | [ "Format"; ("std_formatter" | "err_formatter") ] | [ ("stdout" | "stderr") ]
     ->
       Some "library code must not capture the console; take a formatter argument"
