@@ -3,11 +3,19 @@
    three sidecar protocols of §2 and ablations of the design choices
    called out in DESIGN.md.
 
-   Usage: dune exec bench/main.exe [-- section ...]
+   Usage: dune exec bench/main.exe [-- [--jobs N] section ...]
    Sections: table2 table3 fig5 fig6 freq proto_cc proto_ar proto_rx
              cc_compare fairness sweep short_flows runtime ablation
              extensions (default: all of them, in that order).
+   --jobs N fans the grid sweeps (table2/fig5/fig6/sweep/short_flows/
+   cc_compare/runtime points, fairness trials) over N domains via
+   lib/exec; default Exec.recommended_jobs () (the SIDECAR_JOBS env
+   overrides). Results are merged in submission order, so every table
+   and JSON row is identical for any N.
    BENCH_RUNTIME_FLOWS caps the runtime section's flow count.
+   BENCH_DETERMINISTIC=1 drops wall-clock measurement from the runtime
+   section (no cost_clock, no speedup row) so BENCH_RUNTIME.json is
+   byte-identical across runs and job counts — what CI diffs.
    Set BENCH_CSV_DIR=<dir> to also write the figure data as CSV.
    Sections that measure the quACK itself (table2/fig5/fig6) append
    rows to BENCH_QUACK.json and the runtime section to
@@ -20,6 +28,14 @@ module Time = Netsim.Sim_time
 let key = Identifier.key_of_int 0xBE7C
 let ids_b ~bits n = List.init n (fun i -> Identifier.of_counter key ~bits i)
 let ids n = ids_b ~bits:32 n
+
+(* BENCH_DETERMINISTIC=1: suppress every wall-clock-derived field in
+   the runtime section so its JSON is a pure function of the
+   simulation — the mode CI uses to byte-diff jobs=1 vs jobs=4. *)
+let deterministic =
+  match Sys.getenv_opt "BENCH_DETERMINISTIC" with
+  | None | Some "" | Some "0" -> false
+  | Some _ -> true
 
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmark driver (Bechamel, OLS over the monotonic clock).   *)
@@ -118,7 +134,7 @@ let decode_problem ~bits ~threshold ~n ~missing_idx =
   List.iteri
     (fun i id -> if not (List.mem i missing_idx) then Psum.insert received id)
     all;
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   (diff, List.length missing_idx, all, Psum.field sent)
 
 let spread_missing n m = List.init m (fun i -> i * (n / (m + 1)))
@@ -126,53 +142,60 @@ let spread_missing n m = List.init m (fun i -> i * (n / (m + 1)))
 (* ------------------------------------------------------------------ *)
 (* Table 2: strawmen vs power sums (n = 1000, t = 20, b = 32, c = 16) *)
 
-let table2 () =
+let table2 pool =
   section "Table 2: strawman comparison (n=1000, t=20, b=32, c=16)";
   let n = 1000 and t = 20 and m = 20 in
   let all = ids n in
-  (* --- power sums --- *)
-  let ps_construct =
-    measure_ns ~name:"psum-construct" (fun () -> build_psum ~bits:32 ~threshold:t all)
-  in
-  let diff, nm, cands, field =
-    decode_problem ~bits:32 ~threshold:t ~n ~missing_idx:(spread_missing n m)
-  in
-  let ps_decode =
-    measure_ns ~name:"psum-decode" (fun () ->
-        Decoder.decode ~field ~diff_sums:diff ~num_missing:nm ~candidates:cands ())
-  in
-  let ps_bits = (32 * t) + 16 in
-  (* --- strawman 1 --- *)
-  let s1_construct =
-    measure_ns ~name:"s1-construct" (fun () ->
-        let s = Strawman1.create ~bits:32 in
-        List.iter (Strawman1.insert s) all;
-        Strawman1.encode s)
-  in
-  let s1 = Strawman1.create ~bits:32 in
-  List.iteri (fun i id -> if i mod 50 <> 7 then Strawman1.insert s1 id) all;
-  let s1_payload = Strawman1.encode s1 in
-  let s1_decode =
-    measure_ns ~name:"s1-decode" (fun () ->
-        Strawman1.decode ~bits:32 s1_payload ~log:all)
-  in
-  let s1_bits = 32 * n in
-  (* --- strawman 2 --- *)
-  let s2_construct =
-    measure_ns ~name:"s2-construct" (fun () ->
-        let s = Strawman2.create ~bits:32 in
-        List.iter (Strawman2.insert s) all;
-        Strawman2.digest s)
-  in
-  (* measured cost of one subset attempt, then extrapolate C(1000,20)/2 *)
   let bogus = String.make 32 '\000' in
   let attempts = 20 in
-  let s2_attempt =
-    measure_ns ~name:"s2-attempt" (fun () ->
-        Strawman2.decode ~max_attempts:attempts ~digest:bogus ~log:all
-          ~num_missing:m ())
-    /. float_of_int attempts
+  (* The six measurements are independent, so they fan out over the
+     pool; each task builds its own inputs and returns one estimate. *)
+  let measure _ctx = function
+    | `Ps_construct ->
+        measure_ns ~name:"psum-construct" (fun () ->
+            build_psum ~bits:32 ~threshold:t all)
+    | `Ps_decode ->
+        let diff, nm, cands, field =
+          decode_problem ~bits:32 ~threshold:t ~n ~missing_idx:(spread_missing n m)
+        in
+        measure_ns ~name:"psum-decode" (fun () ->
+            Decoder.decode ~field ~diff_sums:diff ~num_missing:nm
+              ~candidates:cands ())
+    | `S1_construct ->
+        measure_ns ~name:"s1-construct" (fun () ->
+            let s = Strawman1.create ~bits:32 in
+            List.iter (Strawman1.insert s) all;
+            Strawman1.encode s)
+    | `S1_decode ->
+        let s1 = Strawman1.create ~bits:32 in
+        List.iteri (fun i id -> if i mod 50 <> 7 then Strawman1.insert s1 id) all;
+        let s1_payload = Strawman1.encode s1 in
+        measure_ns ~name:"s1-decode" (fun () ->
+            Strawman1.decode ~bits:32 s1_payload ~log:all)
+    | `S2_construct ->
+        measure_ns ~name:"s2-construct" (fun () ->
+            let s = Strawman2.create ~bits:32 in
+            List.iter (Strawman2.insert s) all;
+            Strawman2.digest s)
+    | `S2_attempt ->
+        (* measured cost of one subset attempt; extrapolated below *)
+        measure_ns ~name:"s2-attempt" (fun () ->
+            Strawman2.decode ~max_attempts:attempts ~digest:bogus ~log:all
+              ~num_missing:m ())
+        /. float_of_int attempts
   in
+  let ps_construct, ps_decode, s1_construct, s1_decode, s2_construct, s2_attempt
+      =
+    match
+      Exec.Pool.map pool ~f:measure
+        [ `Ps_construct; `Ps_decode; `S1_construct; `S1_decode; `S2_construct;
+          `S2_attempt ]
+    with
+    | [ a; b; c; d; e; f ] -> (a, b, c, d, e, f)
+    | _ -> assert false
+  in
+  let ps_bits = (32 * t) + 16 in
+  let s1_bits = 32 * n in
   let s2_days =
     Strawman2.estimated_decode_days ~n ~m ~seconds_per_attempt:(s2_attempt /. 1e9)
   in
@@ -211,7 +234,7 @@ let table2 () =
 (* ------------------------------------------------------------------ *)
 (* Table 3: collision probability vs identifier bits (n = 1000)       *)
 
-let table3 () =
+let table3 _pool =
   section "Table 3: collision probabilities (n=1000)";
   Printf.printf "%-16s" "Identifier Bits";
   List.iter (fun b -> Printf.printf "%12d" b) Collision.table3_bits;
@@ -231,10 +254,26 @@ let table3 () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 5: construction time (us) vs threshold, n = 1000              *)
 
-let fig5 () =
+let fig5 pool =
   section "Fig. 5: construction time (us) vs threshold t (n=1000)";
   let thresholds = [ 10; 15; 20; 25; 30; 35; 40; 45; 50 ] in
   let widths = [ 16; 24; 32 ] in
+  (* Measure the 27-point grid in parallel; print and append rows in
+     submission order afterwards, so output is jobs-invariant. *)
+  let points =
+    List.concat_map (fun t -> List.map (fun bits -> (t, bits)) widths)
+      thresholds
+  in
+  let measured =
+    Exec.Pool.map pool
+      ~f:(fun _ctx (t, bits) ->
+        let all = ids_b ~bits 1000 in
+        measure_ns ~quota:0.1
+          ~name:(Printf.sprintf "construct-b%d-t%d" bits t)
+          (fun () -> build_psum ~bits ~threshold:t all))
+      points
+  in
+  let grid = List.combine points measured in
   Printf.printf "%-10s" "t";
   List.iter (fun b -> Printf.printf "%10d-bit" b) widths;
   Printf.printf "\n";
@@ -245,12 +284,7 @@ let fig5 () =
       let row = ref [ string_of_int t ] in
       List.iter
         (fun bits ->
-          let all = ids_b ~bits 1000 in
-          let ns =
-            measure_ns ~quota:0.1
-              ~name:(Printf.sprintf "construct-b%d-t%d" bits t)
-              (fun () -> build_psum ~bits ~threshold:t all)
-          in
+          let ns = List.assoc (t, bits) grid in
           row := Printf.sprintf "%.2f" (ns /. 1e3) :: !row;
           add_row quack_rows ~section:"fig5"
             [
@@ -270,10 +304,28 @@ let fig5 () =
 (* ------------------------------------------------------------------ *)
 (* Fig. 6: decoding time (us) vs missing packets, n = 1000, t = 20    *)
 
-let fig6 () =
+let fig6 pool =
   section "Fig. 6: decoding time (us) vs missing packets m (n=1000, t=20)";
   let missing = [ 0; 2; 5; 8; 10; 12; 15; 18; 20 ] in
   let widths = [ 16; 24; 32 ] in
+  let points =
+    List.concat_map (fun m -> List.map (fun bits -> (m, bits)) widths) missing
+  in
+  let measured =
+    Exec.Pool.map pool
+      ~f:(fun _ctx (m, bits) ->
+        let diff, nm, cands, field =
+          decode_problem ~bits ~threshold:20 ~n:1000
+            ~missing_idx:(spread_missing 1000 m)
+        in
+        measure_ns ~quota:0.1
+          ~name:(Printf.sprintf "decode-b%d-m%d" bits m)
+          (fun () ->
+            Decoder.decode ~field ~diff_sums:diff ~num_missing:nm
+              ~candidates:cands ()))
+      points
+  in
+  let grid = List.combine points measured in
   Printf.printf "%-10s" "m";
   List.iter (fun b -> Printf.printf "%10d-bit" b) widths;
   Printf.printf "\n";
@@ -284,17 +336,7 @@ let fig6 () =
       let row = ref [ string_of_int m ] in
       List.iter
         (fun bits ->
-          let diff, nm, cands, field =
-            decode_problem ~bits ~threshold:20 ~n:1000
-              ~missing_idx:(spread_missing 1000 m)
-          in
-          let ns =
-            measure_ns ~quota:0.1
-              ~name:(Printf.sprintf "decode-b%d-m%d" bits m)
-              (fun () ->
-                Decoder.decode ~field ~diff_sums:diff ~num_missing:nm
-                  ~candidates:cands ())
-          in
+          let ns = List.assoc (m, bits) grid in
           row := Printf.sprintf "%.2f" (ns /. 1e3) :: !row;
           add_row quack_rows ~section:"fig6"
             [
@@ -314,7 +356,7 @@ let fig6 () =
 (* ------------------------------------------------------------------ *)
 (* §4.3: communication frequency for the three protocols              *)
 
-let freq () =
+let freq _pool =
   section "Sec 4.3: communication frequency selection";
   (* calibrate the per-(packet*sum) cost from this machine *)
   let all = ids 1000 in
@@ -359,7 +401,7 @@ let flow_row name (r : Transport.Flow.result) =
     r.Transport.Flow.retransmissions r.Transport.Flow.congestion_events
     r.Transport.Flow.acks_sent
 
-let proto_cc () =
+let proto_cc _pool =
   section "Protocol: congestion-control division (sec 2.1)";
   let cfg = Cc_division.default_config in
   Printf.printf
@@ -389,7 +431,7 @@ let proto_cc () =
     "  (split PEP reads/fabricates transport state - impossible for QUIC;\n\
     \   shown as the upper bound the sidecar approaches without it)\n"
 
-let proto_ar () =
+let proto_ar _pool =
   section "Protocol: ACK reduction (sec 2.2)";
   let cfg = Ack_reduction.default_config in
   Printf.printf "path: 50 Mbit/s 5 ms + 50 Mbit/s 25 ms, lossless; 2000 units\n";
@@ -406,7 +448,7 @@ let proto_ar () =
     rep.Ack_reduction.quacks rep.Ack_reduction.quack_bytes
     rep.Ack_reduction.window_freed_early_bytes
 
-let proto_rx () =
+let proto_rx _pool =
   section "Protocol: in-network retransmission (sec 2.3)";
   let cfg = Retransmission.default_config in
   Printf.printf
@@ -424,24 +466,31 @@ let proto_rx () =
 (* ------------------------------------------------------------------ *)
 (* Figure-style sweeps: who wins as the path degrades                 *)
 
-let sweep () =
+let sweep pool =
   section "Sweep: CC division - flow completion (s) vs far-segment loss";
+  let cc_losses = [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05 ] in
+  (* Every sweep point is an independent pair of simulations; fan the
+     points over the pool and print in submission order. *)
+  let cc_results =
+    Exec.Pool.map pool
+      ~f:(fun _ctx loss ->
+        let cfg =
+          {
+            Cc_division.default_config with
+            Cc_division.units = 1500;
+            far =
+              Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
+                ~loss:(if loss > 0. then Path.Bernoulli loss else Path.No_loss)
+                ();
+          }
+        in
+        (Cc_division.baseline cfg, (Cc_division.run cfg).Cc_division.flow))
+      cc_losses
+  in
   let rows = ref [] in
   Printf.printf "%-10s %12s %12s %12s\n" "loss" "baseline" "sidecar" "speedup";
-  List.iter
-    (fun loss ->
-      let cfg =
-        {
-          Cc_division.default_config with
-          Cc_division.units = 1500;
-          far =
-            Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
-              ~loss:(if loss > 0. then Path.Bernoulli loss else Path.No_loss)
-              ();
-        }
-      in
-      let b = Cc_division.baseline cfg in
-      let sc = (Cc_division.run cfg).Cc_division.flow in
+  List.iter2
+    (fun loss (b, sc) ->
       match (b.Transport.Flow.fct, sc.Transport.Flow.fct) with
       | Some bf, Some sf ->
           rows :=
@@ -453,48 +502,52 @@ let sweep () =
             (Time.to_float_s bf) (Time.to_float_s sf)
             (Time.to_float_s bf /. Time.to_float_s sf)
       | _ -> Printf.printf "%8.1f%% %12s %12s\n%!" (100. *. loss) "-" "-")
-    [ 0.0; 0.002; 0.005; 0.01; 0.02; 0.05 ];
+    cc_losses cc_results;
   csv_file "sweep_cc_division_vs_loss"
     ~header:[ "loss"; "baseline_fct_s"; "sidecar_fct_s" ] !rows;
   Printf.printf "(expected: parity at zero loss, widening gap as loss grows)\n";
 
   section "Sweep: in-network retransmission - FCT (s) vs subpath loss";
+  let rx_losses = [ 0.0; 0.005; 0.014; 0.03; 0.06 ] in
+  let rx_results =
+    Exec.Pool.map pool
+      ~f:(fun _ctx avg ->
+        let middle_loss =
+          if avg <= 0. then Path.No_loss
+          else
+            let p_bg = 0.2 in
+            let pi_bad = avg /. 0.3 in
+            Path.Gilbert
+              { p_good_to_bad = pi_bad *. p_bg /. (1. -. pi_bad);
+                p_bad_to_good = p_bg; loss_bad = 0.3 }
+        in
+        let cfg =
+          {
+            Retransmission.default_config with
+            Retransmission.units = 1500;
+            middle =
+              { Retransmission.default_config.Retransmission.middle with
+                Path.loss = middle_loss };
+          }
+        in
+        (Retransmission.baseline cfg, (Retransmission.run cfg).Retransmission.flow))
+      rx_losses
+  in
   Printf.printf "%-10s %12s %12s %12s\n" "avg loss" "baseline" "sidecar" "e2e retx saved";
-  List.iter
-    (fun avg ->
-      let middle_loss =
-        if avg <= 0. then Path.No_loss
-        else
-          let p_bg = 0.2 in
-          let pi_bad = avg /. 0.3 in
-          Path.Gilbert
-            { p_good_to_bad = pi_bad *. p_bg /. (1. -. pi_bad);
-              p_bad_to_good = p_bg; loss_bad = 0.3 }
-      in
-      let cfg =
-        {
-          Retransmission.default_config with
-          Retransmission.units = 1500;
-          middle =
-            { Retransmission.default_config.Retransmission.middle with
-              Path.loss = middle_loss };
-        }
-      in
-      let b = Retransmission.baseline cfg in
-      let rep = Retransmission.run cfg in
-      let sc = rep.Retransmission.flow in
+  List.iter2
+    (fun avg (b, sc) ->
       match (b.Transport.Flow.fct, sc.Transport.Flow.fct) with
       | Some bf, Some sf ->
           Printf.printf "%8.1f%% %12.2f %12.2f %10d\n%!" (100. *. avg)
             (Time.to_float_s bf) (Time.to_float_s sf)
             (b.Transport.Flow.retransmissions - sc.Transport.Flow.retransmissions)
       | _ -> Printf.printf "%8.1f%% %12s %12s\n%!" (100. *. avg) "-" "-")
-    [ 0.0; 0.005; 0.014; 0.03; 0.06 ]
+    rx_losses rx_results
 
 (* ------------------------------------------------------------------ *)
 (* Short web-like flows through the CC-division proxy                 *)
 
-let short_flows () =
+let short_flows pool =
   section "Workload: short web-like flows (lognormal sizes) through CC division";
   let rng = Netsim.Rng.create 17 in
   let sizes =
@@ -513,8 +566,22 @@ let short_flows () =
     in
     match fct with Some f -> Time.to_float_s f | None -> nan
   in
-  let base = Array.mapi (fun i u -> run_one `Baseline (100 + i) u) sizes in
-  let side = Array.mapi (fun i u -> run_one `Sidecar (100 + i) u) sizes in
+  (* 48 independent flows (seeds fixed by position, not schedule) *)
+  let tasks =
+    List.concat_map
+      (fun kind ->
+        List.init (Array.length sizes) (fun i -> (kind, 100 + i, sizes.(i))))
+      [ `Baseline; `Sidecar ]
+  in
+  let fcts =
+    Exec.Pool.map pool
+      ~f:(fun _ctx (kind, seed, units) -> run_one kind seed units)
+      tasks
+  in
+  let n = Array.length sizes in
+  let all = Array.of_list fcts in
+  let base = Array.sub all 0 n in
+  let side = Array.sub all n n in
   Printf.printf "  %d flows, sizes %s units\n" (Array.length sizes)
     (Netsim.Workload.describe (Array.map float_of_int sizes));
   Printf.printf "  baseline FCT (s): %s\n" (Netsim.Workload.describe base);
@@ -526,7 +593,7 @@ let short_flows () =
 (* ------------------------------------------------------------------ *)
 (* Multi-flow runtime: one proxy, hundreds of flows, bounded table    *)
 
-let runtime () =
+let runtime pool =
   let module Scenario = Sidecar_runtime.Scenario in
   let module Flow_table = Sidecar_runtime.Flow_table in
   (* BENCH_RUNTIME_FLOWS caps the sweep (CI smoke runs set it low). *)
@@ -544,7 +611,10 @@ let runtime () =
         table_flows = table;
       }
     in
-    Scenario.run ~cost_clock:Unix.gettimeofday cfg
+    (* In deterministic mode omit the cost clock: proxy_busy_s stays 0
+       and the report is a pure function of the simulation. *)
+    if deterministic then Scenario.run cfg
+    else Scenario.run ~cost_clock:Unix.gettimeofday cfg
   in
   let us_per_pkt (r : Scenario.report) =
     (* busy time also covers quACK decode and ACK forwarding, so this
@@ -561,15 +631,34 @@ let runtime () =
       r.Scenario.peak_occupancy r.Scenario.evictions
       r.Scenario.proxy.Sidecar_runtime.Proxy.resyncs (us_per_pkt r)
   in
-  section "Runtime: tail FCT vs flow count (64-slot LRU table)";
   let counts =
     List.sort_uniq compare
       (flows_cap :: List.filter (fun n -> n < flows_cap) [ 50; 100; 200 ])
   in
+  (* Every sweep point (flow counts, table sizes, protocols) is an
+     independent scenario: fan them all out at once, then print each
+     sub-sweep in submission order from the merged results. *)
+  let points =
+    List.map (fun flows -> `Flows flows) counts
+    @ List.map (fun table -> `Table table) [ 0; 4; 16; 64 ]
+    @ List.map (fun (name, p) -> `Proto (name, p))
+        [ ("cc", `Cc); ("ack", `Ack); ("retx", `Retx) ]
+  in
+  let reports =
+    Exec.Pool.map pool
+      ~f:(fun _ctx point ->
+        match point with
+        | `Flows flows -> run ~flows ~table:64 ()
+        | `Table table -> run ~flows:flows_cap ~table ()
+        | `Proto (_, protocol) -> run ~protocol ~flows:flows_cap ~table:24 ())
+      points
+  in
+  let grid = List.combine points reports in
+  section "Runtime: tail FCT vs flow count (64-slot LRU table)";
   let rows = ref [] in
   List.iter
     (fun flows ->
-      let r = run ~flows ~table:64 () in
+      let r = List.assoc (`Flows flows) grid in
       Printf.printf "  flows %4d:\n" flows;
       row r;
       add_row runtime_rows ~section:"runtime_flows"
@@ -603,7 +692,7 @@ let runtime () =
   let rows = ref [] in
   List.iter
     (fun table ->
-      let r = run ~flows:flows_cap ~table () in
+      let r = List.assoc (`Table table) grid in
       Printf.printf "  table %4d:\n" table;
       row r;
       add_row runtime_rows ~section:"runtime_table"
@@ -640,7 +729,7 @@ let runtime () =
   let rows = ref [] in
   List.iter
     (fun (name, protocol) ->
-      let r = run ~protocol ~flows:flows_cap ~table:24 () in
+      let r = List.assoc (`Proto (name, protocol)) grid in
       Printf.printf "  %-5s:\n" name;
       row r;
       Printf.printf
@@ -681,12 +770,54 @@ let runtime () =
         "protocol"; "completed"; "evictions"; "srv_resyncs"; "proxy_resyncs";
         "proxy_retransmissions"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s";
       ]
-    !rows
+    !rows;
+  (* Wall-clock scaling of the engine itself: the same replication
+     workload run sequentially and through the pool. Skipped in
+     deterministic mode (wall-clock numbers are never reproducible)
+     and pointless at jobs=1. Speedup depends on the machine's real
+     core count — a single-core box reports ~1x no matter the pool
+     size. *)
+  if (not deterministic) && Exec.Pool.jobs pool > 1 then begin
+    section "Runtime: parallel engine speedup (replications, jobs=1 vs pool)";
+    let reps = 8 in
+    let rep_flows = min 64 flows_cap in
+    let mk_cfg seed =
+      {
+        Scenario.default_config with
+        Scenario.flows = rep_flows;
+        table_flows = 24;
+        seed;
+      }
+    in
+    let seeds = List.init reps (fun i -> Netsim.Rng.derive 0xB5EED ~index:i) in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun seed -> ignore (Scenario.run (mk_cfg seed))) seeds;
+    let seq_wall = Unix.gettimeofday () -. t0 in
+    let t0 = Unix.gettimeofday () in
+    ignore
+      (Exec.Pool.map pool
+         ~f:(fun _ctx seed -> ignore (Scenario.run (mk_cfg seed)))
+         seeds);
+    let par_wall = Unix.gettimeofday () -. t0 in
+    let speedup = seq_wall /. par_wall in
+    Printf.printf
+      "  %d replications of %d flows: sequential %.2f s, %d jobs %.2f s -> %.2fx\n"
+      reps rep_flows seq_wall (Exec.Pool.jobs pool) par_wall speedup;
+    add_row runtime_rows ~section:"runtime_parallel"
+      [
+        ("jobs", Obs.Json.Int (Exec.Pool.jobs pool));
+        ("replications", Obs.Json.Int reps);
+        ("flows_per_replication", Obs.Json.Int rep_flows);
+        ("seq_wall_s", Obs.Json.Float seq_wall);
+        ("par_wall_s", Obs.Json.Float par_wall);
+        ("speedup", Obs.Json.Float speedup);
+      ]
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of design choices                                        *)
 
-let ablation () =
+let ablation _pool =
   section "Ablation: decoder strategy (plug-in O(n*m) vs factoring, t-only)";
   let m = 20 in
   Printf.printf "%-10s %16s %16s\n" "n" "plug-in (us)" "factor (us)";
@@ -761,29 +892,37 @@ let ablation () =
 (* ------------------------------------------------------------------ *)
 (* Congestion-controller comparison on the simulated transport         *)
 
-let cc_compare () =
+let cc_compare pool =
   section "Transport: congestion controllers vs loss rate (direct path)";
   Printf.printf "%-10s %14s %14s %14s %14s  (goodput, Mbit/s; 3000 units, 20 Mbit/s, 40 ms RTT)\n"
     "loss" "newreno" "cubic" "bbr-lite" "vegas";
-  List.iter
-    (fun loss ->
-      let run cc =
-        (Transport.Flow.direct ~units:3000
-           ~loss:(if loss > 0. then Netsim.Loss.bernoulli loss else Netsim.Loss.none)
-           ?cc ())
-          .Transport.Flow.goodput_mbps
-      in
-      let nr = run None in
-      let cu = run (Some (fun ~mss () -> Transport.Cubic.create ~mss ())) in
-      let bb = run (Some (fun ~mss () -> Transport.Bbr_lite.create ~mss ())) in
-      let vg = run (Some (fun ~mss () -> Transport.Vegas.create ~mss ())) in
-      Printf.printf "%8.1f%% %14.2f %14.2f %14.2f %14.2f\n%!" (100. *. loss) nr cu bb vg)
-    [ 0.0; 0.005; 0.01; 0.02; 0.05 ]
+  let losses = [ 0.0; 0.005; 0.01; 0.02; 0.05 ] in
+  let results =
+    Exec.Pool.map pool
+      ~f:(fun _ctx loss ->
+        let run cc =
+          (Transport.Flow.direct ~units:3000
+             ~loss:(if loss > 0. then Netsim.Loss.bernoulli loss else Netsim.Loss.none)
+             ?cc ())
+            .Transport.Flow.goodput_mbps
+        in
+        let nr = run None in
+        let cu = run (Some (fun ~mss () -> Transport.Cubic.create ~mss ())) in
+        let bb = run (Some (fun ~mss () -> Transport.Bbr_lite.create ~mss ())) in
+        let vg = run (Some (fun ~mss () -> Transport.Vegas.create ~mss ())) in
+        (nr, cu, bb, vg))
+      losses
+  in
+  List.iter2
+    (fun loss (nr, cu, bb, vg) ->
+      Printf.printf "%8.1f%% %14.2f %14.2f %14.2f %14.2f\n%!" (100. *. loss) nr
+        cu bb vg)
+    losses results
 
 (* ------------------------------------------------------------------ *)
 (* Fairness: two flows through one CC-division proxy                  *)
 
-let fairness () =
+let fairness pool =
   section "Fairness: two flows sharing the far segment";
   let cfg = Fairness.default_config in
   let show label (r : Fairness.report) =
@@ -794,13 +933,38 @@ let fairness () =
       r.Fairness.flows;
     Printf.printf "\n"
   in
-  show "baseline" (Fairness.baseline cfg);
-  show "sidecar" (Fairness.run cfg)
+  (* Several independent trials: trial 0 keeps the stock seed (the
+     headline numbers), later trials reseed from the task index via
+     [ctx.seed] — derived from position, never execution order, so the
+     trial set is identical for any job count. *)
+  let trials = 4 in
+  let reports =
+    Exec.Pool.map pool ~seed:cfg.Fairness.seed
+      ~f:(fun ctx trial ->
+        let cfg =
+          if trial = 0 then cfg else { cfg with Fairness.seed = ctx.Exec.seed }
+        in
+        (Fairness.baseline cfg, Fairness.run cfg))
+      (List.init trials Fun.id)
+  in
+  List.iteri
+    (fun trial (base, side) ->
+      Printf.printf "  trial %d:\n" trial;
+      show "baseline" base;
+      show "sidecar" side)
+    reports;
+  let mean f =
+    List.fold_left (fun acc r -> acc +. f r) 0. reports /. float_of_int trials
+  in
+  Printf.printf
+    "  mean of %d trials: baseline jain %.3f, sidecar jain %.3f\n" trials
+    (mean (fun (b, _) -> b.Fairness.jain_index))
+    (mean (fun (_, s) -> s.Fairness.jain_index))
 
 (* ------------------------------------------------------------------ *)
 (* Extensions beyond the paper                                        *)
 
-let extensions () =
+let extensions _pool =
   section "Extension: IBF quACK vs power sums (same decodable differences)";
   let n = 1000 and t = 20 and m = 20 in
   let all = ids n in
@@ -907,20 +1071,38 @@ let sections =
     ("extensions", extensions);
   ]
 
+let jobs_value s =
+  match int_of_string_opt s with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+      Printf.eprintf "bench: invalid --jobs value %S (want a positive int)\n" s;
+      exit 2
+
+(* Strip [--jobs N] / [--jobs=N] out of the argument list; what
+   remains are section names. *)
+let rec parse_args acc jobs = function
+  | [] -> (List.rev acc, jobs)
+  | [ "--jobs" ] ->
+      Printf.eprintf "bench: --jobs needs a value\n";
+      exit 2
+  | "--jobs" :: v :: rest -> parse_args acc (Some (jobs_value v)) rest
+  | arg :: rest when String.starts_with ~prefix:"--jobs=" arg ->
+      let v = String.sub arg 7 (String.length arg - 7) in
+      parse_args acc (Some (jobs_value v)) rest
+  | arg :: rest -> parse_args (arg :: acc) jobs rest
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
-  in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S; available: %s\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 1)
-    requested;
+  let names, jobs = parse_args [] None (List.tl (Array.to_list Sys.argv)) in
+  let requested = match names with [] -> List.map fst sections | ns -> ns in
+  Exec.Pool.with_pool ?jobs (fun pool ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name sections with
+          | Some f -> f pool
+          | None ->
+              Printf.eprintf "unknown section %S; available: %s\n" name
+                (String.concat ", " (List.map fst sections));
+              exit 1)
+        requested);
   write_rows "BENCH_QUACK.json" quack_rows;
   write_rows "BENCH_RUNTIME.json" runtime_rows

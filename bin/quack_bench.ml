@@ -73,7 +73,7 @@ let decode_cmd =
         Psum.insert sent id;
         if not (List.mem i missing_idx) then Psum.insert received id)
       packets;
-    let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+    let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
     let field = Psum.field sent in
     let strategy = if strategy = "factor" then `Factor else `Plug_in in
     let mean, sd =

@@ -53,6 +53,29 @@ let delay ~name ~default doc =
 let loss ~name ~default doc =
   Arg.(value & opt float default & info [ name ] ~docv:"P" ~doc)
 
+(* Replicated subcommands (runtime --replications, fairness --trials)
+   fan their independent runs over an [Exec] pool. Replication i's
+   seed comes from [Netsim.Rng.derive base ~index:i] (replication 0
+   keeps the base seed, so a single run is unchanged), which depends
+   only on position — the output is identical for any --jobs value. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for replicated runs (default: $(b,SIDECAR_JOBS) \
+           or the machine's core count). Output is identical for any value.")
+
+let check_jobs = function
+  | Some n when n < 1 ->
+      Format.eprintf "--jobs must be at least 1@.";
+      exit 2
+  | j -> j
+
+let replication_seeds ~base n =
+  List.init n (fun i -> if i = 0 then base else Netsim.Rng.derive base ~index:i)
+
 (* Machine-readable output and the flight recorder, shared by the
    scenario subcommands. [--json FILE] writes the run's report as
    JSON; [--trace CATS] enables trace categories process-wide before
@@ -268,35 +291,70 @@ let rx_cmd =
 (* fairness                                                            *)
 
 let fairness_cmd =
-  let run units seed baseline far_loss =
-    let cfg =
+  let run units seed baseline far_loss trials jobs =
+    let jobs = check_jobs jobs in
+    if trials < 1 then begin
+      Format.eprintf "--trials must be at least 1@.";
+      exit 2
+    end;
+    let cfg trial_seed =
       {
         Fairness.default_config with
         Fairness.units_per_flow = units;
-        seed;
+        seed = trial_seed;
         far =
           Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
             ~loss:(if far_loss > 0. then Path.Bernoulli far_loss else Path.No_loss)
             ();
       }
     in
-    let rep = if baseline then Fairness.baseline cfg else Fairness.run cfg in
-    Format.printf "%a@." Fairness.pp_report rep
+    let go s =
+      if baseline then Fairness.baseline (cfg s) else Fairness.run (cfg s)
+    in
+    if trials = 1 then Format.printf "%a@." Fairness.pp_report (go seed)
+    else begin
+      let seeds = replication_seeds ~base:seed trials in
+      let reports = Exec.map ?jobs ~f:(fun _ctx s -> go s) seeds in
+      List.iteri
+        (fun i (s, rep) ->
+          Format.printf "--- trial %d (seed %d) ---@.%a@." i s
+            Fairness.pp_report rep)
+        (List.combine seeds reports);
+      let mean f =
+        List.fold_left (fun acc r -> acc +. f r) 0. reports
+        /. float_of_int trials
+      in
+      Format.printf "mean over %d trials: jain %.3f, aggregate %.2f Mbit/s@."
+        trials
+        (mean (fun r -> r.Fairness.jain_index))
+        (mean (fun r -> r.Fairness.total_goodput_mbps))
+    end
   in
   let units =
     Arg.(value & opt int 1500 & info [ "units" ] ~doc:"Units per flow.")
   in
+  let trials =
+    Arg.(value & opt int 1
+         & info [ "trials" ] ~docv:"N"
+             ~doc:"Independent trials with derived seeds (run via --jobs).")
+  in
   Cmd.v
     (Cmd.info "fairness" ~doc:"Two flows sharing the far segment (Jain index).")
     Term.(const run $ units $ seed $ baseline_flag
-          $ loss ~name:"far-loss" ~default:0.005 "Shared-segment loss probability.")
+          $ loss ~name:"far-loss" ~default:0.005 "Shared-segment loss probability."
+          $ trials $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* runtime: many flows through one bounded-table proxy                  *)
 
 let runtime_cmd =
   let run protocol flows table eviction idle_ms seed far_loss per_flow json
-      trace =
+      trace replications jobs =
+    let jobs = check_jobs jobs in
+    if replications < 1 then begin
+      Format.eprintf "--replications must be at least 1@.";
+      exit 2
+    end;
     let traced = set_trace trace in
     let policy =
       match eviction with
@@ -315,36 +373,75 @@ let runtime_cmd =
           Format.eprintf "unknown protocol %S (expected cc|ack|retx)@." s;
           exit 2
     in
-    let cfg =
+    let cfg run_seed =
       {
         Sidecar_runtime.Scenario.default_config with
         Sidecar_runtime.Scenario.protocol;
         flows;
         table_flows = table;
         policy;
-        seed;
+        seed = run_seed;
         far =
           Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
             ~loss:(if far_loss > 0. then Path.Bernoulli far_loss else Path.No_loss)
             ();
       }
     in
-    let r = Sidecar_runtime.Scenario.run cfg in
-    Format.printf "%a@." Sidecar_runtime.Scenario.pp_report r;
-    if per_flow then
-      Array.iter
-        (fun (fr : Sidecar_runtime.Scenario.flow_report) ->
-          Format.printf "flow %3d: %4d units, start %a, %s, tx %d retx %d pto %d@."
-            fr.Sidecar_runtime.Scenario.flow fr.Sidecar_runtime.Scenario.units
-            Time.pp fr.Sidecar_runtime.Scenario.started_at
-            (if fr.Sidecar_runtime.Scenario.completed then
-               Printf.sprintf "fct %.3fs" fr.Sidecar_runtime.Scenario.fct_s
-             else "INCOMPLETE")
-            fr.Sidecar_runtime.Scenario.transmissions
-            fr.Sidecar_runtime.Scenario.retransmissions
-            fr.Sidecar_runtime.Scenario.timeouts)
-        r.Sidecar_runtime.Scenario.flows;
-    finish ~traced json (Sidecar_runtime.Scenario.json_report r)
+    let print_report r =
+      Format.printf "%a@." Sidecar_runtime.Scenario.pp_report r;
+      if per_flow then
+        Array.iter
+          (fun (fr : Sidecar_runtime.Scenario.flow_report) ->
+            Format.printf
+              "flow %3d: %4d units, start %a, %s, tx %d retx %d pto %d@."
+              fr.Sidecar_runtime.Scenario.flow fr.Sidecar_runtime.Scenario.units
+              Time.pp fr.Sidecar_runtime.Scenario.started_at
+              (if fr.Sidecar_runtime.Scenario.completed then
+                 Printf.sprintf "fct %.3fs" fr.Sidecar_runtime.Scenario.fct_s
+               else "INCOMPLETE")
+              fr.Sidecar_runtime.Scenario.transmissions
+              fr.Sidecar_runtime.Scenario.retransmissions
+              fr.Sidecar_runtime.Scenario.timeouts)
+          r.Sidecar_runtime.Scenario.flows
+    in
+    if replications = 1 then begin
+      let r = Sidecar_runtime.Scenario.run (cfg seed) in
+      print_report r;
+      finish ~traced json (Sidecar_runtime.Scenario.json_report r)
+    end
+    else begin
+      let seeds = replication_seeds ~base:seed replications in
+      let reports =
+        Exec.map ?jobs
+          ~f:(fun _ctx s -> Sidecar_runtime.Scenario.run (cfg s))
+          seeds
+      in
+      List.iteri
+        (fun i (s, r) ->
+          Format.printf "--- replication %d (seed %d) ---@." i s;
+          print_report r)
+        (List.combine seeds reports);
+      let n = float_of_int replications in
+      let mean f =
+        List.fold_left
+          (fun acc (r : Sidecar_runtime.Scenario.report) -> acc +. f r)
+          0. reports
+        /. n
+      in
+      Format.printf
+        "mean over %d replications: fct p50 %.3fs p95 %.3fs p99 %.3fs@."
+        replications
+        (mean (fun r -> r.Sidecar_runtime.Scenario.fct_p50))
+        (mean (fun r -> r.Sidecar_runtime.Scenario.fct_p95))
+        (mean (fun r -> r.Sidecar_runtime.Scenario.fct_p99));
+      finish ~traced json
+        (Obs.Json.Obj
+           [
+             ( "replications",
+               Obs.Json.List
+                 (List.map Sidecar_runtime.Scenario.json_report reports) );
+           ])
+    end
   in
   let flows =
     Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows.")
@@ -371,12 +468,18 @@ let runtime_cmd =
              ~doc:"Sidecar protocol the proxy runs: cc (CC division), ack \
                    (ACK reduction), or retx (in-network retransmission pair).")
   in
+  let replications =
+    Arg.(value & opt int 1
+         & info [ "replications" ] ~docv:"N"
+             ~doc:"Independent replications with derived seeds (run via \
+                   --jobs).")
+  in
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"Many flows through bounded-table sidecar proxy state.")
     Term.(const run $ protocol $ flows $ table $ eviction $ idle_ms $ seed
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
-          $ per_flow $ json_arg $ trace_arg)
+          $ per_flow $ json_arg $ trace_arg $ replications $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

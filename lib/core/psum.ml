@@ -140,6 +140,10 @@ let set_state t ~sums ~count =
 let merge a b =
   if a.bits <> b.bits || a.threshold <> b.threshold then
     invalid_arg "Psum.merge: mismatched sketches";
+  (* Same width does not mean same field: a 16-bit sketch over 65521
+     and one over 65519 have identical [bits] yet incompatible
+     arithmetic, and adding their sums would silently corrupt both. *)
+  if a.modulus <> b.modulus then invalid_arg "Psum.merge: mismatched moduli";
   let merged = copy a in
   for i = 0 to a.threshold - 1 do
     merged.sums.(i) <- a.add a.sums.(i) b.sums.(i)
@@ -148,7 +152,15 @@ let merge a b =
   check_in_field merged "merge";
   merged
 
-let difference ~sent ~received_sums =
+let difference ?received_modulus ~sent ~received_sums () =
+  (* The receiver's sums arrive as bare integers, so the range check
+     below cannot tell a smaller co-resident field apart from this
+     one; callers that know the sender's advertised modulus pass it so
+     the mismatch fails loudly instead of decoding garbage roots. *)
+  (match received_modulus with
+  | Some m when m <> sent.modulus ->
+      invalid_arg "Psum.difference: mismatched moduli"
+  | Some _ | None -> ());
   if Array.length received_sums > sent.threshold then
     invalid_arg "Psum.difference: receiver advertises a larger threshold";
   let diff =

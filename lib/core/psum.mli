@@ -58,13 +58,20 @@ val merge : t -> t -> t
     and the counts add, because power sums are linear. This is what a
     multipath receiver does to combine per-path sidecar state into one
     connection-level quACK (one of the §5 open questions).
-    @raise Invalid_argument on mismatched width or threshold. *)
+    @raise Invalid_argument on mismatched width, threshold, or
+    modulus — equal [bits] does not imply the same prime, and sums
+    from different fields must never be added. *)
 
-val difference : sent:t -> received_sums:int array -> int array
-(** [difference ~sent ~received_sums] is the pointwise field
+val difference :
+  ?received_modulus:int -> sent:t -> received_sums:int array -> unit -> int array
+(** [difference ~sent ~received_sums ()] is the pointwise field
     subtraction (sender minus receiver) — power sums of the missing
-    multiset. @raise Invalid_argument on width/threshold mismatch
-    (receiver sums may be shorter: a lower advertised threshold). *)
+    multiset. [received_modulus], when the wire format carries the
+    receiver's field (it should), is checked against [sent]'s: bare
+    sums from a different same-width prime would otherwise pass the
+    range check and decode to garbage. @raise Invalid_argument on
+    width/threshold/modulus mismatch (receiver sums may be shorter: a
+    lower advertised threshold). *)
 
 val field : t -> (module Sidecar_field.Modular.S)
 (** The underlying prime field (for decoders). *)

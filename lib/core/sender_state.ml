@@ -179,7 +179,7 @@ let on_quack t (q : Quack.t) =
       else begin
         let in_flight = if m > t_eff then m - t_eff else 0 in
         let prefix_len = n - in_flight in
-        let diff = Psum.difference ~sent:t.psum ~received_sums:q.Quack.sums in
+        let diff = Psum.difference ~sent:t.psum ~received_sums:q.Quack.sums () in
         let diff =
           if in_flight = 0 then diff
           else begin

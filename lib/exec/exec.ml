@@ -1,0 +1,218 @@
+let recommended_jobs () =
+  match Sys.getenv_opt "SIDECAR_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+type ctx = {
+  index : int;
+  seed : int;
+  rng : Netsim.Rng.t;
+  sink : Obs.Sink.t;
+}
+
+module Pool = struct
+  (* All batch state lives behind one mutex. Workers claim indices
+     strictly in submission order ([next] only grows); tasks are whole
+     simulations, so the per-claim lock round-trip is noise. *)
+  type state = {
+    mutex : Mutex.t;
+    work_ready : Condition.t;
+    work_done : Condition.t;
+    mutable generation : int;
+    mutable run : (int -> unit) option;
+    mutable count : int;
+    mutable next : int;
+    mutable pending : int;
+    mutable stop : bool;
+  }
+
+  type t = {
+    jobs : int;
+    state : state;
+    workers : unit Domain.t list;
+    mutable live : bool;
+  }
+
+  (* Claim-and-run until the current batch has no unclaimed index
+     left. Runs in workers and in the submitting domain alike. [run]
+     itself never raises: the task wrapper in [map] captures any
+     exception into the task's result slot, so [pending] always
+     reaches zero and nobody deadlocks. *)
+  let drain st =
+    let continue = ref true in
+    while !continue do
+      Mutex.lock st.mutex;
+      if st.next >= st.count then begin
+        Mutex.unlock st.mutex;
+        continue := false
+      end
+      else
+        match st.run with
+        | None ->
+            (* not reachable while a batch is published ([count] > [next]
+               implies [run] is set), but treating it as "no work" keeps
+               the loop total *)
+            Mutex.unlock st.mutex;
+            continue := false
+        | Some run ->
+            let i = st.next in
+            st.next <- st.next + 1;
+            Mutex.unlock st.mutex;
+            run i;
+            Mutex.lock st.mutex;
+            st.pending <- st.pending - 1;
+            if st.pending = 0 then Condition.broadcast st.work_done;
+            Mutex.unlock st.mutex
+    done
+
+  let worker st =
+    let my_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock st.mutex;
+      while (not st.stop) && st.generation = !my_gen do
+        Condition.wait st.work_ready st.mutex
+      done;
+      if st.stop then begin
+        Mutex.unlock st.mutex;
+        running := false
+      end
+      else begin
+        my_gen := st.generation;
+        Mutex.unlock st.mutex;
+        drain st
+      end
+    done
+
+  let create ?jobs () =
+    let jobs = match jobs with Some j -> j | None -> recommended_jobs () in
+    if jobs < 1 then invalid_arg "Exec.Pool.create: jobs must be >= 1";
+    let state =
+      {
+        mutex = Mutex.create ();
+        work_ready = Condition.create ();
+        work_done = Condition.create ();
+        generation = 0;
+        run = None;
+        count = 0;
+        next = 0;
+        pending = 0;
+        stop = false;
+      }
+    in
+    let workers =
+      List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker state))
+    in
+    { jobs; state; workers; live = true }
+
+  let jobs t = t.jobs
+
+  let collect results =
+    let n = Array.length results in
+    let rec first_error i =
+      if i >= n then None
+      else
+        match results.(i) with
+        | Some (Error eb) -> Some eb
+        | Some (Ok _) | None -> first_error (i + 1)
+    in
+    match first_error 0 with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        List.init n (fun i ->
+            match results.(i) with
+            | Some (Ok v) -> v
+            | Some (Error _) | None ->
+                invalid_arg "Exec.Pool.map: result slot empty after drain")
+
+  let map ?(seed = 0) t ~f items =
+    if not t.live then invalid_arg "Exec.Pool.map: pool is shut down";
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let results = Array.make n None in
+    (* Capture the submitter's trace categories here, in the
+       submitting domain: the DLS default is domain-local, so worker
+       domains must have it re-installed per task for tracing to be
+       jobs-invariant. *)
+    let cats = Obs.Sink.default_trace_categories () in
+    let run i =
+      let r =
+        try
+          Obs.Sink.set_default_trace_categories cats;
+          let seed_i = Netsim.Rng.derive seed ~index:i in
+          let sink = Obs.Sink.create () in
+          Ok
+            (f
+               { index = i; seed = seed_i; rng = Netsim.Rng.create seed_i; sink }
+               arr.(i))
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r
+    in
+    if n = 0 then []
+    else if t.jobs = 1 || n = 1 then begin
+      for i = 0 to n - 1 do
+        run i
+      done;
+      collect results
+    end
+    else begin
+      let st = t.state in
+      Mutex.lock st.mutex;
+      st.run <- Some run;
+      st.count <- n;
+      st.next <- 0;
+      st.pending <- n;
+      st.generation <- st.generation + 1;
+      Condition.broadcast st.work_ready;
+      Mutex.unlock st.mutex;
+      drain st;
+      Mutex.lock st.mutex;
+      while st.pending > 0 do
+        Condition.wait st.work_done st.mutex
+      done;
+      (* Drop the closure so a straggler between batches sees an empty
+         queue and the batch's environment isn't retained. *)
+      st.run <- None;
+      st.count <- 0;
+      st.next <- 0;
+      Mutex.unlock st.mutex;
+      collect results
+    end
+
+  let map_merge ?seed t ~into ~f items =
+    let sinks = Array.make (List.length items) None in
+    let results =
+      map ?seed t
+        ~f:(fun ctx x ->
+          let r = f ctx x in
+          sinks.(ctx.index) <- Some ctx.sink;
+          r)
+        items
+    in
+    Array.iter
+      (function Some s -> Obs.Sink.merge ~into s | None -> ())
+      sinks;
+    results
+
+  let shutdown t =
+    if t.live then begin
+      t.live <- false;
+      let st = t.state in
+      Mutex.lock st.mutex;
+      st.stop <- true;
+      Condition.broadcast st.work_ready;
+      Mutex.unlock st.mutex;
+      List.iter Domain.join t.workers
+    end
+
+  let with_pool ?jobs f =
+    let t = create ?jobs () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end
+
+let map ?jobs ?seed ~f items =
+  Pool.with_pool ?jobs (fun t -> Pool.map ?seed t ~f items)

@@ -1,0 +1,82 @@
+(** A deterministic Domain-based work pool.
+
+    The experiment harnesses (bench grid sweeps, runtime Scenario
+    replications, fairness trials) are embarrassingly parallel: every
+    point is an independent simulation. This pool fans a batch of such
+    tasks over a fixed set of domains while keeping the output
+    {e byte-identical for any job count}:
+
+    - tasks are claimed from an ordered queue (no work stealing:
+      claiming order is submission order, only completion order
+      varies);
+    - results land in a slot per task and are merged back in
+      {e submission} order;
+    - each task gets a private {!ctx}: a child seed derived from the
+      batch seed and the task {e index} ([Netsim.Rng.derive] — never
+      from execution order), a fresh [Rng] on that seed, and a private
+      [Obs.Sink];
+    - worker domains re-install the submitting domain's default trace
+      categories before each task, so tracing semantics are
+      jobs-invariant ([Obs.Sink]'s process-wide registers are
+      domain-local).
+
+    The contract holds only if tasks touch no shared mutable state;
+    sidelint's [exec-isolation] rule enforces that for this library,
+    and the golden jobs-invariance test enforces it end to end for the
+    bench. *)
+
+val recommended_jobs : unit -> int
+(** The [SIDECAR_JOBS] environment variable when set to a positive
+    integer, else [Domain.recommended_domain_count ()]. Always at
+    least 1. *)
+
+(** What a task may use instead of global state. *)
+type ctx = {
+  index : int;  (** position in the submitted batch, 0-based *)
+  seed : int;  (** [Rng.derive batch_seed ~index] *)
+  rng : Netsim.Rng.t;  (** a fresh generator on [seed], private to the task *)
+  sink : Obs.Sink.t;
+      (** a private sink; harnesses that want the task's metrics or
+          trace merged should write here (see {!Pool.map_merge}) *)
+}
+
+module Pool : sig
+  type t
+
+  val create : ?jobs:int -> unit -> t
+  (** A fixed pool of [jobs - 1] worker domains (the submitting domain
+      is the remaining worker during a batch). [jobs] defaults to
+      {!recommended_jobs}[ ()]; values below 1 raise
+      [Invalid_argument]. [jobs = 1] runs every batch sequentially in
+      the caller, spawning nothing. *)
+
+  val jobs : t -> int
+
+  val map : ?seed:int -> t -> f:(ctx -> 'a -> 'b) -> 'a list -> 'b list
+  (** [map pool ~f items] runs [f ctx item] for every item and returns
+      the results in submission order, complete, for any pool size. If
+      one or more tasks raise, the remaining tasks still run to
+      completion (the pool never deadlocks) and the exception of the
+      {e lowest-indexed} failed task is re-raised in the caller with
+      its backtrace. [seed] (default 0) roots the per-task
+      [ctx.seed] derivation. Must be called from the domain that
+      created the pool; batches do not nest. *)
+
+  val map_merge :
+    ?seed:int -> t -> into:Obs.Sink.t -> f:(ctx -> 'a -> 'b) -> 'a list -> 'b list
+  (** Like {!map}, and afterwards folds every task's private [ctx.sink]
+      into [into] with [Obs.Sink.merge], in submission order — so the
+      merged metrics registry and trace are identical for any job
+      count. *)
+
+  val shutdown : t -> unit
+  (** Join the worker domains. Idempotent; using the pool afterwards
+      raises [Invalid_argument]. *)
+
+  val with_pool : ?jobs:int -> (t -> 'b) -> 'b
+  (** [with_pool f] creates a pool, applies [f], and always shuts the
+      pool down. *)
+end
+
+val map : ?jobs:int -> ?seed:int -> f:(ctx -> 'a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: {!Pool.with_pool} around {!Pool.map}. *)

@@ -68,6 +68,14 @@ let attach_quantiles t name q = register t name (Q q)
 let int_source t name f = register t name (Isrc f)
 let float_source t name f = register t name (Fsrc f)
 
+let merge ~into src =
+  (* Adopt the live cells — attach-style, no copying — in src's
+     registration order; [unique] re-deduplicates against the names
+     already present in [into]. *)
+  List.iter
+    (fun (name, cell) -> register into name cell)
+    (List.rev src.entries)
+
 type value =
   | Int of int
   | Float of float

@@ -52,6 +52,12 @@ val attach_gauge : t -> string -> Gauge.t -> unit
 val attach_summary : t -> string -> Stats.Summary.t -> unit
 val attach_quantiles : t -> string -> Stats.Quantiles.t -> unit
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] attaches every one of [src]'s entries (the live
+    cells, no copying) to [into], in [src]'s registration order, with
+    the usual ["#k"] dedup against names already in [into].
+    Deterministic for a deterministic pair of registration orders. *)
+
 val int_source : t -> string -> (unit -> int) -> unit
 (** Register a read-on-demand integer (e.g. a queue depth or an
     existing mutable record field) without restructuring its owner. *)

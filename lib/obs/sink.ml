@@ -1,25 +1,40 @@
 type t = { metrics : Metrics.t; trace : Trace.t }
 
-let default_categories : Trace.category list ref = ref []
-let set_default_trace_categories cats = default_categories := cats
-let default_trace_categories () = !default_categories
+(* Both process-wide registers are domain-local: a worker domain of an
+   [Exec] pool gets its own "last sink" and its own default trace
+   categories, so parallel tasks creating engines can never race on —
+   or observe — another task's sink. Within one domain the semantics
+   are exactly the old ones (program order). *)
+let default_categories : Trace.category list Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> [])
 
-let last_created : t option ref = ref None
+let set_default_trace_categories cats =
+  Domain.DLS.set default_categories cats
+
+let default_trace_categories () = Domain.DLS.get default_categories
+
+let last_created : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
 let create ?trace_capacity ?trace_categories () =
   let trace = Trace.create ?capacity:trace_capacity () in
   let cats =
-    match trace_categories with Some cs -> cs | None -> !default_categories
+    match trace_categories with
+    | Some cs -> cs
+    | None -> Domain.DLS.get default_categories
   in
   List.iter (Trace.enable trace) cats;
   let t = { metrics = Metrics.create (); trace } in
-  last_created := Some t;
+  Domain.DLS.set last_created (Some t);
   t
 
-let last () = !last_created
+let last () = Domain.DLS.get last_created
 
 let metrics t = t.metrics
 let trace t = t.trace
+
+let merge ~into src =
+  Metrics.merge ~into:into.metrics src.metrics;
+  Trace.append ~into:into.trace src.trace
 
 let to_json t =
   Json.Obj

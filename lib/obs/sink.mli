@@ -11,7 +11,13 @@
     afterwards. This is deterministic — it only depends on program
     order — and it is how the golden suite replays a whole experiment
     with tracing fully on to prove observability never perturbs the
-    simulation. *)
+    simulation.
+
+    Both the default categories and the {!last} register are
+    {e domain-local}: each worker domain of an [Exec] pool sees its own
+    copies, so parallel tasks never race on — or leak sinks into — one
+    another. [Exec] re-installs the submitting domain's categories in
+    the worker before each task, keeping tracing jobs-invariant. *)
 
 type t
 
@@ -25,8 +31,17 @@ val trace : t -> Trace.t
 val set_default_trace_categories : Trace.category list -> unit
 val default_trace_categories : unit -> Trace.category list
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adopts [src]'s metrics entries (the live cells,
+    in registration order, deduplicated against [into]'s names) and
+    appends [src]'s recorded trace events (chronologically, ignoring
+    [into]'s category mask — they already passed [src]'s). This is how
+    an [Exec] harness folds per-task private sinks into one report, in
+    submission order, so the merged output is identical for any job
+    count. *)
+
 val last : unit -> t option
-(** The most recently created sink in this process. Read-only
+(** The most recently created sink in this domain. Read-only
     observability: this is how a CLI driver reaches the trace of the
     engine an experiment [run] function built internally and never
     exposed. [None] before the first {!create}. *)

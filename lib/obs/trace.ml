@@ -35,13 +35,14 @@ type event =
   | Admit of { table : string; flow : int }
   | Deny of { table : string; flow : int }
   | Evict of { table : string; flow : int }
+  | Release of { table : string; flow : int }
   | Note of { who : string; flow : int; what : string }
 
 let category_of_event = function
   | Enqueue _ | Drop _ | Deliver _ -> Link
   | Quack_sent _ | Quack_decoded _ | Freq_update _ -> Quack
   | Resync _ | Retransmit _ | Note _ -> Proto
-  | Admit _ | Deny _ | Evict _ -> Table
+  | Admit _ | Deny _ | Evict _ | Release _ -> Table
 
 type t = {
   slots : (int * event) option array;
@@ -81,6 +82,16 @@ let events t =
 let total t = t.total
 let dropped t = max 0 (t.total - Array.length t.slots)
 
+let append ~into src =
+  (* Bypass [into]'s mask: the events were already admitted by [src]'s
+     mask when recorded, and a merge must not silently drop them. *)
+  List.iter
+    (fun (time, ev) ->
+      into.slots.(into.next) <- Some (time, ev);
+      into.next <- (into.next + 1) mod Array.length into.slots;
+      into.total <- into.total + 1)
+    (events src)
+
 let clear t =
   Array.fill t.slots 0 (Array.length t.slots) None;
   t.next <- 0;
@@ -110,6 +121,8 @@ let pp_event ppf = function
   | Admit { table; flow } -> Format.fprintf ppf "admit table=%s flow=%d" table flow
   | Deny { table; flow } -> Format.fprintf ppf "deny table=%s flow=%d" table flow
   | Evict { table; flow } -> Format.fprintf ppf "evict table=%s flow=%d" table flow
+  | Release { table; flow } ->
+      Format.fprintf ppf "release table=%s flow=%d" table flow
   | Note { who; flow; what } ->
       Format.fprintf ppf "note who=%s flow=%d %s" who flow what
 
@@ -175,6 +188,8 @@ let json_of_event ~time ev =
       base "deny" [ ("table", Json.String table); ("flow", Json.Int flow) ]
   | Evict { table; flow } ->
       base "evict" [ ("table", Json.String table); ("flow", Json.Int flow) ]
+  | Release { table; flow } ->
+      base "release" [ ("table", Json.String table); ("flow", Json.Int flow) ]
   | Note { who; flow; what } ->
       base "note"
         [ ("who", Json.String who); ("flow", Json.Int flow); ("what", Json.String what) ]

@@ -39,6 +39,9 @@ type event =
   | Admit of { table : string; flow : int }
   | Deny of { table : string; flow : int }
   | Evict of { table : string; flow : int }
+  | Release of { table : string; flow : int }
+      (** voluntary removal of a cleanly-terminated flow — distinct
+          from [Evict], which marks state forced out under pressure *)
   | Note of { who : string; flow : int; what : string }
       (** escape hatch for one-off debugging; still typed enough to
           filter by flow *)
@@ -71,6 +74,13 @@ val total : t -> int
 
 val dropped : t -> int
 (** Recorded events overwritten by ring wrap-around. *)
+
+val append : into:t -> t -> unit
+(** [append ~into src] re-records [src]'s retained events into [into]'s
+    ring in chronological order, bypassing [into]'s category mask (the
+    events already passed [src]'s mask when first recorded). Used by
+    [Sink.merge] to fold per-task traces together in submission
+    order. *)
 
 val clear : t -> unit
 (** Empty the ring; the mask is left as-is. *)

@@ -27,6 +27,7 @@ type 'a t = {
   capacity : int;
   policy : policy;
   on_evict : int -> 'a -> unit;
+  on_remove : int -> 'a -> unit;
   tbl : (int, 'a node) Hashtbl.t;
   mutable head : 'a node option;
   mutable tail : 'a node option;
@@ -35,7 +36,8 @@ type 'a t = {
   stats : stats;
 }
 
-let create ?(policy = Lru) ?(on_evict = fun _ _ -> ()) ~capacity () =
+let create ?(policy = Lru) ?(on_evict = fun _ _ -> ())
+    ?(on_remove = fun _ _ -> ()) ~capacity () =
   if capacity < 0 then invalid_arg "Flow_table.create: negative capacity";
   (match policy with
   | Idle span when span <= 0 ->
@@ -45,6 +47,7 @@ let create ?(policy = Lru) ?(on_evict = fun _ _ -> ()) ~capacity () =
     capacity;
     policy;
     on_evict;
+    on_remove;
     tbl = Hashtbl.create (max 16 capacity);
     head = None;
     tail = None;
@@ -79,10 +82,19 @@ let touch t n ~now =
   unlink t n;
   push_front t n
 
-let drop t n =
+(* Take a node out of both indexes without deciding why it left —
+   the caller fires the callback matching the cause. Eviction and
+   voluntary release must stay distinct: an evicted flow's state is
+   torn down mid-stream (the protocol may need to flush or resync,
+   §3.3), while a removed flow terminated cleanly and its state is
+   simply discarded. *)
+let detach t n =
   unlink t n;
   Hashtbl.remove t.tbl n.key;
-  t.occupancy <- t.occupancy - 1;
+  t.occupancy <- t.occupancy - 1
+
+let drop t n =
+  detach t n;
   t.on_evict n.key n.state
 
 let find t ~now key =
@@ -103,6 +115,12 @@ let peek t key =
   | None -> None
 
 let insert t ~now key state =
+  (* [admit] only inserts keys it failed to find, but guard anyway: a
+     blind [Hashtbl.replace] over a live key would count occupancy
+     twice and strand the old node on the recency list forever. *)
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old -> detach t old
+  | None -> ());
   let n = { key; state; last_touch = now; prev = None; next = None } in
   Hashtbl.replace t.tbl key n;
   push_front t n;
@@ -147,7 +165,8 @@ let remove t key =
   | None -> false
   | Some n ->
       t.stats.removed <- t.stats.removed + 1;
-      drop t n;
+      detach t n;
+      t.on_remove n.key n.state;
       true
 
 let sweep_idle t ~now =

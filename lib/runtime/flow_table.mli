@@ -37,12 +37,21 @@ type stats = {
 type 'a t
 
 val create :
-  ?policy:policy -> ?on_evict:(int -> 'a -> unit) -> capacity:int -> unit -> 'a t
+  ?policy:policy ->
+  ?on_evict:(int -> 'a -> unit) ->
+  ?on_remove:(int -> 'a -> unit) ->
+  capacity:int ->
+  unit ->
+  'a t
 (** [capacity = 0] is a valid ceiling meaning "track nothing" — the
-    pure end-to-end baseline. [on_evict] runs for {e every} state that
-    leaves the table (eviction, idle sweep, or {!remove}), so callers
-    can flush buffered packets downstream and never strand data.
-    Defaults: [policy = Lru], [on_evict] a no-op.
+    pure end-to-end baseline. [on_evict] runs for state forced out
+    mid-stream (LRU/idle eviction and {!sweep_idle}) so callers can
+    flush buffered packets downstream and never strand data;
+    [on_remove] runs for voluntary {!remove} of a cleanly-terminated
+    flow, whose state is discarded without an eviction flush. The two
+    must stay distinct: treating a release as an eviction makes the
+    protocol tear down (and possibly resync, §3.3) a flow that ended
+    normally. Defaults: [policy = Lru], both callbacks no-ops.
     @raise Invalid_argument on a negative capacity or a non-positive
     [Idle] span. *)
 
@@ -56,8 +65,8 @@ val admit : 'a t -> now:Netsim.Sim_time.t -> int -> (unit -> 'a) -> 'a option
     [make] runs only on actual admission. *)
 
 val remove : 'a t -> int -> bool
-(** Voluntary release (e.g. the flow completed); runs [on_evict].
-    [false] when the flow was not tracked. *)
+(** Voluntary release (e.g. the flow completed); runs [on_remove],
+    {e not} [on_evict]. [false] when the flow was not tracked. *)
 
 val sweep_idle : 'a t -> now:Netsim.Sim_time.t -> int
 (** Evict every entry idle at least the [Idle] span, oldest first;

@@ -43,16 +43,23 @@ let create engine ~capacity ~policy ~protocol ~forward ~backward ?cost_clock ()
   let metrics = Engine.metrics engine in
   let trace = Engine.trace engine in
   let field f = Printf.sprintf "%s.%s" label f in
-  (* Any state leaving the table gets its protocol's eviction hook —
+  (* State forced out mid-stream gets its protocol's eviction hook —
      for CC division that flushes the pacing buffer downstream, for
      retransmission it drops the copy buffer. Either way nothing is
-     stranded: end-to-end ACKs keep reliability. *)
+     stranded: end-to-end ACKs keep reliability. A voluntary [release]
+     of a completed flow is different: the flow terminated cleanly, so
+     its state is discarded with no eviction flush (running the hook
+     there would replay a finished flow's buffer into the network). *)
   let on_evict flow fl =
     Obs.Trace.record trace ~time:(Engine.now engine)
       (Obs.Trace.Evict { table = label; flow });
     fl.Protocol.on_evict ()
   in
-  let table = Flow_table.create ~policy ~on_evict ~capacity () in
+  let on_remove flow _fl =
+    Obs.Trace.record trace ~time:(Engine.now engine)
+      (Obs.Trace.Release { table = label; flow })
+  in
+  let table = Flow_table.create ~policy ~on_evict ~on_remove ~capacity () in
   Protocol.register_counters metrics ~prefix:label counters;
   Flow_table.register table metrics ~prefix:(field "table");
   {

@@ -92,8 +92,11 @@ val flow_info : t -> int -> Sidecar_protocols.Protocol.info option
     recency); [None] when untracked. *)
 
 val release : t -> int -> bool
-(** Voluntarily drop a flow's state (it completed); frees its table
-    slot. [false] if untracked. *)
+(** Voluntarily drop a completed flow's state; frees its table slot
+    and records a [Release] trace event. Unlike an eviction, the
+    protocol's eviction hook does {e not} run — the flow terminated
+    cleanly, so there is no buffered state worth flushing into the
+    network. [false] if untracked. *)
 
 val sweep_idle : t -> int
 (** Evict flows idle past the [Idle] policy span; count evicted. *)

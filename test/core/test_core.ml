@@ -78,7 +78,7 @@ let test_psum_difference_is_missing_sums () =
   let ids = ids_of_range key ~bits:32 0 10 in
   Psum.insert_list sent ids;
   List.iteri (fun i id -> if i <> 3 && i <> 7 then Psum.insert received id) ids;
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   let expect = Psum.create ~threshold:5 () in
   Psum.insert expect (List.nth ids 3);
   Psum.insert expect (List.nth ids 7);
@@ -125,6 +125,41 @@ let test_psum_merge () =
   Alcotest.check_raises "threshold mismatch"
     (Invalid_argument "Psum.merge: mismatched sketches") (fun () ->
       ignore (Psum.merge a c))
+
+(* Same bit width, different prime: 65521 is the default 16-bit field,
+   65519 the next prime down. Before the modulus check, merging (or
+   differencing) these passed the bits/threshold validation and
+   produced silently-corrupt sums. *)
+module F16_alt = Sidecar_field.Modular.Make (struct
+  let bits = 16
+  let modulus = 65519
+end)
+
+let test_psum_modulus_mismatch () =
+  let a = Psum.create ~bits:16 ~threshold:4 () in
+  let b = Psum.create ~bits:16 ~field:(module F16_alt) ~threshold:4 () in
+  check bool "same width" true (Psum.bits a = Psum.bits b);
+  check bool "different primes" true (Psum.modulus a <> Psum.modulus b);
+  Psum.insert_list a [ 1; 2; 3 ];
+  Psum.insert_list b [ 4; 5 ];
+  Alcotest.check_raises "merge rejects mismatched moduli"
+    (Invalid_argument "Psum.merge: mismatched moduli") (fun () ->
+      ignore (Psum.merge a b));
+  Alcotest.check_raises "difference rejects mismatched moduli"
+    (Invalid_argument "Psum.difference: mismatched moduli") (fun () ->
+      ignore
+        (Psum.difference ~received_modulus:(Psum.modulus b) ~sent:a
+           ~received_sums:(Psum.sums b) ()));
+  (* the declared-modulus path accepts a matching field *)
+  let b' = Psum.create ~bits:16 ~threshold:4 () in
+  Psum.insert_list b' [ 1; 2 ];
+  let diff =
+    Psum.difference ~received_modulus:(Psum.modulus a) ~sent:a
+      ~received_sums:(Psum.sums b') ()
+  in
+  let expect = Psum.create ~bits:16 ~threshold:4 () in
+  Psum.insert expect 3;
+  check bool "matching moduli still subtract" true (diff = Psum.sums expect)
 
 (* ------------------------------------------------------------------ *)
 (* Quack + Wire                                                        *)
@@ -209,7 +244,7 @@ let decode_scenario ?strategy ~bits ~threshold ~total ~missing_idx () =
   List.iteri
     (fun i id -> if not (List.mem i missing_idx) then Psum.insert received id)
     ids;
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   let expect = List.map (List.nth ids) missing_idx in
   ( Decoder.decode ?strategy ~field:(Psum.field sent) ~diff_sums:diff
       ~num_missing:(List.length missing_idx) ~candidates:ids (),
@@ -297,7 +332,7 @@ let test_decode_duplicate_ids () =
   let others = ids_of_range key ~bits 0 10 in
   List.iter (Psum.insert sent) (dup :: dup :: others);
   List.iter (Psum.insert received) (dup :: others);
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   match
     Decoder.decode ~field:(Psum.field sent) ~diff_sums:diff ~num_missing:1
       ~candidates:(dup :: dup :: others) ()
@@ -306,6 +341,39 @@ let test_decode_duplicate_ids () =
   | Ok _ -> Alcotest.fail "expected exactly one missing"
   | Error e -> Alcotest.failf "unexpected error: %a" Decoder.pp_error e
 
+let test_decode_repeated_missing_multiplicity () =
+  (* Both copies of a duplicated identifier lost: the difference
+     polynomial has a double root, and each strategy must report the
+     id with multiplicity 2 — `Factor depends on the root finder
+     recovering multiplicities by repeated deflation, not just the set
+     of distinct roots. *)
+  let bits = 32 and threshold = 6 in
+  let dup = 0xDEADBEEF in
+  let others = ids_of_range key ~bits 0 12 in
+  let decode strategy =
+    let sent = Psum.create ~bits ~threshold () in
+    let received = Psum.create ~bits ~threshold () in
+    List.iter (Psum.insert sent) (dup :: dup :: others);
+    List.iter (Psum.insert received) others;
+    let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
+    Decoder.decode ~strategy ~field:(Psum.field sent) ~diff_sums:diff
+      ~num_missing:2
+      ~candidates:(dup :: dup :: others)
+      ()
+  in
+  List.iter
+    (fun (name, strategy) ->
+      match decode strategy with
+      | Ok { missing; unresolved = 0 } ->
+          check int_list
+            (Printf.sprintf "%s: dup reported twice" name)
+            [ dup; dup ] (List.sort compare missing)
+      | Ok { missing; unresolved } ->
+          Alcotest.failf "%s: %d missing, %d unresolved" name
+            (List.length missing) unresolved
+      | Error e -> Alcotest.failf "%s: unexpected error: %a" name Decoder.pp_error e)
+    [ ("plug_in", `Plug_in); ("factor", `Factor) ]
+
 let test_decode_unresolved_when_candidates_incomplete () =
   let missing_idx = [ 2; 4 ] in
   let sent = Psum.create ~bits:32 ~threshold:5 () in
@@ -313,7 +381,7 @@ let test_decode_unresolved_when_candidates_incomplete () =
   let ids = ids_of_range key ~bits:32 0 20 in
   Psum.insert_list sent ids;
   List.iteri (fun i id -> if not (List.mem i missing_idx) then Psum.insert received id) ids;
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   (* Withhold one of the missing ids from the candidate list. *)
   let candidates = List.filteri (fun i _ -> i <> 2) ids in
   match
@@ -1240,7 +1308,7 @@ let test_invariant_checks_fire_in_pipeline () =
       List.iter
         (fun id -> if not (List.memq id missing) then Psum.insert received id)
         ids;
-      let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+      let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
       (match
          Decoder.decode ~field:(Psum.field sent) ~diff_sums:diff
            ~num_missing:3 ~candidates:ids ()
@@ -1291,6 +1359,8 @@ let () =
           Alcotest.test_case "modulus reduction" `Quick test_psum_modulus_reduction;
           Alcotest.test_case "bad create" `Quick test_psum_bad_create;
           Alcotest.test_case "merge (multipath)" `Quick test_psum_merge;
+          Alcotest.test_case "modulus mismatch rejected" `Quick
+            test_psum_modulus_mismatch;
         ] );
       ( "quack-wire",
         [
@@ -1310,6 +1380,8 @@ let () =
           Alcotest.test_case "50k-candidate factoring" `Slow test_decode_large_scale_factoring;
           Alcotest.test_case "threshold exceeded" `Quick test_decode_threshold_exceeded;
           Alcotest.test_case "duplicate ids (multiset)" `Quick test_decode_duplicate_ids;
+          Alcotest.test_case "repeated missing id (multiplicity)" `Quick
+            test_decode_repeated_missing_multiplicity;
           Alcotest.test_case "incomplete candidates" `Quick test_decode_unresolved_when_candidates_incomplete;
           Alcotest.test_case "decode_between" `Quick test_decode_between;
         ] );

@@ -1,0 +1,13 @@
+(* Seeded violations for the sidelint self-test: exec-isolation rule.
+   This file is never compiled, only parsed by the linter. *)
+
+let completed = ref 0
+let seen = Hashtbl.create 16
+let stop = Atomic.make false
+
+let per_call_is_fine () =
+  let local = Hashtbl.create 4 in
+  Hashtbl.replace local 0 !completed;
+  Atomic.get stop
+
+let drain_last_sink () = Obs.Sink.last ()

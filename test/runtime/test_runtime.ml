@@ -33,16 +33,23 @@ let test_table_capacity_zero () =
 
 let test_table_evict_callback () =
   let evicted = ref [] in
+  let removed = ref [] in
   let t =
     Flow_table.create ~capacity:1
       ~on_evict:(fun k v -> evicted := (k, v) :: !evicted)
+      ~on_remove:(fun k v -> removed := (k, v) :: !removed)
       ()
   in
   ignore (Flow_table.admit t ~now:0 1 (fun () -> "one"));
   ignore (Flow_table.admit t ~now:1 2 (fun () -> "two"));
   check bool "evict callback ran" true (!evicted = [ (1, "one") ]);
   check bool "remove" true (Flow_table.remove t 2);
-  check bool "remove callback ran" true (List.mem_assoc 2 !evicted);
+  (* the remove-vs-evict split: a voluntary release must reach
+     [on_remove] only — routing it through [on_evict] made the
+     protocol flush a cleanly-finished flow's buffer into the
+     network *)
+  check bool "remove fires on_remove" true (!removed = [ (2, "two") ]);
+  check bool "remove does not fire on_evict" false (List.mem_assoc 2 !evicted);
   check bool "remove absent" false (Flow_table.remove t 2);
   check int "released counted" 1 (Flow_table.stats t).Flow_table.removed
 

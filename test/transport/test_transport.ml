@@ -641,7 +641,7 @@ let test_wire_end_to_end_quack () =
     log := (id, pn) :: !log;
     if not (List.mem pn dropped) then Psum.insert received id
   done;
-  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) in
+  let diff = Psum.difference ~sent ~received_sums:(Psum.sums received) () in
   match
     Decoder.decode ~field:(Psum.field sent) ~diff_sums:diff
       ~num_missing:(List.length dropped)

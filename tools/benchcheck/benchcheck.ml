@@ -42,7 +42,32 @@ let check_row path i = function
           | Obs.Json.List _ | Obs.Json.Obj _ ->
               err path "row %d: field %S is nested (rows must be flat)" i name)
         fields;
-      if !numeric = 0 then err path "row %d: no numeric field" i
+      if !numeric = 0 then err path "row %d: no numeric field" i;
+      (* A merged parallel-runtime row must carry the full speedup
+         record, and its job/replication counts must be sane — a bench
+         that lost a field here measured nothing. *)
+      if List.assoc_opt "section" fields = Some (Obs.Json.String "runtime_parallel")
+      then begin
+        let num name =
+          match List.assoc_opt name fields with
+          | Some (Obs.Json.Int n) -> Some (float_of_int n)
+          | Some (Obs.Json.Float f) when Float.is_finite f -> Some f
+          | Some _ | None ->
+              err path "row %d: runtime_parallel field %S missing or non-numeric"
+                i name;
+              None
+        in
+        let check_pos name =
+          match num name with
+          | Some v when v <= 0. ->
+              err path "row %d: runtime_parallel field %S must be positive" i
+                name
+          | Some _ | None -> ()
+        in
+        List.iter check_pos
+          [ "jobs"; "replications"; "flows_per_replication"; "seq_wall_s";
+            "par_wall_s"; "speedup" ]
+      end
   | _ -> err path "row %d: not an object" i
 
 let check_file path =

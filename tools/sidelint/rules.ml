@@ -19,6 +19,7 @@ type ctx = {
   path : string;  (* as reported, forward slashes *)
   in_lib : bool;
   in_core : bool;
+  in_exec : bool;  (* lib/exec: the deterministic work pool *)
   determinism_exempt : bool;  (* the blessed randomness/clock modules *)
   field_scoped : bool;  (* lib/core module importing the Field/Modular API *)
   strict : bool;  (* also flag additive ops and applied polymorphic = *)
@@ -45,18 +46,21 @@ let determinism_allowlist = [ "netsim/rng.ml"; "netsim/sim_time.ml" ]
 let make_ctx ~path ~source ~strict =
   let segs = segments path in
   let in_lib = List.mem "lib" segs in
-  let in_core =
+  let lib_scope sub =
     let rec after_lib = function
-      | "lib" :: rest -> List.mem "core" rest
+      | "lib" :: rest -> List.mem sub rest
       | _ :: rest -> after_lib rest
       | [] -> false
     in
     after_lib segs
   in
+  let in_core = lib_scope "core" in
+  let in_exec = lib_scope "exec" in
   {
     path;
     in_lib;
     in_core;
+    in_exec;
     determinism_exempt =
       List.exists (has_suffix_path path) determinism_allowlist;
     field_scoped = in_core && contains_substring source "Modular";
@@ -143,12 +147,67 @@ let effectful_ident = function
       Some "library code must not capture the console; take a formatter argument"
   | _ -> None
 
+(* Mutable-state constructors that must not run at module-initialisation
+   time in lib/exec: a binding like [let seen = Hashtbl.create 16] is
+   shared by every worker domain and silently breaks the jobs-invariance
+   contract. (Inside a function body the same calls are fine — that
+   state is per pool or per task.) *)
+let shared_state_ctor = function
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Atomic"; "make" ] -> Some "Atomic.make"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Bytes"; ("create" | "make") as f ] -> Some ("Bytes." ^ f)
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") as f ] ->
+      Some ("Array." ^ f)
+  | [ "Mutex"; "create" ] -> Some "Mutex.create"
+  | [ "Condition"; "create" ] -> Some "Condition.create"
+  | [ "Domain"; "DLS"; "new_key" ] -> Some "Domain.DLS.new_key"
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* lib/exec isolation: no module-level mutable state                   *)
+
+(* Walks only the module-initialisation-time part of each top-level
+   binding — descent stops at function boundaries, where allocation
+   becomes per-call. *)
+let check_exec_module_state ctx str =
+  let iter =
+    object (self)
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        match e.pexp_desc with
+        | Pexp_function _ -> ()
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+            (match shared_state_ctor (strip_stdlib (flatten txt)) with
+            | Some what ->
+                report ctx loc "exec-isolation"
+                  (what
+                 ^ " at module level in lib/exec is shared across worker \
+                    domains; allocate it per pool or per task (ctx)")
+            | None -> ());
+            List.iter (fun (_, a) -> self#expression a) args
+        | _ -> super#expression e
+    end
+  in
+  List.iter
+    (fun (item : structure_item) ->
+      match item.pstr_desc with
+      | Pstr_value (_, bindings) ->
+          List.iter (fun vb -> iter#expression vb.pvb_expr) bindings
+      | _ -> ())
+    str
+
 (* ------------------------------------------------------------------ *)
 (* The walk                                                            *)
 
 let loc_key (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
 
 let check_structure ctx str =
+  if ctx.in_exec then check_exec_module_state ctx str;
   (* Identifier occurrences that are the head of an application; used to
      distinguish [compare a b] (fine) from [compare] passed as a value
      (polymorphic comparison smuggled into a sort or a Hashtbl). *)
@@ -186,6 +245,16 @@ let check_structure ctx str =
               match effectful_ident name with
               | Some msg -> report ctx loc "effect-hygiene" msg
               | None -> ());
+            (* exec isolation: Obs's process-wide registers are
+               domain-local, so reading them from pool code silently
+               drops worker data *)
+            if ctx.in_exec then (
+              match name with
+              | [ "Obs"; "Sink"; "last" ] | [ "Sink"; "last" ] ->
+                  report ctx loc "exec-isolation"
+                    "Obs.Sink.last reads a domain-local register; worker \
+                     results must flow through the task's ctx.sink"
+              | _ -> ());
             (* field safety *)
             if ctx.field_scoped then (
               (match name with
