@@ -2,6 +2,13 @@ module Modular = Sidecar_field.Modular
 module Newton = Sidecar_field.Newton
 module Roots = Sidecar_field.Roots
 
+[@@@sidespec
+  "decoder-missing-subset: whatever strategy decodes the difference sketch, \
+   the reported missing multiset is contained in the candidate multiset"]
+[@@@sidespec
+  "decoder-missing-bounded: reported missing plus the unresolved residue \
+   never exceed the advertised number of missing packets"]
+
 type strategy = [ `Plug_in | `Factor ]
 type outcome = { missing : int list; unresolved : int }
 type error = [ `Threshold_exceeded of int * int ]
@@ -15,9 +22,11 @@ let pp_error ppf (`Threshold_exceeded (m, t)) =
    number of missing packets. *)
 let checked ~num_missing ~candidates outcome =
   if Invariant.active () then begin
-    Invariant.check ~name:"Decoder.decode: missing ⊆ candidates" (fun () ->
+    Invariant.check ~name:"decoder-missing-subset: missing ⊆ candidates"
+      (fun () ->
         Invariant.int_multiset_subset ~sub:outcome.missing ~super:candidates);
-    Invariant.check ~name:"Decoder.decode: missing bounded by m" (fun () ->
+    Invariant.check ~name:"decoder-missing-bounded: missing + unresolved ≤ m"
+      (fun () ->
         List.length outcome.missing + outcome.unresolved <= num_missing)
   end;
   Ok outcome

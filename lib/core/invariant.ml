@@ -1,3 +1,6 @@
+[@@@sidespec "state enabled: process-wide debug gate, flipped once at start-up or test set-up"]
+[@@@sidespec "state count: monotone count of forced checks, read only by tests asserting the instrumentation fired"]
+
 exception Violation of string
 
 let enabled =

@@ -1,6 +1,13 @@
 module Modular = Sidecar_field.Modular
 module Primes = Sidecar_field.Primes
 
+[@@@sidespec
+  "psum-in-field: every mutation (insert, remove, merge, set_state) leaves \
+   all power sums inside [0, modulus)"]
+[@@@sidespec
+  "psum-diff-in-field: the sender/receiver difference sketch is itself a \
+   valid sketch — every differenced sum lies in [0, modulus)"]
+
 type t = {
   field : (module Modular.S);
   bits : int;
@@ -80,7 +87,7 @@ let remove_fast32 sums threshold x =
 (* Debug-gated: every mutation must leave the sketch inside the field. *)
 let check_in_field t what =
   if Invariant.active () then
-    Invariant.check ~name:("Psum." ^ what ^ ": sums in [0, p)") (fun () ->
+    Invariant.check ~name:("psum-in-field: Psum." ^ what) (fun () ->
         Array.for_all (fun s -> s >= 0 && s < t.modulus) t.sums)
 
 let[@inline] residue t id =
@@ -172,7 +179,7 @@ let difference ?received_modulus ~sent ~received_sums () =
       received_sums
   in
   if Invariant.active () then
-    Invariant.check ~name:"Psum.difference: sums in [0, p)" (fun () ->
+    Invariant.check ~name:"psum-diff-in-field: Psum.difference" (fun () ->
         Array.for_all (fun s -> s >= 0 && s < sent.modulus) diff);
   diff
 

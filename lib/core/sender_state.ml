@@ -1,5 +1,10 @@
 module Modular = Sidecar_field.Modular
 
+[@@@sidespec
+  "sender-log-sound: every identifier a quACK decode reports missing was \
+   actually sent — the decoded multiset is contained in the sent-log prefix \
+   the quACK covers"]
+
 type config = {
   bits : int;
   threshold : int;
@@ -213,7 +218,7 @@ let on_quack t (q : Quack.t) =
                outstanding in our log prefix). *)
             if Invariant.active () then
               Invariant.check
-                ~name:"Sender_state.on_quack: decoded multiset ⊆ sent log"
+                ~name:"sender-log-sound: decoded multiset ⊆ sent log"
                 (fun () ->
                   Invariant.int_multiset_subset ~sub:missing ~super:!candidates);
             (* Multiset of missing identifiers. *)

@@ -1,3 +1,5 @@
+[@@@sidespec "state table: deterministic memo of largest_prime_in_bits — same key always maps to the same prime, so sharing is observationally pure"]
+
 let table = Hashtbl.create 8
 
 let modulus_for_bits b =

@@ -1,3 +1,6 @@
+[@@@sidespec "state default_categories: domain-local register by design — each Exec worker sees its own default trace mask"]
+[@@@sidespec "state last_created: domain-local register by design — a worker's last sink is never another task's"]
+
 type t = { metrics : Metrics.t; trace : Trace.t }
 
 (* Both process-wide registers are domain-local: a worker domain of an

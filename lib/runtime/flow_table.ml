@@ -1,4 +1,13 @@
 module Time = Netsim.Sim_time
+module Invariant = Sidecar_quack.Invariant
+
+[@@@sidespec
+  "flowtable-occupancy: after every structural mutation the three indexes \
+   agree — the occupancy counter equals both the hash-table size and the \
+   length of the recency list"]
+[@@@sidespec
+  "flowtable-bounded: occupancy never exceeds the configured capacity; \
+   admission always evicts or denies first"]
 
 type policy = Lru | Idle of Time.span
 
@@ -82,6 +91,23 @@ let touch t n ~now =
   unlink t n;
   push_front t n
 
+(* Debug-gated: the counter, the hash table and the recency list are
+   three views of one set of flows; any structural mutation must leave
+   them agreeing, and admission control must have kept the set within
+   capacity. *)
+let check_books t what =
+  if Invariant.active () then begin
+    Invariant.check ~name:("flowtable-occupancy: " ^ what) (fun () ->
+        let rec chain_len acc = function
+          | None -> acc
+          | Some n -> chain_len (acc + 1) n.next
+        in
+        Hashtbl.length t.tbl = t.occupancy
+        && chain_len 0 t.head = t.occupancy);
+    Invariant.check ~name:("flowtable-bounded: " ^ what) (fun () ->
+        t.occupancy <= t.capacity)
+  end
+
 (* Take a node out of both indexes without deciding why it left —
    the caller fires the callback matching the cause. Eviction and
    voluntary release must stay distinct: an evicted flow's state is
@@ -91,7 +117,8 @@ let touch t n ~now =
 let detach t n =
   unlink t n;
   Hashtbl.remove t.tbl n.key;
-  t.occupancy <- t.occupancy - 1
+  t.occupancy <- t.occupancy - 1;
+  check_books t "detach"
 
 let drop t n =
   detach t n;
@@ -127,6 +154,7 @@ let insert t ~now key state =
   t.occupancy <- t.occupancy + 1;
   if t.occupancy > t.peak then t.peak <- t.occupancy;
   t.stats.admitted <- t.stats.admitted + 1;
+  check_books t "insert";
   state
 
 (* Make room for one admission, or say no. *)

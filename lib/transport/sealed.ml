@@ -2,6 +2,8 @@ module Packet = Netsim.Packet
 
 type Packet.payload += Sealed of string
 
+[@@@sidespec "state failures: process-wide AEAD-failure tally, deterministic under a fixed seed and reset explicitly via reset_counters"]
+
 let failures = ref 0
 let auth_failures () = !failures
 let reset_counters () = failures := 0

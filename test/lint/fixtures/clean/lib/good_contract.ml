@@ -1,0 +1,12 @@
+(* A well-formed sidespec module: every contract has its runtime twin
+   and the deliberate global is blessed. Must lint clean. *)
+
+[@@@sidespec "clean-registry: the registry only ever grows within a run"]
+[@@@sidespec "state registry: deliberate process-wide registry, reset explicitly by tests"]
+
+let registry = ref []
+
+let record x =
+  registry := x :: !registry;
+  Invariant.check ~name:"clean-registry: grows on record" (fun () ->
+      List.length !registry > 0)

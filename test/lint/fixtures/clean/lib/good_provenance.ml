@@ -1,0 +1,19 @@
+(* Field values that stay inside the Modular API, and raw arithmetic
+   that never touches a reduced value. Must lint clean. *)
+
+module Modular = Sidecar_field.Modular
+
+let horner field coeffs x =
+  let module F = (val field : Modular.S) in
+  List.fold_left (fun acc c -> F.add (F.mul acc x) c) F.zero coeffs
+
+(* raw ints may use raw operators freely *)
+let checksum a b = ((a * b) + (a lsl 3)) land 0xFFFF
+
+(* a reduced value handed back to the API is fine *)
+let bump_in_field a =
+  let v = Modular.of_int a in
+  Modular.add v Modular.one
+
+(* reducing an escaping value back INTO the field is the sanctioned fix *)
+let renormalize a extra = Modular.of_int (Modular.to_int a + extra)

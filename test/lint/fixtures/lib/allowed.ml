@@ -9,3 +9,18 @@ let boom () = failwith "fixture" (* sidelint: allow — same-line hatch *)
 (* sidelint: allow — a multi-line justification: this comment ends on
    the line directly above the violation, and still suppresses it *)
 let force o = Option.get o
+
+(* This justification is deliberately long, pinning the upward scan:
+   the marker sits several lines above the violation, in the middle
+   of this block, and must still be honored because the block ends on
+   the line directly above the binding.
+   sidelint: allow — mid-block marker, nowhere near the last line.
+   The block even contains a nested (* inner comment, so the scanner
+   must track comment nesting *) rather than stop at the first
+   close-marker it meets on the way up.
+   Filler line one.
+   Filler line two.
+   Filler line three.
+   Filler line four.
+   Filler line five — thirteen lines and still one comment. *)
+let fourth l = List.nth l 3

@@ -1,0 +1,14 @@
+(* Seeded sidespec-declaration bugs. *)
+
+(* declared but never enforced: no Invariant.check twin below *)
+[@@@sidespec "orphan-contract: stated here yet backed by nothing at runtime"]
+
+(* the same id declared twice *)
+[@@@sidespec "dup-contract: first declaration"]
+[@@@sidespec "dup-contract: second declaration of the same id"]
+
+(* not the contract grammar at all *)
+[@@@sidespec "Sums Stay Small"]
+
+let dup_twin () =
+  Invariant.check ~name:"dup-contract: enforced once" (fun () -> true)

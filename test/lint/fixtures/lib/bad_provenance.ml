@@ -1,0 +1,38 @@
+(* Seeded field-provenance bugs: each flagged expression applies raw
+   integer arithmetic to a value that already flowed through the field
+   API, so the result may silently leave [0, p). *)
+
+module Modular = Sidecar_field.Modular
+
+(* taint through a let-binding *)
+let off_by_one a b =
+  let x = Modular.add a b in
+  x + 1
+
+(* taint through a match binder *)
+let double_sum a b =
+  match Modular.mul a b with
+  | 0 -> 0
+  | v -> v * 2
+
+(* taint through a pipeline *)
+let shifted a =
+  let y = a |> Modular.of_int in
+  y lsl 1
+
+(* taint through a ref cell seeded with a field constant *)
+let horner_broken xs =
+  let acc = ref Modular.one in
+  List.iter (fun x -> acc := !acc * x) xs;
+  !acc
+
+(* taint through a first-class module unpack *)
+let unpacked_underflow field a b =
+  let module F = (val field : Modular.S) in
+  let s = F.add a b in
+  s - 1
+
+(* taint survives an if/else join *)
+let joined cond a =
+  let z = if cond then Modular.one else Modular.of_int a in
+  z mod 7

@@ -1,0 +1,16 @@
+(* Seeded state-escape bugs: hidden module-level mutable state in lib/
+   (outside lib/exec) breaks replay and isolation unless blessed. *)
+
+let counter = ref 0
+let cache : (int, int) Hashtbl.t = Hashtbl.create 16
+
+(* a blessed global is fine *)
+[@@@sidespec "state blessed_tally: deliberately global, reset by tests"]
+
+let blessed_tally = ref 0
+
+let bump () =
+  incr counter;
+  incr blessed_tally
+
+let note k v = Hashtbl.replace cache k v

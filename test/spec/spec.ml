@@ -1,0 +1,282 @@
+(* Executable specification of the quACK core.
+
+   Each contract declared with [@@@sidespec] in lib/ is stated ONCE
+   here as a qcheck property over an abstract implementation signature,
+   then instantiated against the reference modules in [Test_spec]. The
+   functor seam is the point: a future flat-array sketch or a SIMD
+   field backend claims conformance by instantiating the same functor,
+   and the two implementations are then tested differentially by
+   construction ([Field_diff], [Sketch_diff]) instead of by ad-hoc
+   copied assertions.
+
+   The properties deliberately mirror the [Invariant.check] runtime
+   twins in lib/core and lib/runtime: the linter proves each contract
+   has a twin; this file proves the twins (and the code around them)
+   hold on random inputs. *)
+
+module Modular = Sidecar_field.Modular
+module Primes = Sidecar_field.Primes
+module Psum = Sidecar_quack.Psum
+module Decoder = Sidecar_quack.Decoder
+module Invariant = Sidecar_quack.Invariant
+module Flow_table = Sidecar_runtime.Flow_table
+module Time = Netsim.Sim_time
+
+let test ?(count = 300) name arb prop = QCheck.Test.make ~count ~name arb prop
+
+(* ------------------------------------------------------------------ *)
+(* Field laws: any implementation of [Modular.S] is a prime field.     *)
+
+module Field_spec (F : Modular.S) = struct
+  let in_field x = 0 <= x && x < F.modulus
+  let elt = QCheck.map F.of_int QCheck.int
+  let pair = QCheck.pair elt elt
+  let triple = QCheck.triple elt elt elt
+
+  let props impl =
+    let t name = test (impl ^ ": " ^ name) in
+    [
+      t "closure" pair (fun (a, b) ->
+          in_field (F.add a b) && in_field (F.sub a b) && in_field (F.mul a b)
+          && in_field (F.neg a));
+      t "add is commutative and associative" triple (fun (a, b, c) ->
+          F.equal (F.add a b) (F.add b a)
+          && F.equal (F.add (F.add a b) c) (F.add a (F.add b c)));
+      t "mul is commutative and associative" triple (fun (a, b, c) ->
+          F.equal (F.mul a b) (F.mul b a)
+          && F.equal (F.mul (F.mul a b) c) (F.mul a (F.mul b c)));
+      t "mul distributes over add" triple (fun (a, b, c) ->
+          F.equal (F.mul a (F.add b c)) (F.add (F.mul a b) (F.mul a c)));
+      t "additive inverse" elt (fun a -> F.equal (F.add a (F.neg a)) F.zero);
+      t "sub is add of neg" pair (fun (a, b) ->
+          F.equal (F.sub a b) (F.add a (F.neg b)));
+      t "multiplicative inverse" elt (fun a ->
+          QCheck.assume (not (F.equal a F.zero));
+          F.equal (F.mul a (F.inv a)) F.one);
+      t "div is mul by inv" pair (fun (a, b) ->
+          QCheck.assume (not (F.equal b F.zero));
+          F.equal (F.div a b) (F.mul a (F.inv b)));
+      t "pow is iterated mul"
+        (QCheck.pair elt (QCheck.int_bound 64))
+        (fun (a, k) ->
+          let rec go acc i = if i = 0 then acc else go (F.mul acc a) (i - 1) in
+          F.equal (F.pow a k) (go F.one k));
+    ]
+end
+
+(* Differential: two backends over the SAME modulus must agree on
+   every operation, on every input. Instantiated Log_field vs Modular
+   over the full 16-bit field in [Test_spec]. *)
+module Field_diff (A : Modular.S) (B : Modular.S) = struct
+  let same_modulus () = A.modulus = B.modulus
+  let raw = QCheck.int
+  let pair = QCheck.pair raw raw
+
+  let props impl =
+    let t name = test ~count:1000 (impl ^ ": " ^ name) in
+    [
+      t "same modulus" QCheck.unit (fun () -> same_modulus ());
+      t "of_int agrees" raw (fun x -> A.of_int x = B.of_int x);
+      t "add agrees" pair (fun (x, y) ->
+          let a, b = (A.of_int x, A.of_int y) in
+          A.add a b = B.add a b);
+      t "sub and neg agree" pair (fun (x, y) ->
+          let a, b = (A.of_int x, A.of_int y) in
+          A.sub a b = B.sub a b && A.neg a = B.neg a);
+      t "mul agrees" pair (fun (x, y) ->
+          let a, b = (A.of_int x, A.of_int y) in
+          A.mul a b = B.mul a b);
+      t "pow agrees"
+        (QCheck.pair raw (QCheck.int_bound 4096))
+        (fun (x, k) -> A.pow (A.of_int x) k = B.pow (B.of_int x) k);
+      t "inv and div agree" pair (fun (x, y) ->
+          let a, b = (A.of_int x, A.of_int y) in
+          QCheck.assume (b <> 0);
+          A.inv b = B.inv b && A.div a b = B.div a b);
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Power-sum sketches. The seam deliberately hides [Psum.t] behind an
+   abstract [t] so a flat-array or SIMD variant plugs in unchanged.    *)
+
+module type SKETCH = sig
+  type t
+
+  val create : threshold:int -> t
+  val modulus : t -> int
+  val count : t -> int
+  val sums : t -> int array
+  val insert : t -> int -> unit
+  val remove : t -> int -> unit
+end
+
+(* Identifier lists sized for a threshold-[limit] sketch. *)
+let ids_arb limit =
+  QCheck.list_of_size (QCheck.Gen.int_range 0 limit)
+    (QCheck.map abs QCheck.int)
+
+module Sketch_spec (S : SKETCH) = struct
+  let threshold = 12
+
+  let fresh ids =
+    let s = S.create ~threshold in
+    List.iter (S.insert s) ids;
+    s
+
+  (* The mathematical definition, computed independently with the
+     overflow-safe scalar primitives: sums.(i) = Σ_j x_j^(i+1) mod p. *)
+  let model_sums ~modulus ids =
+    Array.init threshold (fun i ->
+        List.fold_left
+          (fun acc id ->
+            let x = id mod modulus in
+            (acc + Modular.powmod x (i + 1) modulus) mod modulus)
+          0 ids)
+
+  let props impl =
+    let t name = test (impl ^ ": " ^ name) in
+    let ids = ids_arb threshold in
+    [
+      t "sums match the power-sum definition" ids (fun l ->
+          let s = fresh l in
+          S.sums s = model_sums ~modulus:(S.modulus s) l
+          && S.count s = List.length l);
+      t "sums stay in the field" (QCheck.pair ids ids) (fun (ins, outs) ->
+          let s = fresh ins in
+          List.iter (S.remove s) outs;
+          let m = S.modulus s in
+          Array.for_all (fun x -> 0 <= x && x < m) (S.sums s));
+      t "remove inverts insert" ids (fun l ->
+          let s = fresh l in
+          List.iter (S.remove s) l;
+          Array.for_all (fun x -> x = 0) (S.sums s) && S.count s = 0);
+      t "order-independent" ids (fun l ->
+          let a = fresh l and b = fresh (List.sort compare l) in
+          S.sums a = S.sums b);
+    ]
+end
+
+(* Differential: two sketch implementations over the same modulus fed
+   the same operation sequence expose identical state. *)
+module Sketch_diff (A : SKETCH) (B : SKETCH) = struct
+  let threshold = 12
+
+  let props impl =
+    let t name = test (impl ^ ": " ^ name) in
+    let ids = ids_arb threshold in
+    [
+      t "identical sums after identical inserts and removes"
+        (QCheck.pair ids ids)
+        (fun (ins, outs) ->
+          let a = A.create ~threshold and b = B.create ~threshold in
+          QCheck.assume (A.modulus a = B.modulus b);
+          List.iter (A.insert a) ins;
+          List.iter (B.insert b) ins;
+          List.iter (A.remove a) outs;
+          List.iter (B.remove b) outs;
+          A.sums a = B.sums b && A.count a = B.count b);
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Decoder: the contracts [decoder-missing-subset] and
+   [decoder-missing-bounded], plus the roundtrip they protect — the
+   difference of sender and receiver sketches decodes to exactly the
+   dropped multiset.                                                   *)
+
+module Decoder_spec (F : Modular.S) = struct
+  let threshold = 12
+  let field : (module Modular.S) = (module F)
+
+  (* (ids, drop mask): receiver sees the ids whose mask bit is false *)
+  let scenario =
+    QCheck.map
+      (fun l -> List.map (fun (id, dropped) -> (abs id mod F.modulus, dropped)) l)
+      (QCheck.list_of_size
+         (QCheck.Gen.int_range 0 threshold)
+         (QCheck.pair QCheck.int QCheck.bool))
+
+  let roundtrip strategy l =
+    let sent = Psum.create ~bits:F.bits ~field ~threshold ()
+    and recv = Psum.create ~bits:F.bits ~field ~threshold () in
+    let ids = List.map fst l in
+    let dropped = List.filter_map (fun (id, d) -> if d then Some id else None) l in
+    List.iter (Psum.insert sent) ids;
+    List.iter (fun (id, d) -> if not d then Psum.insert recv id) l;
+    let diff = Psum.difference ~sent ~received_sums:(Psum.sums recv) () in
+    match
+      Decoder.decode ~strategy ~field ~diff_sums:diff
+        ~num_missing:(List.length dropped) ~candidates:ids ()
+    with
+    | Error _ -> false
+    | Ok { missing; unresolved } ->
+        unresolved = 0
+        && List.sort compare missing = List.sort compare dropped
+
+  let props impl =
+    let t name = test (impl ^ ": " ^ name) in
+    [
+      t "plug-in decode recovers the dropped multiset" scenario
+        (roundtrip `Plug_in);
+      t "factor decode recovers the dropped multiset" scenario
+        (roundtrip `Factor);
+    ]
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flow table: the contracts [flowtable-occupancy] and
+   [flowtable-bounded] as whole-trace properties over random
+   admit/remove/find sequences.                                        *)
+
+module Flow_table_spec = struct
+  type op = Admit of int | Remove of int | Find of int
+
+  let ops_arb =
+    let op =
+      QCheck.Gen.(
+        map2
+          (fun k c ->
+            match c with 0 -> Admit k | 1 -> Remove k | _ -> Find k)
+          (int_range 0 40) (int_range 0 2))
+    in
+    QCheck.make
+      QCheck.Gen.(list_size (int_range 0 120) op)
+
+  let replay ~capacity ops =
+    let ft = Flow_table.create ~capacity () in
+    let clock = ref 0 in
+    List.iter
+      (fun op ->
+        incr clock;
+        let now = Time.ms !clock in
+        match op with
+        | Admit k -> ignore (Flow_table.admit ft ~now k (fun () -> k))
+        | Remove k -> ignore (Flow_table.remove ft k)
+        | Find k -> ignore (Flow_table.find ft ~now k))
+      ops;
+    ft
+
+  let books_balance ft ~capacity =
+    let occ = Flow_table.occupancy ft in
+    let live = ref 0 in
+    Flow_table.iter ft (fun _ _ -> incr live);
+    let s = Flow_table.stats ft in
+    occ <= capacity && !live = occ
+    && occ
+       = s.Flow_table.admitted - s.Flow_table.evicted_lru
+         - s.Flow_table.evicted_idle - s.Flow_table.removed
+
+  let props impl =
+    let t name = test (impl ^ ": " ^ name) in
+    [
+      t "occupancy tracks the live set and never exceeds capacity"
+        (QCheck.pair (QCheck.int_bound 8) ops_arb)
+        (fun (capacity, ops) ->
+          books_balance (replay ~capacity ops) ~capacity);
+      t "peak occupancy is bounded too"
+        (QCheck.pair (QCheck.int_bound 8) ops_arb)
+        (fun (capacity, ops) ->
+          Flow_table.peak_occupancy (replay ~capacity ops) <= capacity);
+    ]
+end

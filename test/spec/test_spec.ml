@@ -1,0 +1,111 @@
+(* Instantiates the executable spec (Spec) against the reference
+   implementations. A future optimised variant (flat-array sketch,
+   vectorised field) earns its keep by adding one more instantiation
+   here — the same properties then run differentially against it. *)
+
+module Modular = Sidecar_field.Modular
+module Primes = Sidecar_field.Primes
+module Log_field = Sidecar_field.Log_field
+module Psum = Sidecar_quack.Psum
+module Invariant = Sidecar_quack.Invariant
+module Flow_table = Sidecar_runtime.Flow_table
+module Time = Netsim.Sim_time
+
+(* Field backends under test. *)
+module F16 = (val Primes.field_for_bits 16)
+module L16 = (val Log_field.make (Primes.field_for_bits 16))
+module F32 = (val Primes.field_for_bits 32)
+
+module F16_laws = Spec.Field_spec (F16)
+module F32_laws = Spec.Field_spec (F32)
+module L16_laws = Spec.Field_spec (L16)
+module Diff16 = Spec.Field_diff (F16) (L16)
+
+(* Sketch implementations: the reference fast-32 path, the generic
+   closure path over the 16-bit field, and the same 16-bit field
+   served through the log/antilog tables. *)
+module Sketch_of (X : sig
+  val bits : int
+  val field : (module Modular.S)
+end) : Spec.SKETCH = struct
+  type t = Psum.t
+
+  let create ~threshold = Psum.create ~bits:X.bits ~field:X.field ~threshold ()
+  let modulus = Psum.modulus
+  let count = Psum.count
+  let sums = Psum.sums
+  let insert = Psum.insert
+  let remove = Psum.remove
+end
+
+module Ref32 = Sketch_of (struct
+  let bits = 32
+  let field = Primes.field_for_bits 32
+end)
+
+module Gen16 = Sketch_of (struct
+  let bits = 16
+  let field = Primes.field_for_bits 16
+end)
+
+module Log16 = Sketch_of (struct
+  let bits = 16
+  let field = Log_field.make (Primes.field_for_bits 16)
+end)
+
+module Ref32_spec = Spec.Sketch_spec (Ref32)
+module Gen16_spec = Spec.Sketch_spec (Gen16)
+module Log16_spec = Spec.Sketch_spec (Log16)
+module Sketch_diff16 = Spec.Sketch_diff (Gen16) (Log16)
+module Decode16 = Spec.Decoder_spec (F16)
+module Decode32 = Spec.Decoder_spec (F32)
+
+(* Satellite of the sidespec contracts: prove the runtime twins
+   actually execute when the debug gate is up, so CI running with
+   SIDECAR_INVARIANTS=1 is exercising them rather than no-ops. *)
+let test_invariant_twins_fire () =
+  let was = Invariant.active () in
+  Invariant.set_active true;
+  let before = Invariant.checks_run () in
+  (* psum-in-field + psum-diff-in-field *)
+  let p = Psum.create ~threshold:4 () in
+  Psum.insert p 42;
+  Psum.remove p 42;
+  ignore (Psum.difference ~sent:p ~received_sums:(Psum.sums p) ());
+  (* flowtable-occupancy + flowtable-bounded *)
+  let ft = Flow_table.create ~capacity:2 () in
+  let admit k now =
+    ignore (Flow_table.admit ft ~now:(Time.ms now) k (fun () -> k))
+  in
+  admit 1 1;
+  admit 2 2;
+  admit 3 3;
+  ignore (Flow_table.remove ft 2);
+  Invariant.set_active was;
+  let fired = Invariant.checks_run () - before in
+  Alcotest.(check bool)
+    (Printf.sprintf "runtime twins executed (%d checks fired)" fired)
+    true (fired > 0)
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "spec"
+    [
+      ( "field-laws",
+        q (F16_laws.props "F16" @ F32_laws.props "F32" @ L16_laws.props "Log16")
+      );
+      ("field-diff", q (Diff16.props "Modular16=Log16"));
+      ( "sketch-spec",
+        q
+          (Ref32_spec.props "Psum32" @ Gen16_spec.props "Psum16"
+         @ Log16_spec.props "PsumLog16") );
+      ("sketch-diff", q (Sketch_diff16.props "Psum16=PsumLog16"));
+      ( "decoder-spec",
+        q (Decode16.props "Decoder16" @ Decode32.props "Decoder32") );
+      ("flow-table-spec", q (Spec.Flow_table_spec.props "Flow_table"));
+      ( "invariant-twins",
+        [
+          Alcotest.test_case "twins fire under the debug gate" `Quick
+            test_invariant_twins_fire;
+        ] );
+    ]

@@ -6,6 +6,10 @@ let check = Alcotest.check
 let int = Alcotest.int
 let bool = Alcotest.bool
 
+(* Sender/receiver pairs are wired through mutually recursive refs that
+   are always filled before the engine runs. *)
+let wired = function Some x -> x | None -> assert false
+
 (* ------------------------------------------------------------------ *)
 (* Rtt                                                                 *)
 
@@ -381,7 +385,7 @@ let test_sender_pto_recovers_lost_tail () =
         if !drop_first > 0 then decr drop_first
         else
           Netsim.Engine.schedule e ~delay:(Time.ms 5) (fun () ->
-              Receiver.deliver (Option.get !rx) p))
+              Receiver.deliver (wired !rx) p))
       ()
   in
   sender_ref := Some sender;
@@ -389,7 +393,7 @@ let test_sender_pto_recovers_lost_tail () =
     Receiver.create e ~total_units:3
       ~send_ack:(fun p ->
         Netsim.Engine.schedule e ~delay:(Time.ms 5) (fun () ->
-            Sender.deliver_ack (Option.get !sender_ref) p))
+            Sender.deliver_ack (wired !sender_ref) p))
       ()
   in
   rx := Some receiver;

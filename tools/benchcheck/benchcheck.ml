@@ -1,15 +1,28 @@
-(* benchcheck: validate the bench harness's machine-readable outputs.
+(* benchcheck: validate the repo's machine-readable outputs.
 
    Usage: benchcheck FILE.json [FILE.json ...]
 
-   Each file must be a "sidecar-bench-1" document:
+   Each file must carry a recognised "schema" tag:
+
+   "sidecar-bench-1" (the bench harness):
      { "schema": "sidecar-bench-1",
        "rows": [ { "section": <string>, ...fields }, ... ] }
    where every row has a string "section", at least one numeric field,
    and no null values — the bench writes nan/inf as null, so a null
    here means a measurement silently failed and the run must not be
-   archived as data. Exits non-zero (listing every problem) on any
-   violation; prints a one-line summary per valid file. *)
+   archived as data.
+
+   "sidecar-lint-1" (sidelint --format json):
+     { "schema": "sidecar-lint-1",
+       "files_checked": <int>, "violation_count": <int>,
+       "violations": [ { "file": <string>, "line": <int>, "col": <int>,
+                         "rule": <string>, "message": <string> }, ... ] }
+   where the count must agree with the list and a zero "files_checked"
+   means the lint walked nothing (a misconfigured CI path, not a clean
+   tree).
+
+   Exits non-zero (listing every problem) on any violation; prints a
+   one-line summary per valid file. *)
 
 let errors = ref 0
 
@@ -70,21 +83,79 @@ let check_row path i = function
       end
   | _ -> err path "row %d: not an object" i
 
+let check_bench path doc =
+  match Obs.Json.member "rows" doc with
+  | Some (Obs.Json.List []) -> err path "empty \"rows\""
+  | Some (Obs.Json.List rows) ->
+      List.iteri (check_row path) rows;
+      if !errors = 0 then
+        Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
+  | _ -> err path "missing \"rows\" list"
+
+let check_violation path i = function
+  | Obs.Json.Obj fields ->
+      let str name =
+        match List.assoc_opt name fields with
+        | Some (Obs.Json.String s) ->
+            if s = "" then err path "violation %d: %S is empty" i name
+        | Some _ -> err path "violation %d: %S is not a string" i name
+        | None -> err path "violation %d: missing %S" i name
+      in
+      let nat name =
+        match List.assoc_opt name fields with
+        | Some (Obs.Json.Int n) ->
+            if n < 0 then err path "violation %d: %S is negative" i name
+        | Some _ -> err path "violation %d: %S is not an integer" i name
+        | None -> err path "violation %d: missing %S" i name
+      in
+      str "file";
+      str "rule";
+      str "message";
+      nat "line";
+      nat "col"
+  | _ -> err path "violation %d: not an object" i
+
+let check_lint path doc =
+  let count name =
+    match Obs.Json.member name doc with
+    | Some (Obs.Json.Int n) when n >= 0 -> Some n
+    | Some _ ->
+        err path "%S is not a non-negative integer" name;
+        None
+    | None ->
+        err path "missing %S" name;
+        None
+  in
+  let files = count "files_checked" in
+  (match files with
+  | Some 0 ->
+      err path "\"files_checked\" is zero: the lint walked nothing (bad path?)"
+  | Some _ | None -> ());
+  match Obs.Json.member "violations" doc with
+  | Some (Obs.Json.List vs) ->
+      List.iteri (check_violation path) vs;
+      (match count "violation_count" with
+      | Some n when n <> List.length vs ->
+          err path "\"violation_count\" (%d) disagrees with the list (%d)" n
+            (List.length vs)
+      | Some _ | None -> ());
+      if !errors = 0 then
+        Printf.printf "benchcheck: %s: lint report ok (%d files, %d violations)\n"
+          path
+          (match files with Some n -> n | None -> 0)
+          (List.length vs)
+  | Some _ -> err path "\"violations\" is not a list"
+  | None -> err path "missing \"violations\" list"
+
 let check_file path =
   match Obs.Json.of_file path with
   | Error e -> err path "unparseable: %s" e
   | Ok doc -> (
-      (match Obs.Json.member "schema" doc with
-      | Some (Obs.Json.String "sidecar-bench-1") -> ()
+      match Obs.Json.member "schema" doc with
+      | Some (Obs.Json.String "sidecar-bench-1") -> check_bench path doc
+      | Some (Obs.Json.String "sidecar-lint-1") -> check_lint path doc
       | Some (Obs.Json.String s) -> err path "unknown schema %S" s
-      | _ -> err path "missing \"schema\" tag");
-      match Obs.Json.member "rows" doc with
-      | Some (Obs.Json.List []) -> err path "empty \"rows\""
-      | Some (Obs.Json.List rows) ->
-          List.iteri (check_row path) rows;
-          if !errors = 0 then
-            Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
-      | _ -> err path "missing \"rows\" list")
+      | _ -> err path "missing \"schema\" tag")
 
 let () =
   match Array.to_list Sys.argv with

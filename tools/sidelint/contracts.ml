@@ -1,0 +1,198 @@
+(* Sidespec contract declarations.
+
+   Modules opt into machine-checked refinement contracts with floating
+   attributes:
+
+     [@@@sidespec "psum-in-field: every element of sums stays in [0, p)"]
+
+   Grammar of the payload string:
+
+     "<id>: <description>"       a refinement contract; <id> matches
+                                 [a-z][a-z0-9-]* and must be paired with
+                                 a runtime twin in the same module — an
+                                 [Invariant.check] whose [~name] string
+                                 begins with "<id>"
+     "state <binding>: <why>"    blesses one module-level mutable
+                                 binding from the state-escape /
+                                 exec-isolation rules (hidden global
+                                 state that is global *by design*,
+                                 e.g. the Invariant debug gate)
+
+   The static half of every contract is this file plus the dataflow
+   pass: the declaration is validated, the twin's existence is
+   enforced, and field-element provenance protects the arithmetic the
+   contract ranges over. The dynamic half is the [Invariant.check] twin
+   itself plus the qcheck properties in test/spec. *)
+
+open Ppxlib
+
+type t = {
+  contracts : (string * Location.t) list;  (* declaration order *)
+  blessed : string list;  (* module-level bindings excused from state rules *)
+  malformed : (string * Location.t) list;
+}
+
+let empty = { contracts = []; blessed = []; malformed = [] }
+
+let is_contract_id s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false)
+       s
+
+(* "state <binding>: <why>" | "<id>: <description>" *)
+let classify payload =
+  match String.index_opt payload ':' with
+  | None -> `Malformed "missing \":\" separator"
+  | Some i ->
+      let head = String.trim (String.sub payload 0 i) in
+      let desc =
+        String.trim (String.sub payload (i + 1) (String.length payload - i - 1))
+      in
+      if desc = "" then `Malformed "empty description after \":\""
+      else if String.length head > 6 && String.sub head 0 6 = "state " then
+        let binding = String.trim (String.sub head 6 (String.length head - 6)) in
+        if binding = "" then `Malformed "state blessing names no binding"
+        else `State binding
+      else if is_contract_id head then `Contract head
+      else
+        `Malformed
+          (Printf.sprintf
+             "contract id %S is not of the form [a-z][a-z0-9-]*" head)
+
+let payload_string = function
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+(* Collect every [@@@sidespec ...] in the structure, at any module
+   depth (contracts may live inside sub-modules). *)
+let of_structure str =
+  let acc = ref empty in
+  let add_attr (attr : attribute) =
+    if attr.attr_name.txt = "sidespec" then
+      let loc = attr.attr_loc in
+      match payload_string attr.attr_payload with
+      | None ->
+          acc :=
+            { !acc with
+              malformed = ("payload must be a string literal", loc) :: !acc.malformed }
+      | Some payload -> (
+          match classify payload with
+          | `Contract id ->
+              acc := { !acc with contracts = (id, loc) :: !acc.contracts }
+          | `State binding ->
+              acc := { !acc with blessed = binding :: !acc.blessed }
+          | `Malformed why ->
+              acc := { !acc with malformed = (why, loc) :: !acc.malformed })
+  in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item item =
+        (match item.pstr_desc with
+        | Pstr_attribute attr -> add_attr attr
+        | _ -> ());
+        super#structure_item item
+    end
+  in
+  iter#structure str;
+  {
+    contracts = List.rev !acc.contracts;
+    blessed = List.rev !acc.blessed;
+    malformed = List.rev !acc.malformed;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Runtime twins                                                       *)
+
+(* The leftmost string constant of an expression: a check name like
+   ("psum-in-field: " ^ what) still identifies its contract. *)
+let rec leftmost_string e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+  | Pexp_apply
+      ({ pexp_desc = Pexp_ident { txt = Lident "^"; _ }; _ }, (_, l) :: _) ->
+      leftmost_string l
+  | _ -> None
+
+let is_invariant_check = function
+  | [ "Invariant"; "check" ]
+  | [ "Sidecar_quack"; "Invariant"; "check" ] ->
+      true
+  | _ -> false
+
+let flatten lid = match Longident.flatten_exn lid with l -> l | exception _ -> []
+
+(* Every ~name string reachable from an [Invariant.check] call. *)
+let twin_names str =
+  let names = ref [] in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args)
+          when is_invariant_check (flatten txt) -> (
+            match
+              List.find_opt (fun (l, _) -> l = Labelled "name") args
+            with
+            | Some (_, arg) -> (
+                match leftmost_string arg with
+                | Some s -> names := s :: !names
+                | None -> ())
+            | None -> ())
+        | _ -> ());
+        super#expression e
+    end
+  in
+  iter#structure str;
+  !names
+
+let has_twin ~names id =
+  let prefix = id ^ ":" in
+  let plen = String.length prefix in
+  List.exists
+    (fun n ->
+      n = id || (String.length n >= plen && String.sub n 0 plen = prefix))
+    names
+
+(* Validate the declarations of one module against its body; [report]
+   receives (loc, message) for each problem. *)
+let check ~report t str =
+  List.iter
+    (fun (why, loc) -> report loc ("malformed [@@@sidespec]: " ^ why))
+    t.malformed;
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (id, loc) ->
+      if Hashtbl.mem seen id then
+        report loc
+          (Printf.sprintf "contract %S declared more than once in this module" id)
+      else Hashtbl.add seen id ())
+    t.contracts;
+  let names = twin_names str in
+  List.iter
+    (fun (id, loc) ->
+      if not (has_twin ~names id) then
+        report loc
+          (Printf.sprintf
+             "contract %S has no runtime twin: add an Invariant.check whose \
+              ~name starts with \"%s: \" so the declared refinement is also \
+              enforced on live state"
+             id id))
+    (* only the first declaration of a duplicated id demands a twin *)
+    (List.sort_uniq
+       (fun (a, _) (b, _) -> String.compare a b)
+       t.contracts)

@@ -1,0 +1,448 @@
+(* Flow-sensitive passes: field-element provenance and module-level
+   mutable-state escape.
+
+   Field provenance
+   ----------------
+   A value is *reduced* (a genuine field element, in [0, p)) only after
+   flowing out of the field API: an application of
+   [F.add]/[F.sub]/[F.mul]/[F.neg]/[F.pow]/[F.inv]/[F.div]/[F.of_int]
+   (or [Modular.*] / [Log_field.*]), or the constants [F.one]/[F.zero].
+   Raw integer arithmetic on a reduced value can silently leave the
+   field — a missed [mod p] is undetectable garbage by the time the
+   decoder factors the difference polynomial — so outside lib/field
+   (which *implements* the API and is audited line by line) applying a
+   raw operator to a reduced operand is a violation.
+
+   Taint propagates through let-bindings, match/function cases (a
+   binder of a reduced scrutinee is reduced), if/else joins, pipelines
+   ([x |> F.of_int], [F.of_int @@ x]), refs ([let pw = ref F.one] makes
+   [!pw] reduced until a raw assignment clears it), and sequencing.
+   The analysis is intraprocedural: parameters enter raw, calls of
+   unknown functions return raw. That under-approximates — the point
+   is zero false positives on audited code, with the seeded fixture
+   tree pinning what the pass must catch.
+
+   Modules bound with [let module F = (val e ...)] are treated as field
+   modules: in this codebase unpacking a first-class module is how a
+   [Modular.S] is brought into scope (Psum, Decoder, Sender_state).
+
+   State escape
+   ------------
+   Generalizes the lib/exec isolation rule: module-level [ref] /
+   [Hashtbl.create] / [Atomic.make] / ... anywhere in lib/ is hidden
+   global state — it escapes the value graph, survives across runs and
+   breaks the replay/jobs-invariance story. lib/exec keeps the stricter
+   domain-sharing variant (including [Array.make]/[Bytes.create]);
+   elsewhere the stateful-container subset applies, and a module can
+   bless a deliberate global with
+   [@@@sidespec "state <binding>: <why>"]. *)
+
+open Ppxlib
+
+let flatten lid = match Longident.flatten_exn lid with l -> l | exception _ -> []
+let strip_stdlib = function "Stdlib" :: rest -> rest | l -> l
+
+(* ------------------------------------------------------------------ *)
+(* Field provenance                                                    *)
+
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+type env = {
+  vars : bool Smap.t;  (* name -> holds a reduced field element *)
+  refs : bool Smap.t;  (* name -> ref cell currently holding reduced *)
+  field_mods : Sset.t;  (* module names bound to a field structure *)
+}
+
+let env0 = {
+  vars = Smap.empty;
+  refs = Smap.empty;
+  field_mods = Sset.of_list [ "Modular"; "Log_field" ];
+}
+
+(* Operations of the field API whose result is reduced. *)
+let reducing_ops =
+  [ "add"; "sub"; "mul"; "neg"; "pow"; "inv"; "div"; "of_int"; "reduce" ]
+
+let reduced_consts = [ "one"; "zero" ]
+
+(* Raw integer operators that can carry a value out of [0, p). *)
+let raw_ops =
+  [ "+"; "-"; "*"; "/"; "mod"; "land"; "lor"; "lxor"; "lsl"; "lsr"; "asr";
+    "succ"; "pred"; "abs" ]
+
+let is_field_module env = function
+  | [ m ] | [ _; m ] -> Sset.mem m env.field_mods
+  | _ -> false
+
+let field_op_result env name =
+  match List.rev name with
+  | op :: (_ :: _ as rev_path) when List.mem op reducing_ops ->
+      is_field_module env (List.rev rev_path)
+  | _ -> false
+
+let field_const env name =
+  match List.rev name with
+  | c :: (_ :: _ as rev_path) when List.mem c reduced_consts ->
+      is_field_module env (List.rev rev_path)
+  | _ -> false
+
+let rec bind_pattern taint env (p : pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> { env with vars = Smap.add txt taint env.vars }
+  | Ppat_alias (inner, { txt; _ }) ->
+      bind_pattern taint { env with vars = Smap.add txt taint env.vars } inner
+  | Ppat_tuple ps | Ppat_array ps ->
+      List.fold_left (bind_pattern taint) env ps
+  | Ppat_construct (_, Some (_, inner)) | Ppat_variant (_, Some inner) ->
+      bind_pattern taint env inner
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun env (_, inner) -> bind_pattern taint env inner) env fields
+  | Ppat_constraint (inner, _) | Ppat_open (_, inner) | Ppat_lazy inner ->
+      bind_pattern taint env inner
+  | Ppat_or (a, b) -> bind_pattern taint (bind_pattern taint env a) b
+  | _ -> env
+
+(* [eval report env e] walks [e], reports raw-op-on-reduced violations,
+   and returns (is_reduced, env after side effects). *)
+let rec eval report env e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let name = strip_stdlib (flatten txt) in
+      match name with
+      | [ x ] -> (
+          match Smap.find_opt x env.vars with
+          | Some t -> (t, env)
+          | None -> (false, env))
+      | _ -> (field_const env name, env))
+  | Pexp_constant _ -> (false, env)
+  | Pexp_let (_, vbs, body) ->
+      (* route through [bind_value] so [let pw = ref F.one in ...]
+         registers a tracked ref cell, exactly as at structure level *)
+      let env' = List.fold_left (bind_value report) env vbs in
+      let t, _ = eval report env' body in
+      (t, env)
+  | Pexp_apply (f, args) -> eval_apply report env e f args
+  | Pexp_sequence (a, b) ->
+      let _, env = eval report env a in
+      eval report env b
+  | Pexp_ifthenelse (c, th, el) ->
+      let _, env = eval report env c in
+      let t1, _ = eval report env th in
+      let t2 =
+        match el with
+        | Some el -> let t, _ = eval report env el in t
+        | None -> false
+      in
+      (t1 || t2, env)
+  | Pexp_match (scrut, cases) ->
+      let ts, env = eval report env scrut in
+      (eval_cases report env ts cases, env)
+  | Pexp_try (body, cases) ->
+      let t, env = eval report env body in
+      (t || eval_cases report env false cases, env)
+  | Pexp_function (params, _, body) ->
+      let inner =
+        List.fold_left
+          (fun env p ->
+            match p.pparam_desc with
+            | Pparam_val (_, default, pat) ->
+                (match default with
+                | Some d -> ignore (eval report env d)
+                | None -> ());
+                bind_pattern false env pat
+            | Pparam_newtype _ -> env)
+          env params
+      in
+      (match body with
+      | Pfunction_body b -> ignore (eval report inner b)
+      | Pfunction_cases (cases, _, _) ->
+          ignore (eval_cases report inner false cases));
+      (false, env)
+  | Pexp_constraint (inner, _) | Pexp_coerce (inner, _, _) ->
+      eval report env inner
+  | Pexp_letmodule ({ txt = Some name; _ }, { pmod_desc = Pmod_unpack _; _ }, body)
+    ->
+      let env' = { env with field_mods = Sset.add name env.field_mods } in
+      let t, _ = eval report env' body in
+      (t, env)
+  | Pexp_letmodule (_, me, body) ->
+      walk_module report env me;
+      eval report env body
+  | Pexp_open (od, body) ->
+      walk_module report env od.popen_expr;
+      eval report env body
+  | Pexp_tuple es | Pexp_array es ->
+      let env =
+        List.fold_left (fun env e -> snd (eval report env e)) env es
+      in
+      (false, env)
+  | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+      let env =
+        match arg with Some a -> snd (eval report env a) | None -> env
+      in
+      (false, env)
+  | Pexp_record (fields, base) ->
+      let env =
+        match base with Some b -> snd (eval report env b) | None -> env
+      in
+      let env =
+        List.fold_left (fun env (_, e) -> snd (eval report env e)) env fields
+      in
+      (false, env)
+  | Pexp_field (inner, _) ->
+      let _, env = eval report env inner in
+      (false, env)
+  | Pexp_setfield (lhs, _, rhs) ->
+      let _, env = eval report env lhs in
+      let _, env = eval report env rhs in
+      (false, env)
+  | Pexp_while (c, body) ->
+      let _, env = eval report env c in
+      let _, _ = eval report env body in
+      (false, env)
+  | Pexp_for ({ ppat_desc = Ppat_var { txt; _ }; _ }, lo, hi, _, body) ->
+      let _, env = eval report env lo in
+      let _, env = eval report env hi in
+      let inner = { env with vars = Smap.add txt false env.vars } in
+      ignore (eval report inner body);
+      (false, env)
+  | Pexp_for (_, lo, hi, _, body) ->
+      let _, env = eval report env lo in
+      let _, env = eval report env hi in
+      ignore (eval report env body);
+      (false, env)
+  | Pexp_assert inner | Pexp_lazy inner ->
+      let _, env = eval report env inner in
+      (false, env)
+  | _ -> (false, env)
+
+and eval_cases report env scrut_taint cases =
+  List.fold_left
+    (fun any case ->
+      let inner = bind_pattern scrut_taint env case.pc_lhs in
+      (match case.pc_guard with
+      | Some g -> ignore (eval report inner g)
+      | None -> ());
+      let t, _ = eval report inner case.pc_rhs in
+      any || t)
+    false cases
+
+and eval_apply report env whole f args =
+  match f.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+      let name = strip_stdlib (flatten txt) in
+      match name with
+      | [ "!" ] -> (
+          match args with
+          | [ (_, { pexp_desc = Pexp_ident { txt = Lident r; _ }; _ }) ] ->
+              ((match Smap.find_opt r env.refs with
+               | Some t -> t
+               | None -> false),
+               env)
+          | _ ->
+              let env = eval_args report env args in
+              (false, env))
+      | [ ":=" ] -> (
+          match args with
+          | [ ((_, { pexp_desc = Pexp_ident { txt = Lident r; _ }; _ }));
+              (_, rhs) ] ->
+              let t, env = eval report env rhs in
+              (false, { env with refs = Smap.add r t env.refs })
+          | _ ->
+              let env = eval_args report env args in
+              (false, env))
+      | [ "ref" ] -> (
+          (* [ref e] as an expression: remember nothing here — the
+             binding form in Pexp_let records it via [bind_ref]. *)
+          match args with
+          | [ (_, init) ] -> eval report env init
+          | _ -> (false, eval_args report env args))
+      | [ "|>" ] -> (
+          match args with
+          | [ (_, arg); (_, fn) ] -> eval_pipe report env ~fn ~arg
+          | _ -> (false, eval_args report env args))
+      | [ "@@" ] -> (
+          match args with
+          | [ (_, fn); (_, arg) ] -> eval_pipe report env ~fn ~arg
+          | _ -> (false, eval_args report env args))
+      | [ op ] when List.mem op raw_ops ->
+          let env =
+            List.fold_left
+              (fun env (_, a) ->
+                let t, env = eval report env a in
+                if t then
+                  report a.pexp_loc
+                    (Printf.sprintf
+                       "raw (%s) on a reduced field element; the result may \
+                        leave [0, p) — keep the value inside the Modular API \
+                        or reduce it explicitly"
+                       op);
+                env)
+              env args
+          in
+          (false, env)
+      | _ ->
+          let env = eval_args report env args in
+          (field_op_result env name, env))
+  | _ ->
+      let _, env = eval report env f in
+      let env = eval_args report env args in
+      ignore whole;
+      (false, env)
+
+and eval_pipe report env ~fn ~arg =
+  let _, env = eval report env arg in
+  match fn.pexp_desc with
+  | Pexp_ident { txt; _ } ->
+      (field_op_result env (strip_stdlib (flatten txt)), env)
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, inner_args) ->
+      let env = eval_args report env inner_args in
+      (field_op_result env (strip_stdlib (flatten txt)), env)
+  | _ ->
+      let _, env = eval report env fn in
+      (false, env)
+
+and eval_args report env args =
+  List.fold_left (fun env (_, a) -> snd (eval report env a)) env args
+
+and walk_module report env me =
+  match me.pmod_desc with
+  | Pmod_structure str -> check_provenance_structure report env str
+  | Pmod_functor (_, body) -> walk_module report env body
+  | Pmod_constraint (inner, _) -> walk_module report env inner
+  | Pmod_apply (a, b) ->
+      walk_module report env a;
+      walk_module report env b
+  | Pmod_apply_unit inner -> walk_module report env inner
+  | Pmod_unpack e -> ignore (eval report env e)
+  | Pmod_ident _ | Pmod_extension _ -> ()
+
+(* [let pw = ref F.one] introduces a tracked ref cell; other bindings
+   track the value's own taint. *)
+and bind_value report env vb =
+  match vb.pvb_expr.pexp_desc with
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident "ref"; _ }; _ },
+        [ (_, init) ] ) -> (
+      let t, env = eval report env init in
+      match vb.pvb_pat.ppat_desc with
+      | Ppat_var { txt; _ } -> { env with refs = Smap.add txt t env.refs }
+      | _ -> env)
+  | _ ->
+      let t, env = eval report env vb.pvb_expr in
+      bind_pattern t env vb.pvb_pat
+
+and check_provenance_structure report env str =
+  let env =
+    List.fold_left
+      (fun env (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) -> List.fold_left (bind_value report) env vbs
+        | Pstr_eval (e, _) -> snd (eval report env e)
+        | Pstr_module { pmb_name = { txt = Some name; _ };
+                        pmb_expr = { pmod_desc = Pmod_unpack _; _ }; _ } ->
+            { env with field_mods = Sset.add name env.field_mods }
+        | Pstr_module { pmb_expr; _ } ->
+            walk_module report env pmb_expr;
+            env
+        | Pstr_recmodule mbs ->
+            List.iter (fun mb -> walk_module report env mb.pmb_expr) mbs;
+            env
+        | _ -> env)
+      env str
+  in
+  ignore env
+
+let check_provenance ~report str =
+  check_provenance_structure report env0 str
+
+(* ------------------------------------------------------------------ *)
+(* Module-level mutable state                                          *)
+
+(* Constructors whose module-level use is always suspect. *)
+let stateful_ctor = function
+  | [ "ref" ] -> Some "ref"
+  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
+  | [ "Atomic"; "make" ] -> Some "Atomic.make"
+  | [ "Queue"; "create" ] -> Some "Queue.create"
+  | [ "Stack"; "create" ] -> Some "Stack.create"
+  | [ "Buffer"; "create" ] -> Some "Buffer.create"
+  | [ "Mutex"; "create" ] -> Some "Mutex.create"
+  | [ "Condition"; "create" ] -> Some "Condition.create"
+  | [ "Domain"; "DLS"; "new_key" ] -> Some "Domain.DLS.new_key"
+  | _ -> None
+
+(* lib/exec additionally bans raw buffers: a module-level
+   [Array.make]/[Bytes.create] is written by whichever domain gets
+   there first. Elsewhere those are precomputed-table idiom. *)
+let exec_extra_ctor = function
+  | [ "Bytes"; ("create" | "make") as f ] -> Some ("Bytes." ^ f)
+  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") as f ] ->
+      Some ("Array." ^ f)
+  | _ -> None
+
+let binding_names pat =
+  let acc = ref [] in
+  let rec go (p : pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) -> acc := txt :: !acc
+    | Ppat_tuple ps | Ppat_array ps -> List.iter go ps
+    | Ppat_construct (_, Some (_, inner)) | Ppat_variant (_, Some inner) ->
+        go inner
+    | Ppat_record (fields, _) -> List.iter (fun (_, inner) -> go inner) fields
+    | Ppat_constraint (inner, _) | Ppat_open (_, inner) | Ppat_lazy inner ->
+        go inner
+    | Ppat_or (a, b) -> go a; go b
+    | _ -> ()
+  in
+  go pat;
+  !acc
+
+(* Walks only the module-initialisation-time part of each top-level
+   binding — descent stops at function boundaries, where allocation
+   becomes per-call. [report] receives (loc, what). *)
+let check_module_state ~exec ~blessed ~report str =
+  let ctor name =
+    match stateful_ctor name with
+    | Some _ as s -> s
+    | None -> if exec then exec_extra_ctor name else None
+  in
+  let scan_binding vb =
+    if not (List.exists (fun n -> List.mem n blessed) (binding_names vb.pvb_pat))
+    then begin
+      let iter =
+        object (self)
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            match e.pexp_desc with
+            | Pexp_function _ -> ()
+            | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+                (match ctor (strip_stdlib (flatten txt)) with
+                | Some what -> report loc what
+                | None -> ());
+                List.iter (fun (_, a) -> self#expression a) args
+            | _ -> super#expression e
+        end
+      in
+      iter#expression vb.pvb_expr
+    end
+  in
+  let rec scan_structure str =
+    List.iter
+      (fun (item : structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, bindings) -> List.iter scan_binding bindings
+        | Pstr_module { pmb_expr; _ } -> scan_module pmb_expr
+        | Pstr_recmodule mbs -> List.iter (fun mb -> scan_module mb.pmb_expr) mbs
+        | _ -> ())
+      str
+  and scan_module me =
+    match me.pmod_desc with
+    | Pmod_structure str -> scan_structure str
+    | Pmod_functor (_, body) -> scan_module body
+    | Pmod_constraint (inner, _) -> scan_module inner
+    | _ -> ()
+  in
+  scan_structure str

@@ -39,16 +39,23 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let print_json violations =
-  print_string "[";
+(* The machine-readable report is a "sidecar-lint-1" document, the lint
+   sibling of bench's "sidecar-bench-1": a schema tag plus enough
+   metadata that tools/benchcheck can validate a report without knowing
+   the rule set. CI archives it as an artifact. *)
+let print_json ~files_checked violations =
+  Printf.printf "{\n  \"schema\": \"sidecar-lint-1\",\n";
+  Printf.printf "  \"files_checked\": %d,\n" files_checked;
+  Printf.printf "  \"violation_count\": %d,\n" (List.length violations);
+  print_string "  \"violations\": [";
   List.iteri
     (fun i v ->
       if i > 0 then print_string ",";
       Printf.printf
-        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+        "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
          \"message\": \"%s\"}"
         (json_escape v.file) v.line v.col (json_escape v.rule)
         (json_escape v.message))
     violations;
-  if violations <> [] then print_newline ();
-  print_string "]\n"
+  if violations <> [] then print_string "\n  ";
+  print_string "]\n}\n"

@@ -1,15 +1,29 @@
-(* The sidelint rule families, implemented as a single AST walk.
+(* The sidelint rule families, implemented as a single AST walk plus
+   the flow-sensitive Sidespec passes (Dataflow, Contracts).
 
    Scoping is decided from the file's path segments, so the same rules
    apply to fixture trees used by the self-tests:
-     - a path containing a "lib" segment is library code;
-     - "lib" followed by a "core" segment is quACK core code;
-     - everything else (bin/, bench/) only gets the partial-function
-       checks.
+     - a path containing a "lib" segment is library code, whether that
+       path is "lib/core/psum.ml" from the repo root or
+       "fixtures/lib/core/bad_field.ml" inside test/lint — fixture
+       trees self-test with the exact production scoping;
+     - "lib" followed by a "core" segment is quACK core code, "exec"
+       the deterministic work pool, "field" the Modular implementation;
+     - everything else (bin/, bench/, tools/, test/ support code) only
+       gets the path-neutral checks (parse + partial accessors).
+   The walker in sidelint.ml skips directories *named* "fixtures" while
+   recursing, so `dune build @lint` can cover test/ without tripping on
+   the seeded trees; the self-test reaches them by passing
+   "fixtures/lib" as an explicit root.
 
-   Suppression: a violation is dropped when the offending line, or the
-   line directly above it, contains the marker "sidelint: allow"
+   Suppression: a violation is dropped when the offending line, the
+   line directly above it, or any line of the comment block ending
+   directly above it contains the marker "sidelint: allow"
    (conventionally written as an OCaml comment with a justification). *)
+
+(* Bound before [open Ppxlib]: ppxlib also exports a (deprecated)
+   [Dataflow] module that would otherwise shadow ours. *)
+module Flow = Dataflow
 
 open Ppxlib
 
@@ -20,6 +34,7 @@ type ctx = {
   in_lib : bool;
   in_core : bool;
   in_exec : bool;  (* lib/exec: the deterministic work pool *)
+  in_field : bool;  (* lib/field: implements the reduced arithmetic *)
   determinism_exempt : bool;  (* the blessed randomness/clock modules *)
   field_scoped : bool;  (* lib/core module importing the Field/Modular API *)
   strict : bool;  (* also flag additive ops and applied polymorphic = *)
@@ -56,11 +71,13 @@ let make_ctx ~path ~source ~strict =
   in
   let in_core = lib_scope "core" in
   let in_exec = lib_scope "exec" in
+  let in_field = lib_scope "field" in
   {
     path;
     in_lib;
     in_core;
     in_exec;
+    in_field;
     determinism_exempt =
       List.exists (has_suffix_path path) determinism_allowlist;
     field_scoped = in_core && contains_substring source "Modular";
@@ -69,24 +86,44 @@ let make_ctx ~path ~source ~strict =
     violations = [];
   }
 
+let count_occurrences line needle =
+  let nl = String.length line and nn = String.length needle in
+  let rec go i acc =
+    if i + nn > nl then acc
+    else if String.sub line i nn = needle then go (i + nn) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
 let line_allows ctx l =
   let n = Array.length ctx.source_lines in
   let line i = if i >= 1 && i <= n then ctx.source_lines.(i - 1) else "" in
   let has i = contains_substring (line i) allow_marker in
-  (* Same line, the line above, or anywhere in a comment block that ends
-     on the line above (a multi-line "(* sidelint: allow — ... *)"). *)
+  (* Same line, the line above, or any line of the comment block that
+     ends directly above the violation. The block is delimited by
+     comment nesting, not a fixed upward scan: walking up from [l-1],
+     each "*)" still to resolve raises the depth and each "(*" lowers
+     it, so a marker survives nested "(* ... *)" inside the
+     justification and blocks of any length (bounded at 200 lines). *)
   has l || has (l - 1)
   || (let ends_comment i =
         let t = String.trim (line i) in
         String.length t >= 2 && String.sub t (String.length t - 2) 2 = "*)"
       in
-      let starts_comment i = contains_substring (line i) "(*" in
       ends_comment (l - 1)
-      && (let rec scan i depth =
-            depth <= 12 && i >= 1
-            && (has i || ((not (starts_comment i)) && scan (i - 1) (depth + 1)))
+      && (let rec scan i depth found =
+            if i < 1 || l - i > 200 then false
+            else
+              let found = found || has i in
+              let depth =
+                depth
+                + count_occurrences (line i) "*)"
+                - count_occurrences (line i) "(*"
+              in
+              if depth <= 0 then found (* the block opens on this line *)
+              else scan (i - 1) depth found
           in
-          scan (l - 1) 0))
+          scan (l - 1) 0 false))
 
 let report ctx (loc : Location.t) rule message =
   let line = loc.loc_start.pos_lnum in
@@ -147,59 +184,45 @@ let effectful_ident = function
       Some "library code must not capture the console; take a formatter argument"
   | _ -> None
 
-(* Mutable-state constructors that must not run at module-initialisation
-   time in lib/exec: a binding like [let seen = Hashtbl.create 16] is
-   shared by every worker domain and silently breaks the jobs-invariance
-   contract. (Inside a function body the same calls are fine — that
-   state is per pool or per task.) *)
-let shared_state_ctor = function
-  | [ "ref" ] -> Some "ref"
-  | [ "Hashtbl"; "create" ] -> Some "Hashtbl.create"
-  | [ "Atomic"; "make" ] -> Some "Atomic.make"
-  | [ "Queue"; "create" ] -> Some "Queue.create"
-  | [ "Stack"; "create" ] -> Some "Stack.create"
-  | [ "Buffer"; "create" ] -> Some "Buffer.create"
-  | [ "Bytes"; ("create" | "make") as f ] -> Some ("Bytes." ^ f)
-  | [ "Array"; ("make" | "init" | "create_float" | "make_matrix") as f ] ->
-      Some ("Array." ^ f)
-  | [ "Mutex"; "create" ] -> Some "Mutex.create"
-  | [ "Condition"; "create" ] -> Some "Condition.create"
-  | [ "Domain"; "DLS"; "new_key" ] -> Some "Domain.DLS.new_key"
-  | _ -> None
-
 (* ------------------------------------------------------------------ *)
-(* lib/exec isolation: no module-level mutable state                   *)
+(* Sidespec passes: contracts, state escape, field provenance          *)
 
-(* Walks only the module-initialisation-time part of each top-level
-   binding — descent stops at function boundaries, where allocation
-   becomes per-call. *)
-let check_exec_module_state ctx str =
-  let iter =
-    object (self)
-      inherit Ast_traverse.iter as super
-
-      method! expression e =
-        match e.pexp_desc with
-        | Pexp_function _ -> ()
-        | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
-            (match shared_state_ctor (strip_stdlib (flatten txt)) with
-            | Some what ->
-                report ctx loc "exec-isolation"
-                  (what
-                 ^ " at module level in lib/exec is shared across worker \
-                    domains; allocate it per pool or per task (ctx)")
-            | None -> ());
-            List.iter (fun (_, a) -> self#expression a) args
-        | _ -> super#expression e
-    end
-  in
-  List.iter
-    (fun (item : structure_item) ->
-      match item.pstr_desc with
-      | Pstr_value (_, bindings) ->
-          List.iter (fun vb -> iter#expression vb.pvb_expr) bindings
-      | _ -> ())
-    str
+let check_sidespec ctx str =
+  let contracts = Contracts.of_structure str in
+  (* Contract declarations are validated everywhere they appear, and
+     each must carry its Invariant.check runtime twin. *)
+  Contracts.check
+    ~report:(fun loc msg -> report ctx loc "sidespec" msg)
+    contracts str;
+  (* Module-level mutable state: lib/exec keeps the strict
+     domain-sharing rule; the rest of lib/ gets the escape analysis
+     (hidden global state breaks replay and isolation), with
+     [@@@sidespec "state <binding>: why"] as the principled bless. *)
+  if ctx.in_exec then
+    Flow.check_module_state ~exec:true ~blessed:contracts.Contracts.blessed
+      ~report:(fun loc what ->
+        report ctx loc "exec-isolation"
+          (what
+         ^ " at module level in lib/exec is shared across worker domains; \
+            allocate it per pool or per task (ctx)"))
+      str
+  else if ctx.in_lib then
+    Flow.check_module_state ~exec:false ~blessed:contracts.Contracts.blessed
+      ~report:(fun loc what ->
+        report ctx loc "state-escape"
+          (what
+         ^ " at module level is hidden global state: it escapes the value \
+            graph and survives across runs, breaking replay and isolation; \
+            thread it through a record, or bless a deliberate global with \
+            [@@@sidespec \"state <binding>: why\"]"))
+      str;
+  (* Field-element provenance: every value that left the Modular API
+     reduced must stay inside it. lib/field implements the API and is
+     audited line by line, so the pass covers everything else in lib. *)
+  if ctx.in_lib && not ctx.in_field then
+    Flow.check_provenance
+      ~report:(fun loc msg -> report ctx loc "field-provenance" msg)
+      str
 
 (* ------------------------------------------------------------------ *)
 (* The walk                                                            *)
@@ -207,7 +230,7 @@ let check_exec_module_state ctx str =
 let loc_key (loc : Location.t) = (loc.loc_start.pos_cnum, loc.loc_end.pos_cnum)
 
 let check_structure ctx str =
-  if ctx.in_exec then check_exec_module_state ctx str;
+  check_sidespec ctx str;
   (* Identifier occurrences that are the head of an application; used to
      distinguish [compare a b] (fine) from [compare] passed as a value
      (polymorphic comparison smuggled into a sort or a Hashtbl). *)

@@ -1,21 +1,37 @@
 (* sidelint — repo-specific static analysis for the sidecar reproduction.
 
-   Walks every .ml file under the given paths (default: lib bin bench)
-   and enforces the invariants the compiler cannot:
+   Walks every .ml file under the given paths (default: lib bin bench
+   examples tools test) and enforces the invariants the compiler
+   cannot:
 
-     determinism     no ambient randomness or wall-clock reads in lib/
-                     (lib/netsim/rng.ml and sim_time.ml are the blessed
-                     wrappers)
-     field-safety    lib/core modules importing the Modular/Field API
-                     must not use raw ( * )/(mod), physical equality, or
-                     polymorphic compare-as-a-value
-     totality        no List.hd / List.nth / Option.get anywhere linted;
-                     no failwith / assert false in lib/
-     effect-hygiene  no console output from lib/; stats flow through
-                     Netsim.Stats / Netsim.Trace
+     determinism       no ambient randomness or wall-clock reads in lib/
+                       (lib/netsim/rng.ml and sim_time.ml are the
+                       blessed wrappers)
+     field-safety      lib/core modules importing the Modular/Field API
+                       must not use raw ( * )/(mod), physical equality,
+                       or polymorphic compare-as-a-value
+     field-provenance  flow-sensitive: a value produced by the field API
+                       (reduced, in [0, p)) must not meet a raw integer
+                       operator anywhere in lib/ outside lib/field
+     sidespec          [@@@sidespec "id: ..."] refinement contracts must
+                       be well-formed, unique, and paired with an
+                       Invariant.check runtime twin in the same module
+     state-escape      no module-level mutable state in lib/ (the
+                       stricter exec-isolation variant guards lib/exec);
+                       bless deliberate globals with
+                       [@@@sidespec "state <binding>: why"]
+     totality          no List.hd / List.nth / Option.get anywhere
+                       linted; no failwith / assert false in lib/
+     effect-hygiene    no console output from lib/; stats flow through
+                       Obs.Metrics / Obs.Trace
+
+   Directories named "fixtures" are skipped while recursing (the
+   test/lint seeded trees would otherwise fail @lint); passing one as
+   an explicit root still lints it, which is how the self-test runs.
 
    Escape hatch: put "(* sidelint: allow — why *)" on the offending
-   line or the line above it.
+   line, the line above it, or any line of the comment block ending
+   directly above it.
 
    Exit status: 0 when clean, 1 when violations were found, 2 on usage
    or I/O errors. *)
@@ -23,7 +39,7 @@
 let usage () =
   prerr_endline
     "usage: sidelint [--format text|json] [--strict] [path ...]\n\
-     \  default paths: lib bin bench\n\
+     \  default paths: lib bin bench examples tools test\n\
      \  --strict additionally flags raw (+) and applied polymorphic =/<> in\n\
      \  field-bearing modules";
   exit 2
@@ -34,13 +50,17 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+(* Skips "fixtures" while recursing: those trees hold deliberately
+   seeded violations for the self-tests. An explicitly given root is
+   walked unconditionally, so `sidelint fixtures/lib` still works. *)
 let rec walk path acc =
   if Sys.file_exists path && Sys.is_directory path then
     let entries = Sys.readdir path in
     Array.sort String.compare entries;
     Array.fold_left
       (fun acc name ->
-        if name = "" || name.[0] = '.' || name = "_build" then acc
+        if name = "" || name.[0] = '.' || name = "_build" || name = "fixtures"
+        then acc
         else walk (Filename.concat path name) acc)
       acc entries
   else if Filename.check_suffix path ".ml" then path :: acc
@@ -60,7 +80,11 @@ let () =
     | path :: rest -> paths := path :: !paths; parse_args rest
   in
   parse_args (List.tl (Array.to_list Sys.argv));
-  let roots = match List.rev !paths with [] -> [ "lib"; "bin"; "bench" ] | l -> l in
+  let roots =
+    match List.rev !paths with
+    | [] -> [ "lib"; "bin"; "bench"; "examples"; "tools"; "test" ]
+    | l -> l
+  in
   List.iter
     (fun r ->
       if not (Sys.file_exists r) then (
@@ -77,7 +101,7 @@ let () =
   in
   let violations = List.sort Report.compare_violation violations in
   (match !format with
-  | `Json -> Report.print_json violations
+  | `Json -> Report.print_json ~files_checked:(List.length files) violations
   | `Text ->
       List.iter Report.print_text violations;
       Printf.printf "sidelint: %d file%s checked, %d violation%s\n"
