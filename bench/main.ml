@@ -5,8 +5,9 @@
 
    Usage: dune exec bench/main.exe [-- [--jobs N] section ...]
    Sections: table2 table3 fig5 fig6 freq proto_cc proto_ar proto_rx
-             cc_compare fairness sweep short_flows runtime ablation
-             extensions (default: all of them, in that order).
+             cc_compare fairness sweep short_flows runtime
+             runtime_datapath runtime_field ablation extensions
+             (default: all of them, in that order).
    --jobs N fans the grid sweeps (table2/fig5/fig6/sweep/short_flows/
    cc_compare/runtime points, fairness trials) over N domains via
    lib/exec; default Exec.recommended_jobs () (the SIDECAR_JOBS env
@@ -647,10 +648,23 @@ let runtime pool =
   let reports =
     Exec.Pool.map pool
       ~f:(fun _ctx point ->
-        match point with
-        | `Flows flows -> run ~flows ~table:64 ()
-        | `Table table -> run ~flows:flows_cap ~table ()
-        | `Proto (_, protocol) -> run ~protocol ~flows:flows_cap ~table:24 ())
+        let m0 = Gc.minor_words () in
+        let r =
+          match point with
+          | `Flows flows -> run ~flows ~table:64 ()
+          | `Table table -> run ~flows:flows_cap ~table ()
+          | `Proto (_, protocol) -> run ~protocol ~flows:flows_cap ~table:24 ()
+        in
+        let m1 = Gc.minor_words () in
+        (* whole-run allocation amortised over tracked data packets;
+           zeroed in deterministic mode (per-domain lazy initialisers
+           would make it depend on task-to-domain assignment) *)
+        let pkts = r.Scenario.proxy.Sidecar_runtime.Proxy.data_packets in
+        let alloc =
+          if deterministic || pkts = 0 then 0.
+          else (m1 -. m0) /. float_of_int pkts
+        in
+        (r, alloc))
       points
   in
   let grid = List.combine points reports in
@@ -658,9 +672,11 @@ let runtime pool =
   let rows = ref [] in
   List.iter
     (fun flows ->
-      let r = List.assoc (`Flows flows) grid in
+      let r, alloc = List.assoc (`Flows flows) grid in
       Printf.printf "  flows %4d:\n" flows;
       row r;
+      Printf.printf "         alloc %8.1f words/pkt (whole run / tracked pkts)\n"
+        alloc;
       add_row runtime_rows ~section:"runtime_flows"
         [
           ("flows", Obs.Json.Int flows);
@@ -669,6 +685,7 @@ let runtime pool =
           ("fct_p95_s", Obs.Json.Float r.Scenario.fct_p95);
           ("fct_p99_s", Obs.Json.Float r.Scenario.fct_p99);
           ("proxy_us_per_pkt", Obs.Json.Float (us_per_pkt r));
+          ("alloc_words_per_pkt", Obs.Json.Float alloc);
         ];
       rows :=
         [
@@ -678,11 +695,14 @@ let runtime pool =
           Printf.sprintf "%.4f" r.Scenario.fct_p95;
           Printf.sprintf "%.4f" r.Scenario.fct_p99;
           Printf.sprintf "%.3f" (us_per_pkt r);
+          Printf.sprintf "%.1f" alloc;
         ]
         :: !rows)
     counts;
   csv_file "runtime_fct_vs_flows"
-    ~header:[ "flows"; "completed"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s"; "proxy_us_per_pkt" ]
+    ~header:
+      [ "flows"; "completed"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s";
+        "proxy_us_per_pkt"; "alloc_words_per_pkt" ]
     !rows;
   section "Runtime: graceful degradation vs table size (fixed flow count)";
   Printf.printf
@@ -692,7 +712,7 @@ let runtime pool =
   let rows = ref [] in
   List.iter
     (fun table ->
-      let r = List.assoc (`Table table) grid in
+      let r, _ = List.assoc (`Table table) grid in
       Printf.printf "  table %4d:\n" table;
       row r;
       add_row runtime_rows ~section:"runtime_table"
@@ -729,7 +749,7 @@ let runtime pool =
   let rows = ref [] in
   List.iter
     (fun (name, protocol) ->
-      let r = List.assoc (`Proto (name, protocol)) grid in
+      let r, _ = List.assoc (`Proto (name, protocol)) grid in
       Printf.printf "  %-5s:\n" name;
       row r;
       Printf.printf
@@ -813,6 +833,169 @@ let runtime pool =
         ("speedup", Obs.Json.Float speedup);
       ]
   end
+
+(* ------------------------------------------------------------------ *)
+(* Wire datapath: the boxed reference path vs the flat slab fastpath  *)
+
+(* Time [Wd.drive] over [pkts]-packet windows and keep the fastest —
+   on a shared machine the fastest window is the least-contended one,
+   and both arms get the same protocol. Sampling continues past
+   [reps] (to a hard cap) until the two fastest windows agree within
+   3%, so one quiet window can never masquerade as the machine's
+   speed. Returns (us/pkt, pkts/s, minor words/pkt, final stats); the
+   wall-clock numbers are zero in deterministic mode. *)
+let wd_measure ~reps ~pkts ~datapath cfg =
+  let module Wd = Sidecar_runtime.Wire_datapath in
+  let t = Wd.create ~datapath cfg in
+  Wd.drive t ~packets:100_000 (* warm the pools, table and sketches *);
+  let m0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  Wd.drive t ~packets:pkts;
+  let el0 = Unix.gettimeofday () -. t0 in
+  let m1 = Gc.minor_words () in
+  let best = ref el0 and second = ref infinity in
+  let n = ref 1 in
+  let converged () =
+    !n >= reps && !second <= !best *. 1.03
+  in
+  while (not deterministic) && !n < 4 * reps && not (converged ()) do
+    let t0 = Unix.gettimeofday () in
+    Wd.drive t ~packets:pkts;
+    let el = Unix.gettimeofday () -. t0 in
+    if el < !best then begin
+      second := !best;
+      best := el
+    end
+    else if el < !second then second := el;
+    incr n
+  done;
+  let alloc = (m1 -. m0) /. float_of_int pkts in
+  let us, pps =
+    if deterministic then (0., 0.)
+    else (!best *. 1e6 /. float_of_int pkts, float_of_int pkts /. !best)
+  in
+  (us, pps, alloc, Wd.stats t)
+
+(* The differential check runs separately from the timing runs: the
+   adaptive sampler above may drive the two arms through different
+   packet totals, and checksums only compare at equal totals. The
+   fixed count also keeps the recorded checksums identical across
+   deterministic and wall-clock modes. *)
+let wd_checksum ~datapath cfg =
+  let module Wd = Sidecar_runtime.Wire_datapath in
+  let t = Wd.create ~datapath cfg in
+  Wd.drive t ~packets:250_000;
+  Wd.stats t
+
+let runtime_datapath _pool =
+  let module Wd = Sidecar_runtime.Wire_datapath in
+  section "Runtime: wire datapath (boxed reference vs flat slab fastpath)";
+  Printf.printf
+    "  identical pre-sealed wires driven through both per-packet paths\n\
+    \  (flow lookup, identifier extraction, sketch insert, quACK\n\
+    \  snapshots); equal checksums are the differential evidence that\n\
+    \  the zero-allocation path did exactly the reference's work\n";
+  let reps = if deterministic then 1 else 9 in
+  let pkts = if deterministic then 200_000 else 500_000 in
+  let rows = ref [] in
+  List.iter
+    (fun flows ->
+      let cfg = { Wd.default_config with Wd.flows; table_flows = flows } in
+      let r_us, r_pps, r_alloc, _ = wd_measure ~reps ~pkts ~datapath:`Ref cfg in
+      let f_us, f_pps, f_alloc, _ = wd_measure ~reps ~pkts ~datapath:`Flat cfg in
+      let r_st = wd_checksum ~datapath:`Ref cfg in
+      let f_st = wd_checksum ~datapath:`Flat cfg in
+      if r_st.Wd.checksum <> f_st.Wd.checksum then begin
+        Printf.eprintf
+          "bench: datapath checksums diverge at %d flows (ref %x, flat %x)\n"
+          flows r_st.Wd.checksum f_st.Wd.checksum;
+        exit 1
+      end;
+      let speedup = if f_us > 0. then r_us /. f_us else 0. in
+      let print name us pps alloc (st : Wd.stats) =
+        Printf.printf
+          "  %-4s flows %3d: %8.1f kpkts/s  %6.3f us/pkt  alloc %6.1f w/pkt  quacks %6d\n"
+          name flows (pps /. 1e3) us alloc st.Wd.quacks
+      in
+      print "ref" r_us r_pps r_alloc r_st;
+      print "flat" f_us f_pps f_alloc f_st;
+      if not deterministic then
+        Printf.printf "       flat is %.1fx faster (checksums agree)\n" speedup;
+      let mk name us pps alloc (st : Wd.stats) extra =
+        add_row runtime_rows ~section:"runtime_datapath"
+          ([
+             ("flows", Obs.Json.Int flows);
+             ("datapath", Obs.Json.String name);
+             ("pkts_per_sec", Obs.Json.Float pps);
+             ("proxy_us_per_pkt", Obs.Json.Float us);
+             ("alloc_words_per_pkt", Obs.Json.Float alloc);
+             ("quacks", Obs.Json.Int st.Wd.quacks);
+             ("checksum", Obs.Json.Int st.Wd.checksum);
+           ]
+          @ extra)
+      in
+      mk "ref" r_us r_pps r_alloc r_st [];
+      mk "flat" f_us f_pps f_alloc f_st
+        [ ("speedup_vs_ref", Obs.Json.Float speedup) ];
+      rows :=
+        [
+          string_of_int flows;
+          Printf.sprintf "%.3f" r_us;
+          Printf.sprintf "%.3f" f_us;
+          Printf.sprintf "%.1f" r_alloc;
+          Printf.sprintf "%.1f" f_alloc;
+          Printf.sprintf "%.1f" speedup;
+        ]
+        :: !rows)
+    [ 50; 100; 200 ];
+  csv_file "runtime_datapath"
+    ~header:
+      [ "flows"; "ref_us_per_pkt"; "flat_us_per_pkt"; "ref_alloc_words_per_pkt";
+        "flat_alloc_words_per_pkt"; "speedup" ]
+    !rows
+
+let runtime_field _pool =
+  let module Wd = Sidecar_runtime.Wire_datapath in
+  section "Runtime: sketch field backend (bits = 16, modular vs log tables)";
+  Printf.printf
+    "  the same flat datapath with the prime field's native multiply\n\
+    \  vs the table-backed log/antilog multiply; identical checksums\n\
+    \  because both compute the same residues\n";
+  let reps = if deterministic then 1 else 9 in
+  let pkts = if deterministic then 150_000 else 500_000 in
+  let run field =
+    let cfg =
+      {
+        Wd.default_config with
+        Wd.flows = 50;
+        table_flows = 50;
+        bits = 16;
+        field;
+      }
+    in
+    let us, pps, _, _ = wd_measure ~reps ~pkts ~datapath:`Flat cfg in
+    (us, pps, wd_checksum ~datapath:`Flat cfg)
+  in
+  let m_us, m_pps, m_st = run `Modular in
+  let l_us, l_pps, l_st = run `Log in
+  if m_st.Wd.checksum <> l_st.Wd.checksum then begin
+    Printf.eprintf "bench: field checksums diverge (modular %x, log %x)\n"
+      m_st.Wd.checksum l_st.Wd.checksum;
+    exit 1
+  end;
+  List.iter
+    (fun (name, us, pps, (st : Wd.stats)) ->
+      Printf.printf "  %-8s %8.1f kpkts/s  %6.3f us/pkt\n" name (pps /. 1e3) us;
+      add_row runtime_rows ~section:"runtime_field"
+        [
+          ("field", Obs.Json.String name);
+          ("datapath", Obs.Json.String "flat");
+          ("bits", Obs.Json.Int 16);
+          ("pkts_per_sec", Obs.Json.Float pps);
+          ("proxy_us_per_pkt", Obs.Json.Float us);
+          ("checksum", Obs.Json.Int st.Wd.checksum);
+        ])
+    [ ("modular", m_us, m_pps, m_st); ("log", l_us, l_pps, l_st) ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of design choices                                        *)
@@ -1067,6 +1250,8 @@ let sections =
     ("sweep", sweep);
     ("short_flows", short_flows);
     ("runtime", runtime);
+    ("runtime_datapath", runtime_datapath);
+    ("runtime_field", runtime_field);
     ("ablation", ablation);
     ("extensions", extensions);
   ]

@@ -348,8 +348,8 @@ let fairness_cmd =
 (* runtime: many flows through one bounded-table proxy                  *)
 
 let runtime_cmd =
-  let run protocol flows table eviction idle_ms seed far_loss per_flow json
-      trace replications jobs =
+  let run protocol flows table eviction idle_ms seed far_loss per_flow
+      datapath field bits json trace replications jobs =
     let jobs = check_jobs jobs in
     if replications < 1 then begin
       Format.eprintf "--replications must be at least 1@.";
@@ -373,6 +373,27 @@ let runtime_cmd =
           Format.eprintf "unknown protocol %S (expected cc|ack|retx)@." s;
           exit 2
     in
+    let datapath =
+      match datapath with
+      | "ref" -> `Ref
+      | "flat" -> `Flat
+      | s ->
+          Format.eprintf "unknown datapath %S (expected ref|flat)@." s;
+          exit 2
+    in
+    let field =
+      match field with
+      | "modular" -> `Modular
+      | "log" -> `Log
+      | s ->
+          Format.eprintf "unknown field backend %S (expected modular|log)@." s;
+          exit 2
+    in
+    let bits =
+      match bits with
+      | Some b -> b
+      | None -> Sidecar_runtime.Scenario.default_config.Sidecar_runtime.Scenario.bits
+    in
     let cfg run_seed =
       {
         Sidecar_runtime.Scenario.default_config with
@@ -380,6 +401,9 @@ let runtime_cmd =
         flows;
         table_flows = table;
         policy;
+        datapath;
+        field;
+        bits;
         seed = run_seed;
         far =
           Path.segment ~rate_bps:20_000_000 ~delay:(Time.ms 2)
@@ -474,12 +498,32 @@ let runtime_cmd =
              ~doc:"Independent replications with derived seeds (run via \
                    --jobs).")
   in
+  let datapath =
+    Arg.(value & opt string "ref"
+         & info [ "datapath" ] ~docv:"DP"
+             ~doc:"Proxy receiver datapath: ref (authoritative per-flow \
+                   Receiver_state) or flat (slab-backed flat-array fast \
+                   path; reports are byte-identical).")
+  in
+  let field =
+    Arg.(value & opt string "modular"
+         & info [ "field" ] ~docv:"F"
+             ~doc:"Sketch arithmetic: modular or log (precomputed \
+                   discrete-log tables; needs small --bits, e.g. 16).")
+  in
+  let bits =
+    Arg.(value & opt (some int) None
+         & info [ "bits" ] ~docv:"B"
+             ~doc:"Identifier width for the proxy sketches (default: the \
+                   planner's choice).")
+  in
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"Many flows through bounded-table sidecar proxy state.")
     Term.(const run $ protocol $ flows $ table $ eviction $ idle_ms $ seed
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
-          $ per_flow $ json_arg $ trace_arg $ replications $ jobs_arg)
+          $ per_flow $ datapath $ field $ bits $ json_arg $ trace_arg
+          $ replications $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 

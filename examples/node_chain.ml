@@ -108,6 +108,8 @@ let () =
         count_bits = None;
         quack_every;
         omit_count = false;
+        field = None;
+        datapath = Protocol.Ref;
       }
   in
   let rcfg =
@@ -122,6 +124,8 @@ let () =
       subpath_rtt = Time.ms 2;
       near_addr = "proxyA";
       far_addr = "proxyB";
+      field = None;
+      datapath = Protocol.Ref;
     }
   in
   ss :=

@@ -7,12 +7,13 @@ type t = {
   mutable since_emit : int;
 }
 
-let create ?(bits = 32) ?(count_bits = 16) ?(policy = Manual) ~threshold () =
+let create ?(bits = 32) ?field ?(count_bits = 16) ?(policy = Manual) ~threshold
+    () =
   (match policy with
   | Every_packets k when k <= 0 ->
       invalid_arg "Receiver_state.create: emit interval must be positive"
   | Manual | Every_packets _ -> ());
-  { psum = Psum.create ~bits ~threshold (); count_bits; policy; since_emit = 0 }
+  { psum = Psum.create ~bits ?field ~threshold (); count_bits; policy; since_emit = 0 }
 
 let emit t = Quack.of_psum ~count_bits:t.count_bits t.psum
 

@@ -11,9 +11,11 @@ type emit_policy =
   | Every_packets of int  (** emit automatically every [k] insertions *)
 
 val create :
-  ?bits:int -> ?count_bits:int -> ?policy:emit_policy -> threshold:int ->
-  unit -> t
-(** Defaults: [bits = 32], [count_bits = 16], [policy = Manual]. *)
+  ?bits:int -> ?field:(module Sidecar_field.Modular.S) -> ?count_bits:int ->
+  ?policy:emit_policy -> threshold:int -> unit -> t
+(** Defaults: [bits = 32], [count_bits = 16], [policy = Manual].
+    [field] substitutes arithmetic of the same width (e.g. the
+    {!Sidecar_field.Log_field} tables), as {!Psum.create}. *)
 
 val on_receive : t -> int -> Quack.t option
 (** Fold one identifier in; returns a quACK when the policy fires. *)

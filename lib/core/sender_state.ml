@@ -12,6 +12,7 @@ type config = {
   strikes_to_lose : int;
   strategy : Decoder.strategy;
   tail_in_flight : bool;
+  field : (module Modular.S) option;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     strikes_to_lose = 1;
     strategy = `Plug_in;
     tail_in_flight = true;
+    field = None;
   }
 
 type 'meta report = {
@@ -70,7 +72,7 @@ let create cfg =
     invalid_arg "Sender_state.create: strikes_to_lose must be >= 1";
   {
     cfg;
-    psum = Psum.create ~bits:cfg.bits ~threshold:cfg.threshold ();
+    psum = Psum.create ~bits:cfg.bits ?field:cfg.field ~threshold:cfg.threshold ();
     log = [];
     log_len = 0;
     last_receiver_count = 0;

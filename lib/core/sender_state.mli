@@ -35,6 +35,11 @@ type config = {
           rather than missing (§3.3). The right setting whenever
           quACKs race the newest transmissions (i.e. in any live
           deployment); turn off only in lock-step tests. *)
+  field : (module Sidecar_field.Modular.S) option;
+      (** substitute arithmetic of the same width (e.g.
+          {!Sidecar_field.Log_field} tables); [None] uses the preset
+          prime field for [bits]. Both ends of a segment must agree —
+          the decoder runs in the sender's field. *)
 }
 
 val default_config : config

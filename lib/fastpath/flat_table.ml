@@ -1,0 +1,305 @@
+module Time = Netsim.Sim_time
+module Invariant = Sidecar_quack.Invariant
+
+[@@@sidespec
+  "flattable-books: after every structural mutation the occupancy \
+   counter equals both the number of live index entries and the length \
+   of the recency chain, and never exceeds capacity"]
+
+type policy = Lru | Idle of Time.span
+
+type stats = {
+  mutable admitted : int;
+  mutable evicted_lru : int;
+  mutable evicted_idle : int;
+  mutable removed : int;
+  mutable denied : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+(* Entries live in parallel arrays indexed by a free-listed entry id;
+   the key index is open-addressed linear probing over [index]
+   (storing entry id + 1, 0 = empty) with backward-shift deletion, so
+   lookups stay O(1 + clustering) with no tombstone decay. [ipos]
+   inverts the index (entry id -> probe position) for O(1) deletion. *)
+type t = {
+  capacity : int;
+  policy : policy;
+  on_evict : int -> int -> unit;
+  on_remove : int -> int -> unit;
+  mask : int;  (* index size - 1; size is a power of two *)
+  index : int array;
+  ipos : int array;
+  keys : int array;
+  payload : int array;
+  prev : int array;  (* toward the head (more recent); -1 = none *)
+  next : int array;  (* toward the tail (less recent); -1 = none *)
+  last_touch : int array;  (* Time.t is int ns *)
+  free : int array;
+  mutable nfree : int;
+  mutable head : int;
+  mutable tail : int;
+  mutable occupancy : int;
+  mutable peak : int;
+  stats : stats;
+}
+
+let create ?(policy = Lru) ?(on_evict = fun _ _ -> ())
+    ?(on_remove = fun _ _ -> ()) ~capacity () =
+  if capacity < 0 then invalid_arg "Flat_table.create: negative capacity";
+  (match policy with
+  | Idle span when span <= 0 ->
+      invalid_arg "Flat_table.create: idle span must be positive"
+  | _ -> ());
+  let cap = max 1 capacity in
+  (* <= 25% load keeps linear-probe clusters short *)
+  let rec size m = if m >= 4 * cap then m else size (m * 2) in
+  let m = size 16 in
+  {
+    capacity;
+    policy;
+    on_evict;
+    on_remove;
+    mask = m - 1;
+    index = Array.make m 0;
+    ipos = Array.make cap (-1);
+    keys = Array.make cap (-1);
+    payload = Array.make cap (-1);
+    prev = Array.make cap (-1);
+    next = Array.make cap (-1);
+    last_touch = Array.make cap 0;
+    free = Array.init cap (fun i -> cap - 1 - i);
+    nfree = cap;
+    head = -1;
+    tail = -1;
+    occupancy = 0;
+    peak = 0;
+    stats =
+      {
+        admitted = 0;
+        evicted_lru = 0;
+        evicted_idle = 0;
+        removed = 0;
+        denied = 0;
+        hits = 0;
+        misses = 0;
+      };
+  }
+
+(* Deterministic avalanche (no Hashtbl.hash): odd multiplicative
+   constant then a xor-shift, masked to the table size. *)
+let[@inline] home t key =
+  let h = key * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 31)) land t.mask
+
+(* A mutable-local loop, not a recursive closure: this runs once per
+   packet and a local [let rec] would heap-allocate its closure. *)
+let find_entry t key =
+  let i = ref (home t key) and r = ref (-2) in
+  while !r = -2 do
+    let e1 = Array.unsafe_get t.index !i in
+    if e1 = 0 then r := -1
+    else begin
+      let e = e1 - 1 in
+      if Array.unsafe_get t.keys e = key then r := e
+      else i := (!i + 1) land t.mask
+    end
+  done;
+  !r
+
+let index_insert t key e =
+  let rec probe i =
+    if t.index.(i) = 0 then begin
+      t.index.(i) <- e + 1;
+      t.ipos.(e) <- i
+    end
+    else probe ((i + 1) land t.mask)
+  in
+  probe (home t key)
+
+(* Backward-shift deletion: walk the cluster after the vacated
+   position and pull back any entry whose home precedes the hole, so
+   every probe chain stays gapless (no tombstones). *)
+let index_delete t e =
+  let i0 = t.ipos.(e) in
+  t.ipos.(e) <- -1;
+  let rec go i j =
+    let j = (j + 1) land t.mask in
+    match t.index.(j) with
+    | 0 -> t.index.(i) <- 0
+    | f1 ->
+        let f = f1 - 1 in
+        let h = home t t.keys.(f) in
+        if (j - h) land t.mask >= (j - i) land t.mask then begin
+          t.index.(i) <- f1;
+          t.ipos.(f) <- i;
+          go j j
+        end
+        else go i j
+  in
+  go i0 i0
+
+let unlink t e =
+  let p = t.prev.(e) and n = t.next.(e) in
+  if p >= 0 then t.next.(p) <- n else t.head <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail <- p;
+  t.prev.(e) <- -1;
+  t.next.(e) <- -1
+
+let push_front t e =
+  t.prev.(e) <- -1;
+  t.next.(e) <- t.head;
+  if t.head >= 0 then t.prev.(t.head) <- e else t.tail <- e;
+  t.head <- e
+
+let touch t e ~now =
+  t.last_touch.(e) <- now;
+  (* already most-recent: the unlink/push round-trip would be six
+     array writes for a no-op, and packet trains hit this constantly *)
+  if t.head <> e then begin
+    unlink t e;
+    push_front t e
+  end
+
+let check_books t what =
+  if Invariant.active () then
+    Invariant.check ~name:("flattable-books: " ^ what) (fun () ->
+        let live = ref 0 in
+        Array.iter (fun e1 -> if e1 <> 0 then incr live) t.index;
+        let rec chain_len acc e =
+          if e < 0 then acc else chain_len (acc + 1) t.next.(e)
+        in
+        !live = t.occupancy
+        && chain_len 0 t.head = t.occupancy
+        && t.occupancy + t.nfree = max 1 t.capacity
+        && t.occupancy <= t.capacity)
+
+let detach t e =
+  unlink t e;
+  index_delete t e;
+  t.keys.(e) <- -1;
+  t.free.(t.nfree) <- e;
+  t.nfree <- t.nfree + 1;
+  t.occupancy <- t.occupancy - 1;
+  check_books t "detach"
+
+let drop t e =
+  let key = t.keys.(e) and payload = t.payload.(e) in
+  detach t e;
+  t.on_evict key payload
+
+let find_slot t ~now key =
+  let e = find_entry t key in
+  if e >= 0 then begin
+    t.stats.hits <- t.stats.hits + 1;
+    touch t e ~now;
+    Array.unsafe_get t.payload e
+  end
+  else begin
+    t.stats.misses <- t.stats.misses + 1;
+    -1
+  end
+
+let find t ~now key =
+  let s = find_slot t ~now key in
+  if s >= 0 then Some s else None
+
+let mem t key = find_entry t key >= 0
+
+let peek t key =
+  let e = find_entry t key in
+  if e >= 0 then Some t.payload.(e) else None
+
+let insert t ~now key payload =
+  t.nfree <- t.nfree - 1;
+  let e = t.free.(t.nfree) in
+  t.keys.(e) <- key;
+  t.payload.(e) <- payload;
+  t.last_touch.(e) <- now;
+  index_insert t key e;
+  push_front t e;
+  t.occupancy <- t.occupancy + 1;
+  if t.occupancy > t.peak then t.peak <- t.occupancy;
+  t.stats.admitted <- t.stats.admitted + 1;
+  check_books t "insert";
+  payload
+
+(* Make room for one admission, or say no — decision for decision the
+   same as Flow_table.make_room. *)
+let make_room t ~now =
+  if t.occupancy < t.capacity then true
+  else if t.tail < 0 then false (* capacity = 0 *)
+  else
+    match t.policy with
+    | Lru ->
+        t.stats.evicted_lru <- t.stats.evicted_lru + 1;
+        drop t t.tail;
+        true
+    | Idle span ->
+        if Time.diff now t.last_touch.(t.tail) >= span then begin
+          t.stats.evicted_idle <- t.stats.evicted_idle + 1;
+          drop t t.tail;
+          true
+        end
+        else false
+
+let admit_slot t ~now key make =
+  let e = find_entry t key in
+  if e >= 0 then begin
+    t.stats.hits <- t.stats.hits + 1;
+    touch t e ~now;
+    Array.unsafe_get t.payload e
+  end
+  else if make_room t ~now then insert t ~now key (make ())
+  else begin
+    t.stats.denied <- t.stats.denied + 1;
+    -1
+  end
+
+let admit t ~now key make =
+  let s = admit_slot t ~now key make in
+  if s >= 0 then Some s else None
+
+let remove t key =
+  let e = find_entry t key in
+  if e < 0 then false
+  else begin
+    t.stats.removed <- t.stats.removed + 1;
+    let k = t.keys.(e) and payload = t.payload.(e) in
+    detach t e;
+    t.on_remove k payload;
+    true
+  end
+
+let sweep_idle t ~now =
+  match t.policy with
+  | Lru -> 0
+  | Idle span ->
+      let evicted = ref 0 in
+      let rec loop () =
+        if t.tail >= 0 && Time.diff now t.last_touch.(t.tail) >= span then begin
+          t.stats.evicted_idle <- t.stats.evicted_idle + 1;
+          drop t t.tail;
+          incr evicted;
+          loop ()
+        end
+      in
+      loop ();
+      !evicted
+
+let occupancy t = t.occupancy
+let peak_occupancy t = t.peak
+let capacity t = t.capacity
+let stats t = t.stats
+
+let iter t f =
+  let rec loop e =
+    if e >= 0 then begin
+      (* capture [next] first so [f] may remove the current entry *)
+      let next = t.next.(e) in
+      f t.keys.(e) t.payload.(e);
+      loop next
+    end
+  in
+  loop t.head

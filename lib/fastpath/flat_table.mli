@@ -1,0 +1,66 @@
+(** The slab-backed flow store: {!Sidecar_runtime.Flow_table}
+    semantics (bounded, LRU/idle eviction, identical statistics) over
+    flat preallocated arrays, for the zero-allocation datapath.
+
+    Entries map an integer flow key to an integer payload — by
+    convention a {!Slab} slot id. The index is open-addressed linear
+    probing over an int array (no [Hashtbl] nodes) with a
+    deterministic multiplicative hash, and recency is an intrusive
+    doubly-linked list threaded through entry-indexed arrays, so
+    [find] / [admit] / eviction are O(1) with zero allocation when the
+    unboxed variants ({!find_slot}, {!admit_slot}) are used.
+
+    Behavioural parity with [Flow_table] — same admit/evict/deny
+    decisions, same stats counters, same deterministic recency
+    iteration order — is pinned by the differential
+    [Flow_table_spec] instantiation in [test/spec]. *)
+
+type policy = Lru | Idle of Netsim.Sim_time.span
+
+type stats = {
+  mutable admitted : int;
+  mutable evicted_lru : int;
+  mutable evicted_idle : int;
+  mutable removed : int;
+  mutable denied : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+type t
+
+val create :
+  ?policy:policy ->
+  ?on_evict:(int -> int -> unit) ->
+  ?on_remove:(int -> int -> unit) ->
+  capacity:int ->
+  unit ->
+  t
+(** As [Flow_table.create], with [int] payloads. Keys must be
+    non-negative (flow tags and {!Wire_path.flow_key} both are).
+    @raise Invalid_argument on a negative capacity or a non-positive
+    [Idle] span. *)
+
+val find : t -> now:Netsim.Sim_time.t -> int -> int option
+val admit : t -> now:Netsim.Sim_time.t -> int -> (unit -> int) -> int option
+
+val find_slot : t -> now:Netsim.Sim_time.t -> int -> int
+(** {!find} without the option box: the payload, or [-1] on a miss.
+    Stats and recency behave exactly as {!find}. *)
+
+val admit_slot : t -> now:Netsim.Sim_time.t -> int -> (unit -> int) -> int
+(** {!admit} without the option box: the payload, or [-1] when
+    denied. [make] runs only on actual admission and must return a
+    non-negative payload. *)
+
+val remove : t -> int -> bool
+val sweep_idle : t -> now:Netsim.Sim_time.t -> int
+val mem : t -> int -> bool
+val peek : t -> int -> int option
+val occupancy : t -> int
+val peak_occupancy : t -> int
+val capacity : t -> int
+val stats : t -> stats
+
+val iter : t -> (int -> int -> unit) -> unit
+(** Most- to least-recently-used order, as [Flow_table.iter]. *)

@@ -1,0 +1,74 @@
+(** Flat power-sum sketch: the zero-allocation twin of
+    {!Sidecar_quack.Psum} over a {!Slab} slot.
+
+    Semantics are identical — [sums.(i)] accumulates [x^(i+1)] mod p —
+    but inserts are batched: an identifier lands in the slot's pending
+    vector ([O(1)], no field multiplies) and the power sums are
+    brought up to date one batch at a time, in a single pass over the
+    sum vector with the running powers of every pending identifier
+    advanced together ([batch] independent multiply chains, so the
+    loop is instruction-parallel where the reference's single Horner
+    chain is latency-bound). Reads ({!sums}, {!to_quack}, {!count}
+    excepted) flush first, so observable state never lags.
+
+    A value of this type is just (slab, slot) — create one per flow at
+    admission and nothing further allocates on the packet path. *)
+
+type t
+
+val of_slot : Slab.t -> slot:int -> t
+(** View a slab slot as a sketch. The slot should be one handed out by
+    {!Slab.acquire}; views of freed slots must not be used (acquire
+    and release remain the caller's — the flow table's — job).
+    @raise Invalid_argument when [slot] is out of range. *)
+
+val create :
+  ?bits:int ->
+  ?field:(module Sidecar_field.Modular.S) ->
+  ?backend:Slab.backend ->
+  ?batch:int ->
+  threshold:int ->
+  unit ->
+  t
+(** Standalone sketch over a private single-slot slab — interface
+    parity with [Psum.create] for specs and tests. Arguments as
+    {!Slab.create}. *)
+
+val slab : t -> Slab.t
+val slot : t -> int
+val bits : t -> int
+val threshold : t -> int
+val modulus : t -> int
+
+val count : t -> int
+(** Inserts minus removes, full precision, pending included. *)
+
+val insert : t -> int -> unit
+(** Queue one identifier (reduced into the field first); flushes the
+    batch when the pending vector fills. *)
+
+val insert_batch : t -> int array -> unit
+(** [insert_batch t ids] queues every identifier; bulk hand-off for
+    consecutive packets of one flow. *)
+
+val remove : t -> int -> unit
+(** Inverse of {!insert} (flushes first). *)
+
+val flush : t -> unit
+(** Fold any pending identifiers into the sums now. *)
+
+val sums : t -> int array
+(** Copy of the power sums (flushes first). *)
+
+val sums_into : t -> int array -> unit
+(** [sums_into t dst] writes the [threshold] sums into [dst]
+    (flushes first) without allocating. @raise Invalid_argument when
+    [dst] is shorter than the threshold. *)
+
+val to_quack : ?count_bits:int -> t -> Sidecar_quack.Quack.t
+(** Snapshot as a transmittable quACK, exactly
+    [Quack.of_psum ~count_bits] of the equivalent reference sketch
+    ([count_bits] defaults to 16). *)
+
+val reset : t -> unit
+(** Zero the sums, pending batch and count. *)

@@ -1,0 +1,55 @@
+module Wire_image = Transport.Wire_image
+module Identifier = Sidecar_quack.Identifier
+
+let min_size = Wire_image.min_size
+
+(* The boxed-int64 reads ([Bytes.get_int64_*]) allocate; per-byte
+   folds don't, and the whole point of this module is a packet path
+   with zero words allocated per packet. Both folds reproduce the
+   reference extractors bit for bit: [Int64.to_int v land max_int]
+   keeps [v]'s low 62 bits, exactly what the shift fold leaves after
+   the same masking. *)
+
+let[@inline] byte b i = Char.code (Bytes.unsafe_get b i)
+
+let[@inline] fold_le4 b off =
+  byte b off
+  lor (byte b (off + 1) lsl 8)
+  lor (byte b (off + 2) lsl 16)
+  lor (byte b (off + 3) lsl 24)
+
+let[@inline] fold_le b off =
+  fold_le4 b off
+  lor (byte b (off + 4) lsl 32)
+  lor (byte b (off + 5) lsl 40)
+  lor (byte b (off + 6) lsl 48)
+  lor (byte b (off + 7) lsl 56)
+
+let[@inline] fold_be b off =
+  (byte b off lsl 56)
+  lor (byte b (off + 1) lsl 48)
+  lor (byte b (off + 2) lsl 40)
+  lor (byte b (off + 3) lsl 32)
+  lor (byte b (off + 4) lsl 24)
+  lor (byte b (off + 5) lsl 16)
+  lor (byte b (off + 6) lsl 8)
+  lor byte b (off + 7)
+
+(* Offset 9 is the protected packet-number field, as in
+   Wire_image.extract_id; the identifier is the masked little-endian
+   read Identifier.of_bytes performs. *)
+let extract_id b ~bits =
+  if Bytes.length b < min_size then
+    invalid_arg "Wire_path.extract_id: wire too short";
+  (* the mask discards everything above [bits] anyway, so identifiers
+     up to 32 bits never need the high half of the 8-byte read *)
+  if bits <= 32 then Identifier.mask ~bits (fold_le4 b 9)
+  else Identifier.mask ~bits (fold_le b 9 land max_int)
+
+let conn_id b =
+  if Bytes.length b < 9 then invalid_arg "Wire_path.conn_id: too short";
+  Bytes.get_int64_be b 1
+
+let flow_key b =
+  if Bytes.length b < 9 then invalid_arg "Wire_path.flow_key: too short";
+  fold_be b 1 land max_int

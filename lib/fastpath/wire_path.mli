@@ -1,0 +1,29 @@
+(** The sidecar's zero-copy reads of a sealed wire image.
+
+    {!Transport.Wire_image}'s string-based accessors each rebuild the
+    whole packet as fresh [Bytes] before reading a handful of header
+    bytes — ~190 heap words per read at a 1500-byte MSS, twice per
+    packet on the proxy path. A proxy that keeps the sealed packet as
+    [Bytes] can read the same fields in place; these functions are the
+    byte-for-byte twins of [Wire_image.extract_id] and
+    [Wire_image.conn_id_of_wire] over such a view, with no
+    intermediate copy and no allocation. *)
+
+val min_size : int
+(** [Transport.Wire_image.min_size] (header + tag). *)
+
+val extract_id : Bytes.t -> bits:int -> int
+(** [bits] pseudo-random bits straddling the protected packet-number
+    field — identical to [Wire_image.extract_id (Bytes.to_string b)]
+    without the copies. @raise Invalid_argument when shorter than a
+    minimal packet. *)
+
+val conn_id : Bytes.t -> int64
+(** The cleartext connection id, identical to
+    [Wire_image.conn_id_of_wire]. @raise Invalid_argument when too
+    short. *)
+
+val flow_key : Bytes.t -> int
+(** {!conn_id} squeezed onto the non-negative native-int range — the
+    open-addressed {!Flat_table} key. Collision-free for connection
+    ids below 2^62 (the simulator allocates them densely from 0). *)

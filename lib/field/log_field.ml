@@ -11,10 +11,10 @@ let prime_factors n =
   in
   go n 2 []
 
-let make (module F : Modular.S) : (module Modular.S) =
+let tables (module F : Modular.S) =
   let p = F.modulus in
   if p > 1 lsl 20 then
-    invalid_arg "Log_field.make: modulus too large for log tables";
+    invalid_arg "Log_field: modulus too large for log tables";
   let factors = prime_factors (p - 1) in
   let is_generator g =
     List.for_all (fun q -> not (F.equal (F.pow g ((p - 1) / q)) F.one)) factors
@@ -30,6 +30,11 @@ let make (module F : Modular.S) : (module Modular.S) =
     log.(!acc) <- i;
     acc := F.mul !acc (F.of_int g)
   done;
+  (log, antilog)
+
+let make (module F : Modular.S) : (module Modular.S) =
+  let p = F.modulus in
+  let log, antilog = tables (module F) in
   let order = p - 1 in
   (module struct
     type t = int

@@ -55,9 +55,10 @@ let create engine ~capacity ~policy ~protocol ~forward ~backward ?cost_clock ()
       (Obs.Trace.Evict { table = label; flow });
     fl.Protocol.on_evict ()
   in
-  let on_remove flow _fl =
+  let on_remove flow fl =
     Obs.Trace.record trace ~time:(Engine.now engine)
-      (Obs.Trace.Release { table = label; flow })
+      (Obs.Trace.Release { table = label; flow });
+    fl.Protocol.on_release ()
   in
   let table = Flow_table.create ~policy ~on_evict ~on_remove ~capacity () in
   Protocol.register_counters metrics ~prefix:label counters;

@@ -37,6 +37,8 @@ type config = {
   adaptive : bool;
   target_missing : int;
   buffer_pkts : int;
+  field : [ `Modular | `Log ];
+  datapath : [ `Ref | `Flat ];
   seed : int;
   until : Time.t;
 }
@@ -100,6 +102,8 @@ let default_config =
     adaptive = true;
     target_missing = 2;
     buffer_pkts = 256;
+    field = `Modular;
+    datapath = `Ref;
     seed = 1;
     until = Time.s 120;
   }
@@ -154,6 +158,26 @@ let run ?cost_clock (cfg : config) =
   let nseg = Array.length fwd in
   let wire = cfg.mss + 40 in
   let n = cfg.flows in
+  (* Sketch arithmetic shared by every sketch in the run, so each
+     decode pair (proxy rx / server ss, client rx / proxy ss) agrees
+     on its field. [`Log] is table-backed and only fits small moduli
+     (Log_field rejects bits > 20). *)
+  let field_mod =
+    match cfg.field with
+    | `Modular -> None
+    | `Log ->
+        Some
+          (Sidecar_field.Log_field.make
+             (Sidecar_field.Primes.field_for_bits cfg.bits))
+  in
+  (* Receive-path sketch backing at the proxies. Slabs are sized to
+     the flow table: eviction always releases a slot before the next
+     admission acquires one. *)
+  let datapath =
+    match cfg.datapath with
+    | `Ref -> Protocol.Ref
+    | `Flat -> Protocol.Flat { slots = cfg.table_flows; batch = 16 }
+  in
 
   (* ---- workload --------------------------------------------------- *)
   let wl_rng = Rng.split (Engine.rng engine) in
@@ -190,6 +214,8 @@ let run ?cost_clock (cfg : config) =
                    buffer_pkts = cfg.buffer_pkts;
                    upstream = Proto_cc.Every cfg.upstream_quack_every;
                    overflow = Proto_cc.Bypass;
+                   field = field_mod;
+                   datapath;
                  })
             ~forward:(fun p -> ignore (Link.send fwd.(1) p))
             ~backward:(fun p -> ignore (Link.send rev.(1) p)),
@@ -204,6 +230,8 @@ let run ?cost_clock (cfg : config) =
                    count_bits = Some cfg.count_bits;
                    quack_every = cfg.upstream_quack_every;
                    omit_count = false;
+                   field = field_mod;
+                   datapath;
                  })
             ~forward:(fun p -> ignore (Link.send fwd.(1) p))
             ~backward:(fun p -> ignore (Link.send rev.(1) p)),
@@ -221,6 +249,8 @@ let run ?cost_clock (cfg : config) =
             subpath_rtt = 2 * cfg.middle.Path.delay;
             near_addr = "proxyA";
             far_addr = "proxyB";
+            field = field_mod;
+            datapath;
           }
         in
         ( mk_proxy
@@ -241,6 +271,7 @@ let run ?cost_clock (cfg : config) =
       bits = cfg.bits;
       threshold = cfg.threshold;
       count_bits = cfg.count_bits;
+      field = field_mod;
     }
   in
   let srv_ss = Array.init n (fun _ -> Q.Sender_state.create ss_config) in
@@ -271,7 +302,8 @@ let run ?cost_clock (cfg : config) =
   in
   let client_rx =
     Array.init n (fun _ ->
-        Q.Receiver_state.create ~bits:cfg.bits ~count_bits:cfg.count_bits
+        Q.Receiver_state.create ~bits:cfg.bits ?field:field_mod
+          ~count_bits:cfg.count_bits
           ~policy:(Q.Receiver_state.Every_packets cfg.client_quack_every)
           ~threshold:cfg.threshold ())
   in

@@ -64,6 +64,13 @@ type config = {
   adaptive : bool;  (** adapt the quACK interval from observed loss *)
   target_missing : int;  (** adaptation target (§2.3) *)
   buffer_pkts : int;  (** pacing buffer ([`Cc]) / copy buffer ([`Retx]) *)
+  field : [ `Modular | `Log ];
+      (** sketch arithmetic at every sketch in the run ([`Log] =
+          table-backed multiplication; requires small [bits], e.g. 16) *)
+  datapath : [ `Ref | `Flat ];
+      (** proxy receive-path sketch backing: boxed reference states or
+          one slab arena per proxy ({!Sidecar_protocols.Protocol.datapath});
+          reports are bit-identical either way *)
   seed : int;
   until : Netsim.Sim_time.t;
 }

@@ -129,6 +129,8 @@ let run cfg =
         count_bits = None;
         quack_every = cfg.quack_every;
         omit_count = cfg.omit_count;
+        field = None;
+        datapath = Protocol.Ref;
       }
   in
 

@@ -129,6 +129,8 @@ let run cfg =
               high_watermark = cfg.proxy_buffer_pkts / 2;
             };
         overflow = Proto_cc.Drop;
+        field = None;
+        datapath = Protocol.Ref;
       }
   in
 

@@ -161,6 +161,8 @@ let run cfg =
         upstream =
           Proto_cc.Timer { interval = quack_interval; high_watermark = max_int };
         overflow = Proto_cc.Drop;
+        field = None;
+        datapath = Protocol.Ref;
       }
   in
   let counters = Protocol.fresh_counters () in

@@ -11,6 +11,9 @@ type config = {
   count_bits : int option;  (** [None] = power-sum default *)
   quack_every : int;  (** steerable at runtime by [Freq_update] frames *)
   omit_count : bool;  (** model the count-omitting wire encoding *)
+  field : (module Sidecar_field.Modular.S) option;
+      (** substitute same-width sketch arithmetic ([None] = default) *)
+  datapath : Protocol.datapath;  (** receive-path sketch backing *)
 }
 
 val make : config -> Protocol.t

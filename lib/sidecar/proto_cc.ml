@@ -17,6 +17,8 @@ type config = {
   buffer_pkts : int;
   upstream : upstream;
   overflow : overflow;
+  field : (module Sidecar_field.Modular.S) option;
+  datapath : Protocol.datapath;
 }
 
 let make cfg =
@@ -33,17 +35,23 @@ let make cfg =
         Q.Sender_state.default_config with
         bits = cfg.bits;
         threshold = cfg.threshold;
+        field = cfg.field;
       }
     in
     match cfg.count_bits with
     | None -> base
     | Some count_bits -> { base with Q.Sender_state.count_bits }
   in
+  (* The upstream (receive-path) sketch follows the configured
+     datapath; the downstream sender sketch feeding the decoder stays
+     on the reference implementation (the authority rule — see
+     Protocol.datapath). *)
+  let rx_pool =
+    Rx_state.pool ~datapath:cfg.datapath ~bits:cfg.bits ?field:cfg.field
+      ?count_bits:cfg.count_bits ~threshold:cfg.threshold ()
+  in
   let init (ctx : Protocol.ctx) =
-    let up_rx =
-      Q.Receiver_state.create ~bits:cfg.bits ?count_bits:cfg.count_bits
-        ~threshold:cfg.threshold ()
-    in
+    let up_rx = Rx_state.attach rx_pool in
     let down_ss = Q.Sender_state.create ss_config in
     let win = Proxy_window.create ~wire:cfg.wire in
     let buffer : Packet.t Queue.t = Queue.create () in
@@ -58,7 +66,7 @@ let make cfg =
       incr index;
       Protocol.send_quack ctx ~dst:Protocol.server_addr ~index:!index
         ~count_omitted:false
-        (Q.Receiver_state.emit up_rx)
+        (up_rx.Rx_state.emit ())
     in
     let rec pump () =
       let outstanding = Q.Sender_state.outstanding down_ss * cfg.wire in
@@ -81,7 +89,7 @@ let make cfg =
           ctx.forward head
     in
     let on_data p =
-      ignore (Q.Receiver_state.on_receive up_rx p.Packet.id);
+      up_rx.Rx_state.receive p.Packet.id;
       (match cfg.upstream with
       | Every _ ->
           incr since;
@@ -141,7 +149,8 @@ let make cfg =
       let flushed = Queue.length buffer in
       Queue.iter ctx.forward buffer;
       Queue.clear buffer;
-      Obs.Metrics.Counter.add ctx.counters.flushed_on_evict flushed
+      Obs.Metrics.Counter.add ctx.counters.flushed_on_evict flushed;
+      up_rx.Rx_state.release ()
     in
     let info () =
       {
@@ -158,6 +167,9 @@ let make cfg =
       on_freq = (fun i -> quack_every := max 1 i);
       on_timer;
       on_evict;
+      (* a cleanly-terminated flow has nothing buffered worth pacing;
+         just hand pooled state back *)
+      on_release = up_rx.Rx_state.release;
       info;
     }
   in

@@ -28,6 +28,13 @@ type config = {
   buffer_pkts : int;
   upstream : upstream;
   overflow : overflow;
+  field : (module Sidecar_field.Modular.S) option;
+      (** substitute same-width sketch arithmetic ([None] = default);
+          applies to both the upstream receiver sketch and the
+          downstream decode state, which must agree with the client *)
+  datapath : Protocol.datapath;
+      (** backing for the upstream receiver sketch; the downstream
+          decode state stays on the reference implementation *)
 }
 
 val make : config -> Protocol.t

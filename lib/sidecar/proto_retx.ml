@@ -14,6 +14,8 @@ type config = {
   subpath_rtt : Time.span;
   near_addr : string;
   far_addr : string;
+  field : (module Sidecar_field.Modular.S) option;
+  datapath : Protocol.datapath;
 }
 
 let validate cfg =
@@ -34,6 +36,7 @@ let near cfg =
           bits = cfg.bits;
           threshold = cfg.threshold;
           strikes_to_lose = cfg.strikes_to_lose;
+          field = cfg.field;
         }
     in
     (* Copy buffer keyed by uid; bounded FIFO. meta: the buffered
@@ -170,6 +173,9 @@ let near cfg =
       on_freq = (fun _ -> ());
       on_timer = (fun () -> ());
       on_evict;
+      (* no pooled state on the near side: the copy buffer is plain
+         heap and the sender sketch always runs ref (authority rule) *)
+      on_release = (fun () -> ());
       info;
     }
   in
@@ -177,22 +183,24 @@ let near cfg =
 
 let far cfg =
   validate cfg;
+  let rx_pool =
+    Rx_state.pool ~datapath:cfg.datapath ~bits:cfg.bits ?field:cfg.field
+      ~threshold:cfg.threshold ()
+  in
   let init (ctx : Protocol.ctx) =
-    let rx =
-      Q.Receiver_state.create ~bits:cfg.bits ~threshold:cfg.threshold ()
-    in
+    let rx = Rx_state.attach rx_pool in
     let since = ref 0 in
     let interval = ref cfg.initial_quack_every in
     let index = ref 0 in
     let emit () =
       since := 0;
-      let q = Q.Receiver_state.emit rx in
+      let q = rx.Rx_state.emit () in
       incr index;
       Protocol.send_quack ctx ~dst:cfg.near_addr ~index:!index
         ~count_omitted:false q
     in
     let on_data p =
-      ignore (Q.Receiver_state.on_receive rx p.Packet.id);
+      rx.Rx_state.receive p.Packet.id;
       incr since;
       if !since >= !interval then emit ();
       ctx.forward p
@@ -205,7 +213,8 @@ let far cfg =
       on_feedback = (fun ~index:_ _ -> ());
       on_freq = (fun i -> interval := i);
       on_timer = (fun () -> if !since > 0 then emit ());
-      on_evict = (fun () -> ());
+      on_evict = rx.Rx_state.release;
+      on_release = rx.Rx_state.release;
       info;
     }
   in

@@ -67,8 +67,11 @@ type flow = {
   on_freq : int -> unit;
   on_timer : unit -> unit;
   on_evict : unit -> unit;
+  on_release : unit -> unit;
   info : unit -> info;
 }
+
+type datapath = Ref | Flat of { slots : int; batch : int }
 
 type timer_scope = Flow_active | Until
 type timer = { period : Time.span; scope : timer_scope }

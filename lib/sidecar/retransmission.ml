@@ -124,6 +124,8 @@ let run cfg =
       subpath_rtt = 2 * cfg.middle.Path.delay;
       near_addr = "proxyA";
       far_addr = "proxyB";
+      field = None;
+      datapath = Protocol.Ref;
     }
   in
   let outcome =

@@ -1,0 +1,58 @@
+module Q = Sidecar_quack
+module Fp = Sidecar_fastpath
+
+type pool =
+  | Ref_pool of {
+      bits : int;
+      field : (module Sidecar_field.Modular.S) option;
+      count_bits : int option;
+      threshold : int;
+    }
+  | Flat_pool of { slab : Fp.Slab.t; count_bits : int option }
+
+let pool ~datapath ~bits ?field ?backend ?count_bits ~threshold () =
+  match datapath with
+  | Protocol.Ref -> Ref_pool { bits; field; count_bits; threshold }
+  | Protocol.Flat { slots; batch } ->
+      let slab =
+        Fp.Slab.create ~bits ?field ?backend ~batch ~slots:(max 1 slots)
+          ~threshold ()
+      in
+      Flat_pool { slab; count_bits }
+
+type t = {
+  receive : int -> unit;
+  emit : unit -> Q.Quack.t;
+  received : unit -> int;
+  release : unit -> unit;
+}
+
+let attach = function
+  | Ref_pool { bits; field; count_bits; threshold } ->
+      let rx =
+        Q.Receiver_state.create ~bits ?field ?count_bits ~threshold ()
+      in
+      {
+        receive = (fun id -> ignore (Q.Receiver_state.on_receive rx id));
+        emit = (fun () -> Q.Receiver_state.emit rx);
+        received = (fun () -> Q.Receiver_state.received rx);
+        release = (fun () -> ());
+      }
+  | Flat_pool { slab; count_bits } ->
+      let slot = Fp.Slab.acquire slab in
+      let v = Fp.Psum_flat.of_slot slab ~slot in
+      (* Eviction and voluntary release are distinct flow-table events
+         but both end with the slot going back; the guard keeps the
+         second path a no-op instead of a double-free. *)
+      let released = ref false in
+      {
+        receive = (fun id -> Fp.Psum_flat.insert v id);
+        emit = (fun () -> Fp.Psum_flat.to_quack ?count_bits v);
+        received = (fun () -> Fp.Psum_flat.count v);
+        release =
+          (fun () ->
+            if not !released then begin
+              released := true;
+              Fp.Slab.release slab slot
+            end);
+      }

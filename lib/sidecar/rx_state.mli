@@ -1,0 +1,44 @@
+(** Datapath-selectable receiver sketches for per-flow protocols.
+
+    A protocol's receive path needs three operations per flow — fold
+    an identifier in, snapshot a quACK, give the state back. This
+    module hides which implementation provides them: the boxed
+    reference {!Sidecar_quack.Receiver_state} or a slot of a shared
+    {!Sidecar_fastpath.Slab} ({!Protocol.datapath}). A protocol
+    creates one {!pool} in [make] (so a [Flat] arena is sized once)
+    and {!attach}es a sketch per admitted flow in [init].
+
+    Both implementations produce bit-identical quACKs for the same
+    insert sequence (pinned by test/spec's differential functors), so
+    scenario reports do not depend on the datapath. *)
+
+type pool
+
+val pool :
+  datapath:Protocol.datapath ->
+  bits:int ->
+  ?field:(module Sidecar_field.Modular.S) ->
+  ?backend:Sidecar_fastpath.Slab.backend ->
+  ?count_bits:int ->
+  threshold:int ->
+  unit ->
+  pool
+(** [field] substitutes same-width arithmetic on either datapath
+    (reference sketches take it directly; a flat slab derives its
+    backend from it, or from [backend] when forced — e.g. [`Log] for
+    the table ablation). [count_bits] is the emitted quACK's count
+    width (default 16). @raise Invalid_argument as
+    [Receiver_state.create] / [Slab.create]. *)
+
+type t = {
+  receive : int -> unit;  (** fold one identifier in *)
+  emit : unit -> Sidecar_quack.Quack.t;  (** cumulative snapshot *)
+  received : unit -> int;  (** identifiers folded in so far *)
+  release : unit -> unit;
+      (** return pooled state (flat: the slab slot, scrubbed);
+          idempotent, and a no-op on the reference path *)
+}
+
+val attach : pool -> t
+(** One flow's sketch. @raise Invalid_argument when a [Flat] pool is
+    out of slots (size the slab to the flow-table capacity). *)

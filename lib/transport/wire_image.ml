@@ -43,12 +43,14 @@ let xor_into b off src =
    payload ciphertext (or the tag for empty payloads). *)
 let pn_mask key ~sample = String.sub (Sha256.digest_string (key ^ sample)) 0 4
 
-let sample_of wire =
-  (* 16 bytes starting right after the header; every packet has at
-     least the tag there *)
-  String.sub wire header_len (min 16 (String.length wire - header_len))
+let payload_offset = header_len
 
-let seal key ~conn_id ~packet_number ~plaintext =
+(* 16 bytes starting right after the header; every packet has at
+   least the tag there *)
+let sample_of_bytes b =
+  Bytes.sub_string b header_len (min 16 (Bytes.length b - header_len))
+
+let seal_bytes key ~conn_id ~packet_number ~plaintext =
   if packet_number < 0 || packet_number > 0xFFFFFFFF then
     invalid_arg "Wire_image.seal: packet number out of 32-bit range";
   let plen = String.length plaintext in
@@ -66,15 +68,18 @@ let seal key ~conn_id ~packet_number ~plaintext =
   in
   Bytes.blit_string tag 0 wire (header_len + plen) tag_len;
   (* finally, protect the packet number *)
-  let sample = sample_of (Bytes.to_string wire) in
+  let sample = sample_of_bytes wire in
   xor_into wire 9 (pn_mask key.header ~sample);
-  Bytes.to_string wire
+  wire
 
-let open_ key wire =
-  if String.length wire < min_size then Error `Too_short
+let seal key ~conn_id ~packet_number ~plaintext =
+  (* the freshly sealed buffer has a single owner; no defensive copy *)
+  Bytes.unsafe_to_string (seal_bytes key ~conn_id ~packet_number ~plaintext)
+
+let open_in_place key b =
+  if Bytes.length b < min_size then Error `Too_short
   else begin
-    let b = Bytes.of_string wire in
-    let sample = sample_of wire in
+    let sample = sample_of_bytes b in
     (* unprotect the packet number *)
     xor_into b 9 (pn_mask key.header ~sample);
     let pn = Int32.to_int (Bytes.get_int32_be b 9) land 0xFFFFFFFF in
@@ -84,11 +89,24 @@ let open_ key wire =
         (Bytes.sub_string b 0 (header_len + body_len))
     in
     let tag = Bytes.sub_string b (header_len + body_len) tag_len in
-    if not (String.equal tag expected) then Error `Bad_tag
+    if not (String.equal tag expected) then begin
+      (* leave the buffer exactly as it arrived *)
+      xor_into b 9 (pn_mask key.header ~sample);
+      Error `Bad_tag
+    end
     else begin
       xor_into b header_len (keystream key.stream ~nonce:pn ~len:body_len);
-      Ok (pn, Bytes.sub_string b header_len body_len)
+      Ok (pn, body_len)
     end
+  end
+
+let open_ key wire =
+  if String.length wire < min_size then Error `Too_short
+  else begin
+    let b = Bytes.of_string wire in
+    match open_in_place key b with
+    | Error e -> Error e
+    | Ok (pn, body_len) -> Ok (pn, Bytes.sub_string b header_len body_len)
   end
 
 let extract_id wire ~bits =

@@ -39,6 +39,25 @@ val open_ : key -> string -> (int * string, [ `Too_short | `Bad_tag ]) result
 (** [open_ key wire] authenticates and decrypts:
     [(packet_number, plaintext)]. Only the endpoints can do this. *)
 
+val seal_bytes :
+  key -> conn_id:int64 -> packet_number:int -> plaintext:string -> Bytes.t
+(** {!seal} without the final string conversion: the same wire bytes
+    in a caller-owned buffer, for datapaths that keep packets as
+    [Bytes] views end to end (lib/fastpath). *)
+
+val open_in_place :
+  key -> Bytes.t -> (int * int, [ `Too_short | `Bad_tag ]) result
+(** Zero-copy {!open_}: authenticates, then unprotects the packet
+    number and decrypts the payload {e in place}. [Ok (pn, body_len)]
+    means the plaintext now occupies [header_len .. header_len +
+    body_len) of the buffer (see {!payload_offset}); no intermediate
+    buffer is rebuilt. On [Error `Bad_tag] the buffer is restored
+    bit-for-bit; on [Error `Too_short] it was never touched. *)
+
+val payload_offset : int
+(** Byte offset of the (sealed or, after {!open_in_place}, cleartext)
+    payload within the wire — the header length. *)
+
 val extract_id : string -> bits:int -> int
 (** What the sidecar does: read [bits] pseudo-random bits from the
     protected region of the header. Requires no key. @raise

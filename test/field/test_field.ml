@@ -412,7 +412,7 @@ let test_log_field_inverse () =
 
 let test_log_field_rejects_large () =
   Alcotest.check_raises "2^32 field too large"
-    (Invalid_argument "Log_field.make: modulus too large for log tables")
+    (Invalid_argument "Log_field: modulus too large for log tables")
     (fun () -> ignore (Sidecar_field.Log_field.make (module F32)))
 
 let qcheck_log_field =

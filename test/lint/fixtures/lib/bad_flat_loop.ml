@@ -1,0 +1,32 @@
+(* Seeded flat-datapath provenance bug. Power sums live in an untyped
+   Bigarray arena, so a value read back out of storage is raw — and,
+   symmetrically, raw arithmetic on storage reads must NOT be flagged.
+   The two clean functions pin the raw classification of
+   [A1.get]/[A1.unsafe_get]; the violation pins that a reduced running
+   sum still cannot be merged with a storage word through raw (+). *)
+
+module Modular = Sidecar_field.Modular
+module A1 = Bigarray.Array1
+
+(* clean: storage reads are raw, raw arithmetic on them is fine *)
+let checksum v n =
+  let acc = ref 0 in
+  for i = 0 to n - 1 do
+    acc := (!acc * 31) + A1.unsafe_get v i
+  done;
+  !acc
+
+(* clean: a read re-enters the field through [of_int] before use *)
+let load field v i =
+  let module F = (val field : Modular.S) in
+  F.of_int (A1.get v i)
+
+(* violation: the reduced accumulator leaves the field when the next
+   storage word is merged with raw (+) instead of [F.add] *)
+let accumulate field v n =
+  let module F = (val field : Modular.S) in
+  let acc = ref F.zero in
+  for i = 0 to n - 1 do
+    acc := !acc + A1.unsafe_get v i
+  done;
+  !acc

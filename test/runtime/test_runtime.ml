@@ -178,6 +178,77 @@ let test_scenario_deterministic () =
   check bool "different seed differs" true
     (compare r1.Scenario.flows r3.Scenario.flows <> 0)
 
+let test_scenario_datapath_differential () =
+  (* The flat datapath is an invisible optimisation: byte-identical
+     JSON reports against the boxed reference path, under the runtime
+     invariant twins. *)
+  let was = Sidecar_quack.Invariant.active () in
+  Sidecar_quack.Invariant.set_active true;
+  Fun.protect
+    ~finally:(fun () -> Sidecar_quack.Invariant.set_active was)
+    (fun () ->
+      let cfg =
+        {
+          Scenario.default_config with
+          Scenario.flows = 80;
+          table_flows = 24;
+          max_units = 50;
+          arrival_mean_s = 0.002;
+          until = Time.s 60;
+        }
+      in
+      let json dp = Obs.Json.to_string (Scenario.json_report (Scenario.run { cfg with Scenario.datapath = dp })) in
+      check Alcotest.string "ref and flat reports are byte-identical" (json `Ref)
+        (json `Flat))
+
+let test_scenario_field_differential () =
+  (* Same residues through the log-table multiply: byte-identical
+     reports at a table-friendly width. *)
+  let cfg =
+    {
+      Scenario.default_config with
+      Scenario.flows = 40;
+      table_flows = 16;
+      bits = 16;
+      max_units = 40;
+      arrival_mean_s = 0.002;
+      until = Time.s 60;
+    }
+  in
+  let json field =
+    Obs.Json.to_string
+      (Scenario.json_report (Scenario.run { cfg with Scenario.field = field }))
+  in
+  check Alcotest.string "modular and log reports are byte-identical" (json `Modular)
+    (json `Log)
+
+let test_wire_datapath_checksums () =
+  (* The mechanism-level driver: both per-packet paths fold every
+     emitted quACK into a checksum; equality means the zero-copy path
+     did exactly the reference's sketch work — including across
+     eviction churn (table smaller than the flow count). *)
+  let module Wd = Sidecar_runtime.Wire_datapath in
+  List.iter
+    (fun (flows, table_flows) ->
+      let cfg = { Wd.default_config with Wd.flows; table_flows } in
+      let run dp =
+        let t = Wd.create ~datapath:dp cfg in
+        Wd.drive t ~packets:60_000;
+        Wd.stats t
+      in
+      let r = run `Ref and f = run `Flat in
+      check bool
+        (Printf.sprintf "checksums agree (%d flows / %d slots)" flows
+           table_flows)
+        true
+        (r.Wd.checksum = f.Wd.checksum
+        && r.Wd.quacks = f.Wd.quacks
+        && r.Wd.admitted = f.Wd.admitted
+        && r.Wd.evicted = f.Wd.evicted
+        && r.Wd.hits = f.Wd.hits
+        && r.Wd.misses = f.Wd.misses))
+    [ (20, 20); (50, 16); (7, 3) ]
+
 let test_scenario_idle_policy_runs () =
   let r =
     Scenario.run
@@ -339,6 +410,12 @@ let () =
             test_scenario_idle_policy_runs;
           Alcotest.test_case "adaptive frequency" `Slow
             test_scenario_adaptive_frequency;
+          Alcotest.test_case "datapath differential (ref = flat)" `Slow
+            test_scenario_datapath_differential;
+          Alcotest.test_case "field differential (modular = log)" `Slow
+            test_scenario_field_differential;
+          Alcotest.test_case "wire datapath checksums" `Quick
+            test_wire_datapath_checksums;
           qt prop_eviction_never_corrupts;
         ] );
       ( "scenario-protocols",

@@ -185,7 +185,11 @@ end
    difference of sender and receiver sketches decodes to exactly the
    dropped multiset.                                                   *)
 
-module Decoder_spec (F : Modular.S) = struct
+(* Generalised over the sketch: any SKETCH over [F]'s field feeds the
+   decoder through the same pointwise difference {!Psum.difference}
+   computes, so the flat-array sketch proves the identical roundtrip
+   the reference does. *)
+module Decoder_spec (F : Modular.S) (S : SKETCH) = struct
   let threshold = 12
   let field : (module Modular.S) = (module F)
 
@@ -198,13 +202,15 @@ module Decoder_spec (F : Modular.S) = struct
          (QCheck.pair QCheck.int QCheck.bool))
 
   let roundtrip strategy l =
-    let sent = Psum.create ~bits:F.bits ~field ~threshold ()
-    and recv = Psum.create ~bits:F.bits ~field ~threshold () in
+    let sent = S.create ~threshold and recv = S.create ~threshold in
+    assert (S.modulus sent = F.modulus);
     let ids = List.map fst l in
     let dropped = List.filter_map (fun (id, d) -> if d then Some id else None) l in
-    List.iter (Psum.insert sent) ids;
-    List.iter (fun (id, d) -> if not d then Psum.insert recv id) l;
-    let diff = Psum.difference ~sent ~received_sums:(Psum.sums recv) () in
+    List.iter (S.insert sent) ids;
+    List.iter (fun (id, d) -> if not d then S.insert recv id) l;
+    (* the pointwise in-field subtraction Psum.difference performs *)
+    let sent_sums = S.sums sent in
+    let diff = Array.mapi (fun i r -> F.sub sent_sums.(i) r) (S.sums recv) in
     match
       Decoder.decode ~strategy ~field ~diff_sums:diff
         ~num_missing:(List.length dropped) ~candidates:ids ()
@@ -227,9 +233,28 @@ end
 (* ------------------------------------------------------------------ *)
 (* Flow table: the contracts [flowtable-occupancy] and
    [flowtable-bounded] as whole-trace properties over random
-   admit/remove/find sequences.                                        *)
+   admit/remove/find sequences. The TABLE seam abstracts the store so
+   the flat-array table proves the same trace properties as the boxed
+   reference table.                                                    *)
 
-module Flow_table_spec = struct
+module type TABLE = sig
+  type t
+
+  val create : capacity:int -> t
+  val admit : t -> now:Time.t -> int -> (unit -> int) -> int option
+  val remove : t -> int -> bool
+  val find : t -> now:Time.t -> int -> int option
+  val occupancy : t -> int
+  val peak_occupancy : t -> int
+  val iter : t -> (int -> int -> unit) -> unit
+
+  (* stats, flattened: admissions, LRU + idle evictions, removals *)
+  val admitted : t -> int
+  val evicted : t -> int
+  val removed : t -> int
+end
+
+module Table_spec (T : TABLE) = struct
   type op = Admit of int | Remove of int | Find of int
 
   let ops_arb =
@@ -244,28 +269,25 @@ module Flow_table_spec = struct
       QCheck.Gen.(list_size (int_range 0 120) op)
 
   let replay ~capacity ops =
-    let ft = Flow_table.create ~capacity () in
+    let ft = T.create ~capacity in
     let clock = ref 0 in
     List.iter
       (fun op ->
         incr clock;
         let now = Time.ms !clock in
         match op with
-        | Admit k -> ignore (Flow_table.admit ft ~now k (fun () -> k))
-        | Remove k -> ignore (Flow_table.remove ft k)
-        | Find k -> ignore (Flow_table.find ft ~now k))
+        | Admit k -> ignore (T.admit ft ~now k (fun () -> k))
+        | Remove k -> ignore (T.remove ft k)
+        | Find k -> ignore (T.find ft ~now k))
       ops;
     ft
 
   let books_balance ft ~capacity =
-    let occ = Flow_table.occupancy ft in
+    let occ = T.occupancy ft in
     let live = ref 0 in
-    Flow_table.iter ft (fun _ _ -> incr live);
-    let s = Flow_table.stats ft in
+    T.iter ft (fun _ _ -> incr live);
     occ <= capacity && !live = occ
-    && occ
-       = s.Flow_table.admitted - s.Flow_table.evicted_lru
-         - s.Flow_table.evicted_idle - s.Flow_table.removed
+    && occ = T.admitted ft - T.evicted ft - T.removed ft
 
   let props impl =
     let t name = test (impl ^ ": " ^ name) in
@@ -277,6 +299,26 @@ module Flow_table_spec = struct
       t "peak occupancy is bounded too"
         (QCheck.pair (QCheck.int_bound 8) ops_arb)
         (fun (capacity, ops) ->
-          Flow_table.peak_occupancy (replay ~capacity ops) <= capacity);
+          T.peak_occupancy (replay ~capacity ops) <= capacity);
     ]
 end
+
+(* The reference instantiation, under its historical name. *)
+module Flow_table_spec = Table_spec (struct
+  type t = int Flow_table.t
+
+  let create ~capacity = Flow_table.create ~capacity ()
+  let admit = Flow_table.admit
+  let remove = Flow_table.remove
+  let find = Flow_table.find
+  let occupancy = Flow_table.occupancy
+  let peak_occupancy = Flow_table.peak_occupancy
+  let iter = Flow_table.iter
+  let admitted t = (Flow_table.stats t).Flow_table.admitted
+
+  let evicted t =
+    let s = Flow_table.stats t in
+    s.Flow_table.evicted_lru + s.Flow_table.evicted_idle
+
+  let removed t = (Flow_table.stats t).Flow_table.removed
+end)

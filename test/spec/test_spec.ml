@@ -1,7 +1,7 @@
 (* Instantiates the executable spec (Spec) against the reference
-   implementations. A future optimised variant (flat-array sketch,
-   vectorised field) earns its keep by adding one more instantiation
-   here — the same properties then run differentially against it. *)
+   implementations AND the lib/fastpath flat-array variants: the same
+   properties run differentially against both, so the fast path can
+   never drift from the semantics the spec pins down. *)
 
 module Modular = Sidecar_field.Modular
 module Primes = Sidecar_field.Primes
@@ -10,6 +10,7 @@ module Psum = Sidecar_quack.Psum
 module Invariant = Sidecar_quack.Invariant
 module Flow_table = Sidecar_runtime.Flow_table
 module Time = Netsim.Sim_time
+module Fp = Sidecar_fastpath
 
 (* Field backends under test. *)
 module F16 = (val Primes.field_for_bits 16)
@@ -53,12 +54,138 @@ module Log16 = Sketch_of (struct
   let field = Log_field.make (Primes.field_for_bits 16)
 end)
 
+(* Flat-array sketches (lib/fastpath): a standalone single-slot slab
+   per sketch, with a batch size that does not divide the usual insert
+   counts so reads constantly exercise partial flushes. Backends
+   covered: the 2^b - c integer fold (16- and 24-bit presets), the
+   2^32 - 5 fast path, and the log-table multiply. *)
+module Flat_of (X : sig
+  val bits : int
+  val backend : Fp.Slab.backend
+end) : Spec.SKETCH = struct
+  type t = Fp.Psum_flat.t
+
+  let create ~threshold =
+    Fp.Psum_flat.create ~bits:X.bits ~backend:X.backend ~batch:3 ~threshold ()
+
+  let modulus = Fp.Psum_flat.modulus
+  let count = Fp.Psum_flat.count
+  let sums = Fp.Psum_flat.sums
+  let insert = Fp.Psum_flat.insert
+  let remove = Fp.Psum_flat.remove
+end
+
+module Flat16 = Flat_of (struct
+  let bits = 16
+  let backend = `Auto
+end)
+
+module Flat24 = Flat_of (struct
+  let bits = 24
+  let backend = `Auto
+end)
+
+module Flat32 = Flat_of (struct
+  let bits = 32
+  let backend = `Auto
+end)
+
+module FlatLog16 = Flat_of (struct
+  let bits = 16
+  let backend = `Log
+end)
+
 module Ref32_spec = Spec.Sketch_spec (Ref32)
 module Gen16_spec = Spec.Sketch_spec (Gen16)
 module Log16_spec = Spec.Sketch_spec (Log16)
+module Flat16_spec = Spec.Sketch_spec (Flat16)
+module Flat24_spec = Spec.Sketch_spec (Flat24)
+module Flat32_spec = Spec.Sketch_spec (Flat32)
+module FlatLog16_spec = Spec.Sketch_spec (FlatLog16)
 module Sketch_diff16 = Spec.Sketch_diff (Gen16) (Log16)
-module Decode16 = Spec.Decoder_spec (F16)
-module Decode32 = Spec.Decoder_spec (F32)
+module Flat_diff16 = Spec.Sketch_diff (Gen16) (Flat16)
+module Flat_diff32 = Spec.Sketch_diff (Ref32) (Flat32)
+module Flat_diff_log16 = Spec.Sketch_diff (Flat16) (FlatLog16)
+module Decode16 = Spec.Decoder_spec (F16) (Gen16)
+module Decode32 = Spec.Decoder_spec (F32) (Ref32)
+module Decode16_flat = Spec.Decoder_spec (F16) (Flat16)
+module Decode32_flat = Spec.Decoder_spec (F32) (Flat32)
+
+module Flat_table_spec = Spec.Table_spec (struct
+  type t = Fp.Flat_table.t
+
+  let create ~capacity = Fp.Flat_table.create ~capacity ()
+  let admit = Fp.Flat_table.admit
+  let remove = Fp.Flat_table.remove
+  let find = Fp.Flat_table.find
+  let occupancy = Fp.Flat_table.occupancy
+  let peak_occupancy = Fp.Flat_table.peak_occupancy
+  let iter = Fp.Flat_table.iter
+  let admitted t = (Fp.Flat_table.stats t).Fp.Flat_table.admitted
+
+  let evicted t =
+    let s = Fp.Flat_table.stats t in
+    s.Fp.Flat_table.evicted_lru + s.Fp.Flat_table.evicted_idle
+
+  let removed t = (Fp.Flat_table.stats t).Fp.Flat_table.removed
+end)
+
+(* Fastpath-specific properties the generic seams cannot express. *)
+let fastpath_props =
+  let ids_arb =
+    QCheck.list_of_size (QCheck.Gen.int_range 0 64) (QCheck.map abs QCheck.int)
+  in
+  [
+    (* Batching is an invisible optimisation: a flat sketch fed one
+       insert_batch call agrees with the reference Psum fed the same
+       identifiers one at a time, for every batch granularity. *)
+    QCheck.Test.make ~count:200
+      ~name:"Psum_flat: batched inserts = sequential reference Psum"
+      (QCheck.pair (QCheck.int_range 1 8) ids_arb)
+      (fun (batch, ids) ->
+        let flat =
+          Fp.Psum_flat.create ~bits:24 ~batch ~threshold:10 ()
+        in
+        let reference = Psum.create ~bits:24 ~threshold:10 () in
+        Fp.Psum_flat.insert_batch flat (Array.of_list ids);
+        List.iter (Psum.insert reference) ids;
+        Fp.Psum_flat.sums flat = Psum.sums reference
+        && Fp.Psum_flat.count flat = Psum.count reference);
+    (* Slot recycling never leaks state: whatever a slot held before
+       release, re-acquiring hands out a scrubbed sketch, and the
+       live/free partition of the arena stays exact. *)
+    QCheck.Test.make ~count:200
+      ~name:"Slab: released slots come back scrubbed, arena partition holds"
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 40)
+         (QCheck.pair (QCheck.int_range 0 3) (QCheck.map abs QCheck.int)))
+      (fun trace ->
+        let slots = 4 in
+        let slab = Fp.Slab.create ~bits:16 ~batch:3 ~slots ~threshold:6 () in
+        let views =
+          Array.init slots (fun slot -> Fp.Psum_flat.of_slot slab ~slot)
+        in
+        let ok = ref true in
+        List.iter
+          (fun (_, id) ->
+            (if Fp.Slab.free_count slab > 0 then begin
+               let slot = Fp.Slab.acquire slab in
+               let v = views.(slot) in
+               (* freshly acquired: scrubbed, whatever its past life *)
+               if
+                 Fp.Psum_flat.count v <> 0
+                 || not (Array.for_all (( = ) 0) (Fp.Psum_flat.sums v))
+               then ok := false;
+               Fp.Psum_flat.insert v id;
+               Fp.Psum_flat.insert v (id + 1)
+             end
+             else
+               (* full: release the slot the id points at *)
+               Fp.Slab.release slab (id mod slots));
+            if Fp.Slab.live_count slab + Fp.Slab.free_count slab <> slots then
+              ok := false)
+          trace;
+        !ok);
+  ]
 
 (* Satellite of the sidespec contracts: prove the runtime twins
    actually execute when the debug gate is up, so CI running with
@@ -98,11 +225,25 @@ let () =
       ( "sketch-spec",
         q
           (Ref32_spec.props "Psum32" @ Gen16_spec.props "Psum16"
-         @ Log16_spec.props "PsumLog16") );
-      ("sketch-diff", q (Sketch_diff16.props "Psum16=PsumLog16"));
+         @ Log16_spec.props "PsumLog16" @ Flat16_spec.props "Flat16"
+         @ Flat24_spec.props "Flat24" @ Flat32_spec.props "Flat32"
+         @ FlatLog16_spec.props "FlatLog16") );
+      ( "sketch-diff",
+        q
+          (Sketch_diff16.props "Psum16=PsumLog16"
+          @ Flat_diff16.props "Psum16=Flat16"
+          @ Flat_diff32.props "Psum32=Flat32"
+          @ Flat_diff_log16.props "Flat16=FlatLog16") );
       ( "decoder-spec",
-        q (Decode16.props "Decoder16" @ Decode32.props "Decoder32") );
-      ("flow-table-spec", q (Spec.Flow_table_spec.props "Flow_table"));
+        q
+          (Decode16.props "Decoder16" @ Decode32.props "Decoder32"
+         @ Decode16_flat.props "Decoder16/flat"
+         @ Decode32_flat.props "Decoder32/flat") );
+      ( "flow-table-spec",
+        q
+          (Spec.Flow_table_spec.props "Flow_table"
+          @ Flat_table_spec.props "Flat_table") );
+      ("fastpath-spec", q fastpath_props);
       ( "invariant-twins",
         [
           Alcotest.test_case "twins fire under the debug gate" `Quick

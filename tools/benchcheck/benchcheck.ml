@@ -59,19 +59,26 @@ let check_row path i = function
       (* A merged parallel-runtime row must carry the full speedup
          record, and its job/replication counts must be sane — a bench
          that lost a field here measured nothing. *)
-      if List.assoc_opt "section" fields = Some (Obs.Json.String "runtime_parallel")
-      then begin
-        let num name =
-          match List.assoc_opt name fields with
-          | Some (Obs.Json.Int n) -> Some (float_of_int n)
-          | Some (Obs.Json.Float f) when Float.is_finite f -> Some f
-          | Some _ | None ->
-              err path "row %d: runtime_parallel field %S missing or non-numeric"
-                i name;
-              None
-        in
+      let section = List.assoc_opt "section" fields in
+      let num name ~section =
+        match List.assoc_opt name fields with
+        | Some (Obs.Json.Int n) -> Some (float_of_int n)
+        | Some (Obs.Json.Float f) when Float.is_finite f -> Some f
+        | Some _ | None ->
+            err path "row %d: %s field %S missing or non-numeric" i section name;
+            None
+      in
+      let enum name ~section allowed =
+        match List.assoc_opt name fields with
+        | Some (Obs.Json.String s) when List.mem s allowed -> ()
+        | Some _ | None ->
+            err path "row %d: %s field %S missing or not one of {%s}" i section
+              name
+              (String.concat ", " allowed)
+      in
+      if section = Some (Obs.Json.String "runtime_parallel") then begin
         let check_pos name =
-          match num name with
+          match num name ~section:"runtime_parallel" with
           | Some v when v <= 0. ->
               err path "row %d: runtime_parallel field %S must be positive" i
                 name
@@ -80,14 +87,87 @@ let check_row path i = function
         List.iter check_pos
           [ "jobs"; "replications"; "flows_per_replication"; "seq_wall_s";
             "par_wall_s"; "speedup" ]
+      end;
+      (* The datapath differential rows: every field present and
+         non-negative (the deterministic bench zeroes wall-clock rates,
+         so positivity is too strong), datapaths from the known set.
+         The ref/flat checksum agreement is checked across rows below. *)
+      if section = Some (Obs.Json.String "runtime_datapath") then begin
+        enum "datapath" ~section:"runtime_datapath" [ "ref"; "flat" ];
+        let check_nonneg name =
+          match num name ~section:"runtime_datapath" with
+          | Some v when v < 0. ->
+              err path "row %d: runtime_datapath field %S is negative" i name
+          | Some _ | None -> ()
+        in
+        List.iter check_nonneg
+          [ "flows"; "pkts_per_sec"; "proxy_us_per_pkt"; "alloc_words_per_pkt";
+            "quacks"; "checksum" ]
+      end;
+      if section = Some (Obs.Json.String "runtime_field") then begin
+        enum "datapath" ~section:"runtime_field" [ "ref"; "flat" ];
+        enum "field" ~section:"runtime_field" [ "modular"; "log" ];
+        let check_nonneg name =
+          match num name ~section:"runtime_field" with
+          | Some v when v < 0. ->
+              err path "row %d: runtime_field field %S is negative" i name
+          | Some _ | None -> ()
+        in
+        List.iter check_nonneg
+          [ "bits"; "pkts_per_sec"; "proxy_us_per_pkt"; "checksum" ]
       end
   | _ -> err path "row %d: not an object" i
+
+(* Cross-row: each runtime_datapath flow count must carry one ref and
+   one flat row, and the two fixed-length checksum runs must agree —
+   a divergence here means the fast path processed different packets
+   than the authoritative one and the speedup column is fiction. *)
+let check_datapath_pairs path rows =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      match row with
+      | Obs.Json.Obj fields
+        when List.assoc_opt "section" fields
+             = Some (Obs.Json.String "runtime_datapath") -> (
+          match
+            ( List.assoc_opt "flows" fields,
+              List.assoc_opt "datapath" fields,
+              List.assoc_opt "checksum" fields )
+          with
+          | Some (Obs.Json.Int flows), Some (Obs.Json.String dp),
+            Some (Obs.Json.Int cks) ->
+              Hashtbl.add tbl flows (dp, cks)
+          | _ -> () (* field-level errors already reported *))
+      | _ -> ())
+    rows;
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun flows _ ->
+      if not (Hashtbl.mem seen flows) then begin
+        Hashtbl.add seen flows ();
+        let arms = Hashtbl.find_all tbl flows in
+        match
+          ( List.filter (fun (dp, _) -> dp = "ref") arms,
+            List.filter (fun (dp, _) -> dp = "flat") arms )
+        with
+        | [ (_, r) ], [ (_, f) ] ->
+            if r <> f then
+              err path
+                "runtime_datapath: ref/flat checksums diverge at %d flows" flows
+        | rs, fs ->
+            err path
+              "runtime_datapath: %d flows has %d ref / %d flat rows (want 1/1)"
+              flows (List.length rs) (List.length fs)
+      end)
+    tbl
 
 let check_bench path doc =
   match Obs.Json.member "rows" doc with
   | Some (Obs.Json.List []) -> err path "empty \"rows\""
   | Some (Obs.Json.List rows) ->
       List.iteri (check_row path) rows;
+      check_datapath_pairs path rows;
       if !errors = 0 then
         Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
   | _ -> err path "missing \"rows\" list"

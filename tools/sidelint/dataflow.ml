@@ -17,6 +17,11 @@
    binder of a reduced scrutinee is reduced), if/else joins, pipelines
    ([x |> F.of_int], [F.of_int @@ x]), refs ([let pw = ref F.one] makes
    [!pw] reduced until a raw assignment clears it), and sequencing.
+   Storage reads are raw by fiat: [Bigarray.Array1.get]/[unsafe_get]
+   (and the [A1]-style aliases the flat datapath uses) return bare ints
+   out of an untyped arena, so provenance never survives the round
+   trip — even a sum that was stored reduced must re-enter the field
+   API before arithmetic.
    The analysis is intraprocedural: parameters enter raw, calls of
    unknown functions return raw. That under-approximates — the point
    is zero false positives on audited code, with the seeded fixture
@@ -75,11 +80,23 @@ let is_field_module env = function
   | [ m ] | [ _; m ] -> Sset.mem m env.field_mods
   | _ -> false
 
-let field_op_result env name =
+(* Untyped storage reads re-enter the analysis raw. Listed explicitly
+   (rather than relying on unknown calls falling through to raw) so a
+   future field module exposing [get] cannot silently reclassify arena
+   reads as reduced. *)
+let storage_read name =
   match List.rev name with
-  | op :: (_ :: _ as rev_path) when List.mem op reducing_ops ->
-      is_field_module env (List.rev rev_path)
+  | ("get" | "unsafe_get") :: m :: _ ->
+      List.mem m [ "Array1"; "Array2"; "Array3"; "Genarray"; "A1"; "A2"; "A3" ]
   | _ -> false
+
+let field_op_result env name =
+  if storage_read name then false
+  else
+    match List.rev name with
+    | op :: (_ :: _ as rev_path) when List.mem op reducing_ops ->
+        is_field_module env (List.rev rev_path)
+    | _ -> false
 
 let field_const env name =
   match List.rev name with
