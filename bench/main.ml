@@ -6,22 +6,24 @@
    Usage: dune exec bench/main.exe [-- [--jobs N] section ...]
    Sections: table2 table3 fig5 fig6 freq proto_cc proto_ar proto_rx
              cc_compare fairness sweep short_flows runtime
-             runtime_datapath runtime_field ablation extensions
-             (default: all of them, in that order).
+             runtime_datapath runtime_field runtime_shard ablation
+             extensions (default: all of them, in that order).
    --jobs N fans the grid sweeps (table2/fig5/fig6/sweep/short_flows/
    cc_compare/runtime points, fairness trials) over N domains via
    lib/exec; default Exec.recommended_jobs () (the SIDECAR_JOBS env
    overrides). Results are merged in submission order, so every table
    and JSON row is identical for any N.
-   BENCH_RUNTIME_FLOWS caps the runtime section's flow count.
+   BENCH_RUNTIME_FLOWS caps the runtime section's flow count and
+   BENCH_SHARD_FLOWS scales the runtime_shard scenarios.
    BENCH_DETERMINISTIC=1 drops wall-clock measurement from the runtime
    section (no cost_clock, no speedup row) so BENCH_RUNTIME.json is
    byte-identical across runs and job counts — what CI diffs.
    Set BENCH_CSV_DIR=<dir> to also write the figure data as CSV.
    Sections that measure the quACK itself (table2/fig5/fig6) append
-   rows to BENCH_QUACK.json and the runtime section to
-   BENCH_RUNTIME.json, written to the working directory on exit and
-   validated by tools/benchcheck. *)
+   rows to BENCH_QUACK.json, the runtime sections to
+   BENCH_RUNTIME.json and the sharded runtime to BENCH_SHARD.json,
+   written to the working directory on exit and validated by
+   tools/benchcheck. *)
 
 open Sidecar_quack
 module Time = Netsim.Sim_time
@@ -87,6 +89,7 @@ let measure_ns ?(quota = 0.2) ~name f =
 
 let quack_rows : Obs.Json.t list ref = ref []
 let runtime_rows : Obs.Json.t list ref = ref []
+let shard_rows : Obs.Json.t list ref = ref []
 
 let add_row rows ~section fields =
   rows := Obs.Json.Obj (("section", Obs.Json.String section) :: fields) :: !rows
@@ -998,6 +1001,118 @@ let runtime_field _pool =
     [ ("modular", m_us, m_pps, m_st); ("log", l_us, l_pps, l_st) ]
 
 (* ------------------------------------------------------------------ *)
+(* Sharded always-on runtime: shard-count invariance at scale         *)
+
+(* Two scenarios, each run at shards = 1, 2 and 4:
+
+   - "sustained": the default open-loop workload (idle eviction, flat
+     datapath) holding >100k concurrent lognormal flows against a
+     2048-slot table — admission control (denials) is the steady diet;
+   - "churn": LRU against a table an order of magnitude under the
+     offered concurrency, so nearly every packet admits-and-evicts —
+     the eviction-churn stressor.
+
+   The shards=1/2/4 rows of one scenario must agree on every
+   simulation-derived column (the bench aborts on checksum divergence;
+   benchcheck re-verifies the rows); only wall_s may differ, and on a
+   single-CPU host it honestly reports ~1x. BENCH_SHARD_FLOWS scales
+   the sustained flow count (arrivals and the churn scenario scale
+   proportionally) so CI smoke stays fast. *)
+let runtime_shard _pool =
+  let module Sr = Sidecar_runtime.Shard_runtime in
+  section "Runtime: sharded always-on flow runtime (shards 1/2/4)";
+  let base_flows =
+    match Sys.getenv_opt "BENCH_SHARD_FLOWS" with
+    | Some s -> ( try max 4_000 (int_of_string s) with Failure _ -> 240_000)
+    | None -> 240_000
+  in
+  let scenarios : (string * Sr.config) list =
+    [
+      ( "sustained",
+        {
+          Sr.default_config with
+          Sr.flows = base_flows;
+          arrivals_per_epoch = max 1 (base_flows / 40);
+        } );
+      ( "churn",
+        {
+          Sr.default_config with
+          Sr.flows = base_flows / 4;
+          arrivals_per_epoch = max 1 (base_flows / 80);
+          capacity = 1024;
+          policy = Sr.Lru;
+          quack_every = 8;
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, (cfg : Sr.config)) ->
+      Printf.printf "  %s: %d flows, %d arrivals/epoch, %d slots over %d \
+                     partitions, %s\n"
+        name cfg.Sr.flows cfg.Sr.arrivals_per_epoch cfg.Sr.capacity
+        cfg.Sr.partitions
+        (Sr.policy_string cfg.Sr.policy);
+      let runs =
+        List.map
+          (fun shards ->
+            let t0 = Unix.gettimeofday () in
+            let r = Sr.run { cfg with Sr.shards = shards } in
+            let wall = if deterministic then 0. else Unix.gettimeofday () -. t0 in
+            (shards, r, wall))
+          [ 1; 2; 4 ]
+      in
+      let base =
+        match runs with
+        | (_, base, _) :: _ -> base
+        | [] -> assert false (* runs is built from a non-empty literal *)
+      in
+      List.iter
+        (fun (shards, (r : Sr.report), wall) ->
+          if r.Sr.checksum <> base.Sr.checksum then begin
+            Printf.eprintf
+              "bench: %s checksum diverges at shards=%d (%x vs %x)\n" name
+              shards r.Sr.checksum base.Sr.checksum;
+            exit 1
+          end;
+          Printf.printf
+            "    shards %d: %7d pkts/epoch avg  peak %6d concurrent  occ %4d  \
+             evict %8.1f/epoch  denied %8d%s\n"
+            shards
+            (r.Sr.packets / max 1 r.Sr.epochs)
+            r.Sr.peak_concurrent r.Sr.peak_occupancy
+            r.Sr.eviction_churn_per_epoch r.Sr.denied
+            (if deterministic then "" else Printf.sprintf "  wall %.2f s" wall);
+          add_row shard_rows ~section:"runtime_shard"
+            [
+              ("scenario", Obs.Json.String name);
+              ("policy", Obs.Json.String
+                 (match r.Sr.policy with Sr.Lru -> "lru" | Sr.Idle_epochs _ -> "idle"));
+              ("shards", Obs.Json.Int shards);
+              ("partitions", Obs.Json.Int r.Sr.partitions);
+              ("capacity", Obs.Json.Int r.Sr.capacity);
+              ("flows", Obs.Json.Int r.Sr.flows);
+              ("arrivals_per_epoch", Obs.Json.Int r.Sr.arrivals_per_epoch);
+              ("epochs", Obs.Json.Int r.Sr.epochs);
+              ("packets", Obs.Json.Int r.Sr.packets);
+              ("peak_concurrent", Obs.Json.Int r.Sr.peak_concurrent);
+              ("occupancy_peak", Obs.Json.Int r.Sr.peak_occupancy);
+              ("admitted", Obs.Json.Int r.Sr.admitted);
+              ("evicted", Obs.Json.Int r.Sr.evicted);
+              ("denied", Obs.Json.Int r.Sr.denied);
+              ("completed", Obs.Json.Int r.Sr.completed);
+              ("quacks", Obs.Json.Int r.Sr.quacks);
+              ("eviction_churn_per_epoch",
+               Obs.Json.Float r.Sr.eviction_churn_per_epoch);
+              ("checksum", Obs.Json.Int r.Sr.checksum);
+              ("wall_s", Obs.Json.Float wall);
+            ])
+        runs;
+      Printf.printf
+        "    (columns above are shard-count-invariant by construction; \
+         wall-clock is ~1x on one CPU)\n")
+    scenarios
+
+(* ------------------------------------------------------------------ *)
 (* Ablations of design choices                                        *)
 
 let ablation _pool =
@@ -1252,6 +1367,7 @@ let sections =
     ("runtime", runtime);
     ("runtime_datapath", runtime_datapath);
     ("runtime_field", runtime_field);
+    ("runtime_shard", runtime_shard);
     ("ablation", ablation);
     ("extensions", extensions);
   ]
@@ -1290,4 +1406,5 @@ let () =
               exit 1)
         requested);
   write_rows "BENCH_QUACK.json" quack_rows;
-  write_rows "BENCH_RUNTIME.json" runtime_rows
+  write_rows "BENCH_RUNTIME.json" runtime_rows;
+  write_rows "BENCH_SHARD.json" shard_rows

@@ -347,9 +347,67 @@ let fairness_cmd =
 (* ------------------------------------------------------------------ *)
 (* runtime: many flows through one bounded-table proxy                  *)
 
+let parse_datapath = function
+  | "ref" -> `Ref
+  | "flat" -> `Flat
+  | s ->
+      Format.eprintf "unknown datapath %S (expected ref|flat)@." s;
+      exit 2
+
+let parse_field = function
+  | "modular" -> `Modular
+  | "log" -> `Log
+  | s ->
+      Format.eprintf "unknown field backend %S (expected modular|log)@." s;
+      exit 2
+
+(* runtime --shards N: the always-on sharded runtime instead of the
+   event-driven scenario. Under BENCH_DETERMINISTIC=1 the JSON report
+   omits the shard count — the CI invariance step [cmp]s the files
+   from --shards 1 and --shards 4 byte for byte. *)
+let run_sharded ~shards ~partitions ~flows ~table ~eviction ~idle_epochs
+    ~arrivals ~quack_every ~datapath ~field ~bits ~seed ~json =
+  let module Sr = Sidecar_runtime.Shard_runtime in
+  let d = Sr.default_config in
+  let policy =
+    match Option.value eviction ~default:"idle" with
+    | "lru" -> Sr.Lru
+    | "idle" -> Sr.Idle_epochs idle_epochs
+    | s ->
+        Format.eprintf "unknown eviction policy %S (expected lru|idle)@." s;
+        exit 2
+  in
+  let cfg =
+    {
+      d with
+      Sr.shards;
+      partitions;
+      capacity = Option.value table ~default:d.Sr.capacity;
+      policy;
+      datapath =
+        (match datapath with Some s -> parse_datapath s | None -> d.Sr.datapath);
+      field = parse_field field;
+      bits = Option.value bits ~default:d.Sr.bits;
+      flows = Option.value flows ~default:d.Sr.flows;
+      arrivals_per_epoch = Option.value arrivals ~default:d.Sr.arrivals_per_epoch;
+      quack_every;
+      seed;
+    }
+  in
+  let r = Sr.run cfg in
+  Format.printf "%a@." Sr.pp_report r;
+  let deterministic = Sys.getenv_opt "BENCH_DETERMINISTIC" = Some "1" in
+  finish ~traced:false json (Sr.json_report ~deterministic r)
+
 let runtime_cmd =
   let run protocol flows table eviction idle_ms seed far_loss per_flow
-      datapath field bits json trace replications jobs =
+      datapath field bits json trace replications jobs shards partitions
+      arrivals idle_epochs quack_every =
+    match shards with
+    | Some shards ->
+        run_sharded ~shards ~partitions ~flows ~table ~eviction ~idle_epochs
+          ~arrivals ~quack_every ~datapath ~field ~bits ~seed ~json
+    | None ->
     let jobs = check_jobs jobs in
     if replications < 1 then begin
       Format.eprintf "--replications must be at least 1@.";
@@ -357,7 +415,7 @@ let runtime_cmd =
     end;
     let traced = set_trace trace in
     let policy =
-      match eviction with
+      match Option.value eviction ~default:"lru" with
       | "lru" -> Sidecar_runtime.Flow_table.Lru
       | "idle" -> Sidecar_runtime.Flow_table.Idle idle_ms
       | s ->
@@ -373,22 +431,10 @@ let runtime_cmd =
           Format.eprintf "unknown protocol %S (expected cc|ack|retx)@." s;
           exit 2
     in
-    let datapath =
-      match datapath with
-      | "ref" -> `Ref
-      | "flat" -> `Flat
-      | s ->
-          Format.eprintf "unknown datapath %S (expected ref|flat)@." s;
-          exit 2
-    in
-    let field =
-      match field with
-      | "modular" -> `Modular
-      | "log" -> `Log
-      | s ->
-          Format.eprintf "unknown field backend %S (expected modular|log)@." s;
-          exit 2
-    in
+    let flows = Option.value flows ~default:200 in
+    let table = Option.value table ~default:64 in
+    let datapath = parse_datapath (Option.value datapath ~default:"ref") in
+    let field = parse_field field in
     let bits =
       match bits with
       | Some b -> b
@@ -468,16 +514,22 @@ let runtime_cmd =
     end
   in
   let flows =
-    Arg.(value & opt int 200 & info [ "flows" ] ~docv:"N" ~doc:"Concurrent flows.")
+    Arg.(value & opt (some int) None
+         & info [ "flows" ] ~docv:"N"
+             ~doc:"Flow count (default 200; with --shards, total flows over \
+                   the run, default 240000).")
   in
   let table =
-    Arg.(value & opt int 64
+    Arg.(value & opt (some int) None
          & info [ "table" ] ~docv:"N"
-             ~doc:"Flow-table capacity (0 = pure end-to-end).")
+             ~doc:"Flow-table capacity (0 = pure end-to-end; default 64, or \
+                   2048 split across partitions with --shards).")
   in
   let eviction =
-    Arg.(value & opt string "lru"
-         & info [ "eviction" ] ~docv:"POLICY" ~doc:"Eviction policy: lru or idle.")
+    Arg.(value & opt (some string) None
+         & info [ "eviction" ] ~docv:"POLICY"
+             ~doc:"Eviction policy: lru or idle (default lru; idle with \
+                   --shards).")
   in
   let idle_ms =
     Arg.(value & opt msarg (Time.ms 100)
@@ -499,11 +551,42 @@ let runtime_cmd =
                    --jobs).")
   in
   let datapath =
-    Arg.(value & opt string "ref"
+    Arg.(value & opt (some string) None
          & info [ "datapath" ] ~docv:"DP"
              ~doc:"Proxy receiver datapath: ref (authoritative per-flow \
                    Receiver_state) or flat (slab-backed flat-array fast \
-                   path; reports are byte-identical).")
+                   path; reports are byte-identical). Default ref, or flat \
+                   with --shards.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Run the always-on sharded runtime on $(docv) worker \
+                   domains instead of the event-driven scenario. The \
+                   deterministic report is byte-identical for any $(docv).")
+  in
+  let partitions =
+    Arg.(value & opt int 16
+         & info [ "partitions" ] ~docv:"P"
+             ~doc:"Fixed logical flow-table partitions (admission and \
+                   eviction are decided per partition, so results never \
+                   depend on --shards). Requires --shards.")
+  in
+  let arrivals =
+    Arg.(value & opt (some int) None
+         & info [ "arrivals" ] ~docv:"N"
+             ~doc:"Flow arrivals per epoch for --shards mode (default 6000).")
+  in
+  let idle_epochs =
+    Arg.(value & opt int 4
+         & info [ "idle-epochs" ] ~docv:"E"
+             ~doc:"Idle span, in epochs, for --shards mode's idle policy.")
+  in
+  let quack_every =
+    Arg.(value & opt int 16
+         & info [ "quack-every" ] ~docv:"K"
+             ~doc:"A tracked flow emits a quACK every $(docv)-th packet \
+                   (--shards mode).")
   in
   let field =
     Arg.(value & opt string "modular"
@@ -523,7 +606,8 @@ let runtime_cmd =
     Term.(const run $ protocol $ flows $ table $ eviction $ idle_ms $ seed
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
           $ per_flow $ datapath $ field $ bits $ json_arg $ trace_arg
-          $ replications $ jobs_arg)
+          $ replications $ jobs_arg $ shards $ partitions $ arrivals
+          $ idle_epochs $ quack_every)
 
 (* ------------------------------------------------------------------ *)
 

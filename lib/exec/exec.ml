@@ -216,3 +216,162 @@ end
 
 let map ?jobs ?seed ~f items =
   Pool.with_pool ?jobs (fun t -> Pool.map ?seed t ~f items)
+
+module Service = struct
+  (* Long-lived workers with state affinity: worker [i] builds its
+     state once (inside its own domain, so domain-local storage such
+     as [Obs.Sink]'s registers is worker-local too) and every
+     subsequent round applies the round's function to that same
+     state. Unlike [Pool] there is no work queue and no claiming —
+     the whole point is that state [i] is only ever touched by
+     worker [i]. *)
+  type 'w outcome = ('w, exn * Printexc.raw_backtrace) result
+
+  type 'w state = {
+    mutex : Mutex.t;
+    ready : Condition.t;
+    finished : Condition.t;
+    mutable generation : int;
+    mutable job : (int -> 'w outcome -> unit) option;
+    mutable pending : int;
+    mutable stop : bool;
+  }
+
+  type 'w t = {
+    workers : int;
+    state : 'w state;
+    domains : unit Domain.t list;
+    (* [workers = 1] runs every round inline in the caller against
+       this state — the determinism baseline shares the exact code
+       path that the worker domains run. *)
+    inline : 'w outcome option;
+    mutable live : bool;
+  }
+
+  let guard init i =
+    try Ok (init i) with e -> Error (e, Printexc.get_raw_backtrace ())
+
+  let worker st ~index ~init =
+    let w = guard init index in
+    let my_gen = ref 0 in
+    let running = ref true in
+    while !running do
+      Mutex.lock st.mutex;
+      while (not st.stop) && st.generation = !my_gen do
+        Condition.wait st.ready st.mutex
+      done;
+      if st.stop then begin
+        Mutex.unlock st.mutex;
+        running := false
+      end
+      else begin
+        my_gen := st.generation;
+        let job = st.job in
+        Mutex.unlock st.mutex;
+        (* [job] never raises: [round] wraps the user function and
+           captures any exception into the result slot, so [pending]
+           always reaches zero and nobody deadlocks. *)
+        (match job with Some run -> run index w | None -> ());
+        Mutex.lock st.mutex;
+        st.pending <- st.pending - 1;
+        if st.pending = 0 then Condition.broadcast st.finished;
+        Mutex.unlock st.mutex
+      end
+    done
+
+  let create ?workers ~init () =
+    let workers =
+      match workers with Some w -> w | None -> recommended_jobs ()
+    in
+    if workers < 1 then
+      invalid_arg "Exec.Service.create: workers must be >= 1";
+    let state =
+      {
+        mutex = Mutex.create ();
+        ready = Condition.create ();
+        finished = Condition.create ();
+        generation = 0;
+        job = None;
+        pending = 0;
+        stop = false;
+      }
+    in
+    if workers = 1 then
+      { workers; state; domains = []; inline = Some (guard init 0); live = true }
+    else
+      let domains =
+        List.init workers (fun index ->
+            Domain.spawn (fun () -> worker state ~index ~init))
+      in
+      { workers; state; domains; inline = None; live = true }
+
+  let workers t = t.workers
+
+  let collect results =
+    let n = Array.length results in
+    let rec first_error i =
+      if i >= n then None
+      else
+        match results.(i) with
+        | Some (Error eb) -> Some eb
+        | Some (Ok _) | None -> first_error (i + 1)
+    in
+    match first_error 0 with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None ->
+        List.init n (fun i ->
+            match results.(i) with
+            | Some (Ok v) -> v
+            | Some (Error _) | None ->
+                invalid_arg "Exec.Service.round: result slot empty after round")
+
+  let round t ~f =
+    if not t.live then invalid_arg "Exec.Service.round: service is shut down";
+    let n = t.workers in
+    let results = Array.make n None in
+    (* As in [Pool.map]: trace semantics must not depend on which
+       domain runs the work, so each round re-installs the submitting
+       domain's default trace categories in every worker. *)
+    let cats = Obs.Sink.default_trace_categories () in
+    let run i w =
+      let r =
+        try
+          Obs.Sink.set_default_trace_categories cats;
+          match w with Ok st -> Ok (f i st) | Error eb -> Error eb
+        with e -> Error (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- Some r
+    in
+    (match t.inline with
+    | Some w -> run 0 w
+    | None ->
+        let st = t.state in
+        Mutex.lock st.mutex;
+        st.job <- Some run;
+        st.pending <- n;
+        st.generation <- st.generation + 1;
+        Condition.broadcast st.ready;
+        while st.pending > 0 do
+          Condition.wait st.finished st.mutex
+        done;
+        (* Drop the closure so the round's environment isn't retained
+           between rounds. *)
+        st.job <- None;
+        Mutex.unlock st.mutex);
+    collect results
+
+  let shutdown t =
+    if t.live then begin
+      t.live <- false;
+      let st = t.state in
+      Mutex.lock st.mutex;
+      st.stop <- true;
+      Condition.broadcast st.ready;
+      Mutex.unlock st.mutex;
+      List.iter Domain.join t.domains
+    end
+
+  let with_service ?workers ~init f =
+    let t = create ?workers ~init () in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+end

@@ -80,3 +80,56 @@ end
 
 val map : ?jobs:int -> ?seed:int -> f:(ctx -> 'a -> 'b) -> 'a list -> 'b list
 (** One-shot convenience: {!Pool.with_pool} around {!Pool.map}. *)
+
+(** Persistent workers with state affinity — the submit/drain engine
+    under the sharded runtime.
+
+    Where {!Pool} fans one-shot task lists over interchangeable
+    workers, a [Service] keeps [workers] long-lived domains, each
+    owning a private state value built {e in that domain} by [init]
+    (so domain-local storage — e.g. [Obs.Sink]'s registers — belongs
+    to the worker that will use it). Work arrives as {e rounds}: every
+    worker applies the round's function to its own index and its own
+    state, the caller blocks until all have finished, and results come
+    back in worker order. No queue, no stealing, no sharing: state [i]
+    is only ever touched by worker [i], which is exactly the ownership
+    discipline a sharded flow table needs ("no cross-shard path"). The
+    round barrier's mutex hand-off is the only synchronisation, and it
+    establishes the happens-before edges that make the results (and
+    anything reachable from them) safe to read in the caller.
+
+    [workers = 1] spawns nothing and runs every round inline in the
+    caller — the determinism baseline runs the same code path as the
+    worker domains, which is what makes "byte-identical for any worker
+    count" a meaningful claim. *)
+module Service : sig
+  type 'w t
+
+  val create : ?workers:int -> init:(int -> 'w) -> unit -> 'w t
+  (** [create ~workers ~init ()] spawns [workers] domains (default
+      {!recommended_jobs}[ ()]), worker [i] immediately evaluating
+      [init i] for its private state. If [init] raises, the worker
+      stays alive and parks the exception: every subsequent {!round}
+      re-raises it (lowest worker index first). Values below 1 raise
+      [Invalid_argument]. *)
+
+  val workers : 'w t -> int
+
+  val round : 'w t -> f:(int -> 'w -> 'r) -> 'r list
+  (** [round t ~f] runs [f i state_i] on every worker concurrently and
+      returns the results in worker order, complete, for any worker
+      count. If one or more workers raise, the others still finish the
+      round (the service never deadlocks) and the exception of the
+      {e lowest-indexed} failed worker is re-raised in the caller with
+      its backtrace. Must be called from the domain that created the
+      service; rounds do not nest. *)
+
+  val shutdown : 'w t -> unit
+  (** Join the worker domains; their states are dropped (run a final
+      {!round} first to extract anything you need). Idempotent; using
+      the service afterwards raises [Invalid_argument]. *)
+
+  val with_service : ?workers:int -> init:(int -> 'w) -> ('w t -> 'a) -> 'a
+  (** [with_service ~init f] creates a service, applies [f], and
+      always shuts it down. *)
+end

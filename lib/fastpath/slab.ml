@@ -11,6 +11,10 @@ module Invariant = Sidecar_quack.Invariant
   "slab-clean-handoff: a released slot is scrubbed before it can be \
    re-acquired — its power sums, pending batch and count are all zero \
    when acquire hands it out"]
+[@@@sidespec
+  "slab-owner: a slab bound to a shard's domain is only ever acquired \
+   from or released on that domain — shards never share an arena, so \
+   the packet path needs no locking"]
 
 type vec = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
 
@@ -48,6 +52,7 @@ type t = {
   free : int array;  (* stack of free slot ids *)
   mutable nfree : int;
   live : Bytes.t;  (* '\001' = live *)
+  mutable owner : int option;  (* Domain.id of the owning shard, if bound *)
 }
 
 let p32 = 4294967291
@@ -122,7 +127,17 @@ let create ?(bits = 32) ?field ?(backend = `Auto) ?(batch = 16) ~slots
     free = Array.init slots (fun i -> slots - 1 - i);
     nfree = slots;
     live = Bytes.make slots '\000';
+    owner = None;
   }
+
+let bind_owner t = t.owner <- Some (Domain.self () :> int)
+let owner_id t = t.owner
+
+let check_owner t what =
+  Invariant.check ~name:("slab-owner: " ^ what) (fun () ->
+      match t.owner with
+      | None -> true
+      | Some d -> d = (Domain.self () :> int))
 
 let slots t = t.slots
 let threshold t = t.threshold
@@ -171,6 +186,7 @@ let check_books t what =
   end
 
 let acquire t =
+  if Invariant.active () then check_owner t "acquire";
   if t.nfree = 0 then
     invalid_arg "Slab.acquire: no free slot (size the slab to the table)";
   t.nfree <- t.nfree - 1;
@@ -188,6 +204,7 @@ let scrub t slot =
   t.counts.(slot) <- 0
 
 let release t slot =
+  if Invariant.active () then check_owner t "release";
   if slot < 0 || slot >= t.slots then
     invalid_arg "Slab.release: slot out of range";
   if not (live t slot) then invalid_arg "Slab.release: slot is not live";

@@ -88,6 +88,19 @@ val live : t -> int -> bool
 val live_count : t -> int
 val free_count : t -> int
 
+val bind_owner : t -> unit
+(** Pin the slab to the calling domain. Per-shard ownership is a
+    discipline, not a lock: after binding, every {!acquire} and
+    {!release} checks (debug-gated, the slab-owner contract) that it
+    runs on the owning domain, so a slab leaking across shards fails
+    fast under [SIDECAR_INVARIANTS=1] instead of racing silently. The
+    sharded runtime binds each shard's slab inside that shard's worker
+    domain at init. Rebinding moves ownership (a whole-slab hand-off
+    between rounds is legal; concurrent use never is). *)
+
+val owner_id : t -> int option
+(** The owning domain's id, when bound. *)
+
 (** {2 Storage access}
 
     For {!Psum_flat} (and tests): the raw arena views. [sums_vec] and

@@ -1,0 +1,92 @@
+type t = {
+  columns : string array;
+  mutable rows : int array array;  (* rows.(epoch).(column) *)
+  mutable used : int;
+}
+
+let create ~columns =
+  if columns = [] then invalid_arg "Epochs.create: need at least one column";
+  let arr = Array.of_list columns in
+  let seen = Hashtbl.create (Array.length arr) in
+  Array.iter
+    (fun c ->
+      if Hashtbl.mem seen c then
+        invalid_arg (Printf.sprintf "Epochs.create: duplicate column %S" c);
+      Hashtbl.add seen c ())
+    arr;
+  { columns = arr; rows = [||]; used = 0 }
+
+let columns t = Array.to_list t.columns
+let epochs t = t.used
+
+let col t name =
+  let n = Array.length t.columns in
+  let rec find i =
+    if i >= n then
+      invalid_arg (Printf.sprintf "Epochs.col: unknown column %S" name)
+    else if String.equal t.columns.(i) name then i
+    else find (i + 1)
+  in
+  find 0
+
+let ensure t epoch =
+  if epoch < 0 then invalid_arg "Epochs: negative epoch";
+  let cap = Array.length t.rows in
+  if epoch >= cap then begin
+    let cap' = max (epoch + 1) (max 16 (2 * cap)) in
+    let rows' =
+      Array.init cap' (fun i ->
+          if i < cap then t.rows.(i)
+          else Array.make (Array.length t.columns) 0)
+    in
+    t.rows <- rows'
+  end;
+  if epoch >= t.used then t.used <- epoch + 1
+
+let note t ~epoch c v =
+  if c < 0 || c >= Array.length t.columns then
+    invalid_arg "Epochs.note: column index out of range";
+  ensure t epoch;
+  t.rows.(epoch).(c) <- t.rows.(epoch).(c) + v
+
+let get t ~epoch name =
+  let c = col t name in
+  if epoch < 0 || epoch >= t.used then 0 else t.rows.(epoch).(c)
+
+let totals t =
+  let acc = Array.make (Array.length t.columns) 0 in
+  for e = 0 to t.used - 1 do
+    let row = t.rows.(e) in
+    for c = 0 to Array.length acc - 1 do
+      acc.(c) <- acc.(c) + row.(c)
+    done
+  done;
+  Array.to_list (Array.mapi (fun c v -> (t.columns.(c), v)) acc)
+
+let peak t name =
+  let c = col t name in
+  let best = ref 0 in
+  for e = 0 to t.used - 1 do
+    if t.rows.(e).(c) > !best then best := t.rows.(e).(c)
+  done;
+  !best
+
+let merge ~into src =
+  if into.columns <> src.columns then
+    invalid_arg "Epochs.merge: column sets differ";
+  for e = 0 to src.used - 1 do
+    let row = src.rows.(e) in
+    for c = 0 to Array.length row - 1 do
+      if row.(c) <> 0 then note into ~epoch:e c row.(c)
+    done;
+    (* keep the epoch count even when a source row is all zero *)
+    ensure into e
+  done
+
+let to_json t =
+  Json.List
+    (List.init t.used (fun e ->
+         Json.Obj
+           (("epoch", Json.Int e)
+           :: Array.to_list
+                (Array.mapi (fun c name -> (name, Json.Int t.rows.(e).(c))) t.columns))))

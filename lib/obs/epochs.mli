@@ -1,0 +1,51 @@
+(** Epoch-bucketed integer metric series.
+
+    The sharded runtime advances in discrete epochs; each shard
+    accumulates its per-epoch counters (arrivals, packets, evictions,
+    occupancy, ...) into one of these privately, and the coordinator
+    folds the per-shard series into one report with {!merge}. Cells
+    are {e integers} on purpose: integer addition is associative and
+    commutative, so the merged series is identical for any shard
+    count and any merge order — the arithmetic half of the
+    shard-count-invariance contract ([Float] accumulation would make
+    the totals depend on summation order). *)
+
+type t
+
+val create : columns:string list -> t
+(** A series over a fixed, ordered column set. @raise
+    Invalid_argument on an empty or duplicate-bearing column list. *)
+
+val columns : t -> string list
+
+val epochs : t -> int
+(** Number of epochs recorded so far ([note ~epoch:e] extends the
+    series to at least [e + 1] epochs; untouched cells are 0). *)
+
+val col : t -> string -> int
+(** Column index for {!note}'s hot path. @raise Invalid_argument on an
+    unknown name. *)
+
+val note : t -> epoch:int -> int -> int -> unit
+(** [note t ~epoch c v] adds [v] into column [c] of row [epoch],
+    growing the series as needed. @raise Invalid_argument on a
+    negative epoch or an out-of-range column index. *)
+
+val get : t -> epoch:int -> string -> int
+(** 0 outside the recorded range. @raise Invalid_argument on an
+    unknown column. *)
+
+val totals : t -> (string * int) list
+(** Column sums over all epochs, in column order. *)
+
+val peak : t -> string -> int
+(** Maximum cell value of one column over all epochs (0 when empty). *)
+
+val merge : into:t -> t -> unit
+(** Cell-wise addition of [src] into [into], extending [into] to
+    [src]'s epoch count. @raise Invalid_argument when the column sets
+    differ. *)
+
+val to_json : t -> Json.t
+(** One object per epoch: [{"epoch": e, "<col>": v, ...}], columns in
+    declaration order. *)

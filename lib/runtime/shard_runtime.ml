@@ -1,0 +1,762 @@
+module Time = Netsim.Sim_time
+module Rng = Netsim.Rng
+module Workload = Netsim.Workload
+module Q = Sidecar_quack
+module Fp = Sidecar_fastpath
+
+(* ------------------------------------------------------------------ *)
+(* Topology: partitions are the unit of ownership, shards the unit of
+   execution. Every flow-table decision (admit / evict / deny) is made
+   by a partition against its own capacity slice, and a partition's
+   event stream depends only on (seed, partition contents) — never on
+   which worker domain happens to run it. That is the whole invariance
+   argument: changing [shards] regroups partitions over workers but
+   changes no decision, so the merged report is byte-identical. *)
+
+type policy = Lru | Idle_epochs of int
+
+type config = {
+  shards : int;
+  partitions : int;
+  capacity : int;  (* total table slots, split across partitions *)
+  policy : policy;
+  datapath : [ `Ref | `Flat ];
+  field : [ `Modular | `Log ];
+  bits : int;
+  threshold : int;
+  batch : int;
+  flows : int;  (* total flows over the whole run *)
+  arrivals_per_epoch : int;
+  size_dist : Workload.size_dist;
+  min_units : int;
+  max_units : int;  (* one unit = one packet = one epoch of lifetime *)
+  quack_every : int;
+  max_epochs : int;  (* safety horizon *)
+  seed : int;
+}
+
+(* The sustained scenario from ROADMAP item 2: ~6k lognormal flows
+   arriving per epoch with a mean lifetime of a few dozen epochs gives
+   a steady state well above 100k concurrent flows pressed against a
+   2048-slot table — admission control (denials) and completion-driven
+   slot turnover are the steady diet; switch to [Lru] for thrash-style
+   eviction churn instead. *)
+let default_config =
+  {
+    shards = 1;
+    partitions = 16;
+    capacity = 2048;
+    policy = Idle_epochs 4;
+    datapath = `Flat;
+    field = `Modular;
+    bits = 32;
+    threshold = 8;
+    batch = 16;
+    flows = 240_000;
+    arrivals_per_epoch = 6_000;
+    size_dist = Workload.web_flows;
+    min_units = 4;
+    max_units = 400;
+    quack_every = 16;
+    max_epochs = 4_000;
+    seed = 1;
+  }
+
+let route ~partitions key =
+  if partitions <= 0 then
+    invalid_arg "Shard_runtime.route: partitions must be positive";
+  if key < 0 then invalid_arg "Shard_runtime.route: negative flow key";
+  (* SplitMix avalanche of the key so sequential flow ids spread
+     evenly; [Rng.derive] is already position-only and non-negative. *)
+  Rng.derive key ~index:0 mod partitions
+
+let shard_of ~shards ~partitions key =
+  if shards <= 0 then
+    invalid_arg "Shard_runtime.shard_of: shards must be positive";
+  route ~partitions key mod shards
+
+(* Remainder rule: partition [p] of [P] gets [capacity / P], plus one
+   of the [capacity mod P] leftover slots iff [p < capacity mod P] —
+   the first partitions are the wider ones, deterministically. *)
+let split_capacity ~capacity ~partitions =
+  if partitions <= 0 then
+    invalid_arg "Shard_runtime.split_capacity: partitions must be positive";
+  if capacity < 0 then
+    invalid_arg "Shard_runtime.split_capacity: negative capacity";
+  let q = capacity / partitions and r = capacity mod partitions in
+  Array.init partitions (fun p -> q + if p < r then 1 else 0)
+
+let validate cfg =
+  if cfg.shards < 1 then invalid_arg "Shard_runtime: shards must be >= 1";
+  if cfg.partitions < cfg.shards then
+    invalid_arg "Shard_runtime: every shard must own at least one partition";
+  if cfg.capacity < 0 then invalid_arg "Shard_runtime: negative capacity";
+  if cfg.flows < 1 then invalid_arg "Shard_runtime: need at least one flow";
+  if cfg.arrivals_per_epoch < 1 then
+    invalid_arg "Shard_runtime: arrivals per epoch must be >= 1";
+  if cfg.min_units < 1 || cfg.max_units < cfg.min_units then
+    invalid_arg "Shard_runtime: bad unit bounds";
+  if cfg.quack_every < 1 then
+    invalid_arg "Shard_runtime: quack interval must be positive";
+  if cfg.max_epochs < 1 then invalid_arg "Shard_runtime: bad epoch horizon";
+  (match cfg.policy with
+  | Idle_epochs e when e < 1 ->
+      invalid_arg "Shard_runtime: idle span must be >= 1 epoch"
+  | _ -> ())
+
+let mix_checksum cks v = (cks * 1099511628211) lxor v land max_int
+
+(* ------------------------------------------------------------------ *)
+(* Per-partition state.                                                *)
+
+type tstats = {
+  admitted : int;
+  evicted_lru : int;
+  evicted_idle : int;
+  removed : int;
+  denied : int;
+  hits : int;
+  misses : int;
+}
+
+(* Active flows of one partition: parallel growable arrays, iterated
+   in arrival order with swap-remove on completion — a deterministic
+   order that depends only on the partition's own history. *)
+type fstate = {
+  mutable ids : int array;
+  mutable left : int array;
+  mutable sent : int array;
+  mutable keys : Q.Identifier.key array;
+  mutable n : int;
+}
+
+let fstate_make () =
+  {
+    ids = Array.make 64 0;
+    left = Array.make 64 0;
+    sent = Array.make 64 0;
+    keys = Array.make 64 (Q.Identifier.key_of_int 0);
+    n = 0;
+  }
+
+let fstate_append fl ~id ~units ~key =
+  let cap = Array.length fl.ids in
+  if fl.n = cap then begin
+    let cap' = 2 * cap in
+    let grow a zero =
+      let a' = Array.make cap' zero in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    fl.ids <- grow fl.ids 0;
+    fl.left <- grow fl.left 0;
+    fl.sent <- grow fl.sent 0;
+    fl.keys <- grow fl.keys (Q.Identifier.key_of_int 0)
+  end;
+  fl.ids.(fl.n) <- id;
+  fl.left.(fl.n) <- units;
+  fl.sent.(fl.n) <- 0;
+  fl.keys.(fl.n) <- key;
+  fl.n <- fl.n + 1
+
+type part = {
+  pid : int;
+  cap : int;
+  fl : fstate;
+  cks : int ref;
+  (* one data packet: admit-or-find [flow], insert the identifier of
+     transmission [sent], and when [emit] fold a quACK snapshot into
+     [cks]. Returns whether the flow was tracked for this packet. *)
+  on_packet :
+    now:int -> flow:int -> key:Q.Identifier.key -> sent:int -> emit:bool -> bool;
+  complete : now:int -> int -> unit;  (* clean completion: drop state *)
+  sweep : now:int -> unit;
+  tstats : unit -> tstats;
+  occ : unit -> int;
+  peak : unit -> int;
+}
+
+let mk_ref_part cfg ~pid ~cap ~policy ~sink =
+  let metrics = Obs.Sink.metrics sink and trace = Obs.Sink.trace sink in
+  let field_mod =
+    match cfg.field with
+    | `Modular -> None
+    | `Log ->
+        Some
+          (Sidecar_field.Log_field.make
+             (Sidecar_field.Primes.field_for_bits cfg.bits))
+  in
+  let now_ref = ref 0 in
+  let demux =
+    Demux.create ~policy ~capacity:cap
+      ~label:(Printf.sprintf "part%d" pid)
+      ~metrics ~trace
+      ~now:(fun () -> !now_ref)
+      ()
+  in
+  let fresh () =
+    Q.Psum.create ~bits:cfg.bits ?field:field_mod ~threshold:cfg.threshold ()
+  in
+  let cks = ref 0 in
+  let bits = cfg.bits in
+  let on_packet ~now ~flow ~key ~sent ~emit =
+    now_ref := now;
+    let tracked = ref false in
+    Demux.data demux ~flow ~make:fresh
+      ~tracked:(fun ps ->
+        tracked := true;
+        Q.Psum.insert ps (Q.Identifier.of_counter key ~bits sent);
+        if emit then begin
+          let c = ref !cks in
+          Array.iter (fun v -> c := mix_checksum !c v) (Q.Psum.sums ps);
+          cks := mix_checksum !c (Q.Psum.count ps)
+        end)
+      ~degraded:(fun () -> ());
+    !tracked
+  in
+  let complete ~now flow =
+    now_ref := now;
+    ignore (Demux.release demux flow)
+  in
+  let sweep ~now =
+    now_ref := now;
+    ignore (Demux.sweep_idle demux)
+  in
+  let tstats () =
+    let s = Demux.table_stats demux in
+    {
+      admitted = s.Flow_table.admitted;
+      evicted_lru = s.Flow_table.evicted_lru;
+      evicted_idle = s.Flow_table.evicted_idle;
+      removed = s.Flow_table.removed;
+      denied = s.Flow_table.denied;
+      hits = s.Flow_table.hits;
+      misses = s.Flow_table.misses;
+    }
+  in
+  {
+    pid;
+    cap;
+    fl = fstate_make ();
+    cks;
+    on_packet;
+    complete;
+    sweep;
+    tstats;
+    occ = (fun () -> Demux.occupancy demux);
+    peak = (fun () -> Demux.peak_occupancy demux);
+  }
+
+let mk_flat_part cfg ~pid ~cap ~slab ~views ~scratch ~sink =
+  let policy =
+    match cfg.policy with
+    | Lru -> Fp.Flat_table.Lru
+    | Idle_epochs e -> Fp.Flat_table.Idle e
+  in
+  let release _flow slot = Fp.Slab.release slab slot in
+  let tbl =
+    Fp.Flat_table.create ~policy ~on_evict:release ~on_remove:release
+      ~capacity:cap ()
+  in
+  let fresh () = Fp.Slab.acquire slab in
+  let cks = ref 0 in
+  let data_packets = ref 0 and degraded_packets = ref 0 in
+  let bits = cfg.bits and threshold = cfg.threshold in
+  let on_packet ~now ~flow ~key ~sent ~emit =
+    let slot = Fp.Flat_table.admit_slot tbl ~now flow fresh in
+    if slot >= 0 then begin
+      incr data_packets;
+      let view = Array.unsafe_get views slot in
+      Fp.Psum_flat.insert view (Q.Identifier.of_counter key ~bits sent);
+      if emit then begin
+        Fp.Psum_flat.sums_into view scratch;
+        let c = ref !cks in
+        for i = 0 to threshold - 1 do
+          c := mix_checksum !c (Array.unsafe_get scratch i)
+        done;
+        cks := mix_checksum !c (Fp.Psum_flat.count view)
+      end;
+      true
+    end
+    else begin
+      incr degraded_packets;
+      false
+    end
+  in
+  (* Mirror [Demux]'s registration surface so a flat shard's sink
+     reads the same as a ref shard's. *)
+  let metrics = Obs.Sink.metrics sink in
+  let field f = Printf.sprintf "part%d.%s" pid f in
+  let src name read = Obs.Metrics.int_source metrics (field name) read in
+  let s = Fp.Flat_table.stats tbl in
+  src "table.admitted" (fun () -> s.Fp.Flat_table.admitted);
+  src "table.evicted_lru" (fun () -> s.Fp.Flat_table.evicted_lru);
+  src "table.evicted_idle" (fun () -> s.Fp.Flat_table.evicted_idle);
+  src "table.removed" (fun () -> s.Fp.Flat_table.removed);
+  src "table.denied" (fun () -> s.Fp.Flat_table.denied);
+  src "table.hits" (fun () -> s.Fp.Flat_table.hits);
+  src "table.misses" (fun () -> s.Fp.Flat_table.misses);
+  src "table.occupancy" (fun () -> Fp.Flat_table.occupancy tbl);
+  src "table.peak_occupancy" (fun () -> Fp.Flat_table.peak_occupancy tbl);
+  src "data_packets" (fun () -> !data_packets);
+  src "degraded_packets" (fun () -> !degraded_packets);
+  {
+    pid;
+    cap;
+    fl = fstate_make ();
+    cks;
+    on_packet;
+    complete = (fun ~now:_ flow -> ignore (Fp.Flat_table.remove tbl flow));
+    sweep = (fun ~now -> ignore (Fp.Flat_table.sweep_idle tbl ~now));
+    tstats =
+      (fun () ->
+        let s = Fp.Flat_table.stats tbl in
+        {
+          admitted = s.Fp.Flat_table.admitted;
+          evicted_lru = s.Fp.Flat_table.evicted_lru;
+          evicted_idle = s.Fp.Flat_table.evicted_idle;
+          removed = s.Fp.Flat_table.removed;
+          denied = s.Fp.Flat_table.denied;
+          hits = s.Fp.Flat_table.hits;
+          misses = s.Fp.Flat_table.misses;
+        });
+    occ = (fun () -> Fp.Flat_table.occupancy tbl);
+    peak = (fun () -> Fp.Flat_table.peak_occupancy tbl);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-shard state: the worker-affine value an [Exec.Service] worker
+   builds in its own domain and owns for the whole run.               *)
+
+let columns =
+  [
+    "arrivals";
+    "packets";
+    "tracked";
+    "degraded";
+    "quacks";
+    "completed";
+    "admitted";
+    "evicted";
+    "denied";
+    "active";
+    "occupancy";
+  ]
+
+type shard = {
+  cfg : config;
+  sid : int;
+  parts : part array;  (* owned partitions, ascending pid *)
+  part_index : int array;  (* pid -> index in [parts], or -1 *)
+  sink : Obs.Sink.t;
+  series : Obs.Epochs.t;
+  cols : int array;  (* column indices, in [columns] order *)
+  prev : (int * int * int) array;  (* admitted/evicted/denied snapshots *)
+}
+
+let make_shard cfg ~sid caps =
+  let sink = Obs.Sink.create () in
+  let owned = ref [] in
+  for p = cfg.partitions - 1 downto 0 do
+    if p mod cfg.shards = sid then owned := p :: !owned
+  done;
+  let owned = Array.of_list !owned in
+  let parts =
+    match cfg.datapath with
+    | `Ref ->
+        let policy =
+          match cfg.policy with
+          | Lru -> Flow_table.Lru
+          | Idle_epochs e -> Flow_table.Idle e
+        in
+        Array.map
+          (fun pid -> mk_ref_part cfg ~pid ~cap:caps.(pid) ~policy ~sink)
+          owned
+    | `Flat ->
+        let slots =
+          max 1 (Array.fold_left (fun a pid -> a + caps.(pid)) 0 owned)
+        in
+        let field_mod =
+          match cfg.field with
+          | `Modular -> None
+          | `Log ->
+              Some
+                (Sidecar_field.Log_field.make
+                   (Sidecar_field.Primes.field_for_bits cfg.bits))
+        in
+        let backend = match cfg.field with `Modular -> `Auto | `Log -> `Log in
+        let slab =
+          Fp.Slab.create ~bits:cfg.bits ?field:field_mod ~backend
+            ~batch:cfg.batch ~slots ~threshold:cfg.threshold ()
+        in
+        (* this worker domain is the slab's owner for the whole run *)
+        Fp.Slab.bind_owner slab;
+        let views =
+          Array.init (Fp.Slab.slots slab) (fun slot ->
+              Fp.Psum_flat.of_slot slab ~slot)
+        in
+        let scratch = Array.make cfg.threshold 0 in
+        Array.map
+          (fun pid ->
+            mk_flat_part cfg ~pid ~cap:caps.(pid) ~slab ~views ~scratch ~sink)
+          owned
+  in
+  let part_index = Array.make cfg.partitions (-1) in
+  Array.iteri (fun i p -> part_index.(p.pid) <- i) parts;
+  let series = Obs.Epochs.create ~columns in
+  {
+    cfg;
+    sid;
+    parts;
+    part_index;
+    sink;
+    series;
+    cols = Array.of_list (List.map (Obs.Epochs.col series) columns);
+    prev = Array.map (fun _ -> (0, 0, 0)) parts;
+  }
+
+(* One epoch of one shard: idle sweep, this epoch's arrivals routed to
+   owned partitions, then one packet per active flow. Returns the
+   shard's active-flow count so the coordinator knows when to stop. *)
+let step sh ~epoch =
+  let cfg = sh.cfg in
+  let now = epoch + 1 in
+  let c_arrivals = sh.cols.(0)
+  and c_packets = sh.cols.(1)
+  and c_tracked = sh.cols.(2)
+  and c_degraded = sh.cols.(3)
+  and c_quacks = sh.cols.(4)
+  and c_completed = sh.cols.(5)
+  and c_admitted = sh.cols.(6)
+  and c_evicted = sh.cols.(7)
+  and c_denied = sh.cols.(8)
+  and c_active = sh.cols.(9)
+  and c_occupancy = sh.cols.(10) in
+  (match cfg.policy with
+  | Lru -> ()
+  | Idle_epochs _ -> Array.iter (fun part -> part.sweep ~now) sh.parts);
+  (* arrivals: flow [f] arrives at epoch [f / arrivals_per_epoch];
+     size and identifier key are pure functions of (seed, f), so the
+     owning partition can generate them locally whatever [shards] is *)
+  let lo = epoch * cfg.arrivals_per_epoch in
+  let hi = min cfg.flows (lo + cfg.arrivals_per_epoch) in
+  let arrivals = ref 0 in
+  for f = max 0 lo to hi - 1 do
+    let p = route ~partitions:cfg.partitions f in
+    if p mod cfg.shards = sh.sid then begin
+      let part = sh.parts.(sh.part_index.(p)) in
+      let rng = Rng.create (Rng.derive cfg.seed ~index:f) in
+      let u = Workload.sample_size rng cfg.size_dist in
+      let units = max cfg.min_units (min cfg.max_units u) in
+      let key =
+        Q.Identifier.key_of_int (Rng.derive cfg.seed ~index:(cfg.flows + f))
+      in
+      fstate_append part.fl ~id:f ~units ~key;
+      incr arrivals
+    end
+  done;
+  let packets = ref 0
+  and tracked = ref 0
+  and degraded = ref 0
+  and quacks = ref 0
+  and completed = ref 0
+  and active = ref 0
+  and occupancy = ref 0 in
+  Array.iter
+    (fun part ->
+      let fl = part.fl in
+      let j = ref 0 in
+      while !j < fl.n do
+        let flow = fl.ids.(!j) in
+        let sent = fl.sent.(!j) in
+        let emit = (sent + 1) mod cfg.quack_every = 0 in
+        let was_tracked =
+          part.on_packet ~now ~flow ~key:fl.keys.(!j) ~sent ~emit
+        in
+        fl.sent.(!j) <- sent + 1;
+        incr packets;
+        if was_tracked then begin
+          incr tracked;
+          if emit then incr quacks
+        end
+        else incr degraded;
+        let left = fl.left.(!j) - 1 in
+        fl.left.(!j) <- left;
+        if left = 0 then begin
+          incr completed;
+          part.complete ~now flow;
+          (* swap-remove; the swapped-in flow was not yet processed
+             this epoch, so do not advance [j] *)
+          let last = fl.n - 1 in
+          fl.ids.(!j) <- fl.ids.(last);
+          fl.left.(!j) <- fl.left.(last);
+          fl.sent.(!j) <- fl.sent.(last);
+          fl.keys.(!j) <- fl.keys.(last);
+          fl.n <- last
+        end
+        else incr j
+      done;
+      active := !active + fl.n;
+      occupancy := !occupancy + part.occ ())
+    sh.parts;
+  let note c v = Obs.Epochs.note sh.series ~epoch c v in
+  note c_arrivals !arrivals;
+  note c_packets !packets;
+  note c_tracked !tracked;
+  note c_degraded !degraded;
+  note c_quacks !quacks;
+  note c_completed !completed;
+  Array.iteri
+    (fun k part ->
+      let s = part.tstats () in
+      let ev = s.evicted_lru + s.evicted_idle in
+      let pa, pe, pd = sh.prev.(k) in
+      note c_admitted (s.admitted - pa);
+      note c_evicted (ev - pe);
+      note c_denied (s.denied - pd);
+      sh.prev.(k) <- (s.admitted, ev, s.denied))
+    sh.parts;
+  note c_active !active;
+  note c_occupancy !occupancy;
+  !active
+
+(* ------------------------------------------------------------------ *)
+(* Report.                                                             *)
+
+type part_summary = {
+  pid : int;
+  part_capacity : int;
+  part_stats : tstats;
+  part_peak : int;
+  part_checksum : int;
+}
+
+type report = {
+  shards : int;
+  partitions : int;
+  capacity : int;
+  policy : policy;
+  datapath : [ `Ref | `Flat ];
+  field : [ `Modular | `Log ];
+  bits : int;
+  threshold : int;
+  flows : int;
+  arrivals_per_epoch : int;
+  epochs : int;
+  unfinished : int;
+  packets : int;
+  tracked : int;
+  degraded : int;
+  quacks : int;
+  completed : int;
+  admitted : int;
+  evicted : int;
+  denied : int;
+  removed : int;
+  hits : int;
+  peak_concurrent : int;
+  peak_occupancy : int;
+  eviction_churn_per_epoch : float;
+  checksum : int;
+  per_partition : part_summary array;  (* ascending pid *)
+  series : Obs.Epochs.t;
+  sink : Obs.Sink.t;  (* per-shard sinks merged in shard order *)
+}
+
+type shard_out = {
+  out_parts : part_summary list;
+  out_series : Obs.Epochs.t;
+  out_sink : Obs.Sink.t;
+}
+
+let summarize sh =
+  {
+    out_parts =
+      Array.to_list
+        (Array.map
+           (fun (part : part) ->
+             {
+               pid = part.pid;
+               part_capacity = part.cap;
+               part_stats = part.tstats ();
+               part_peak = part.peak ();
+               part_checksum = !(part.cks);
+             })
+           sh.parts);
+    out_series = sh.series;
+    out_sink = sh.sink;
+  }
+
+let run cfg =
+  validate cfg;
+  let caps = split_capacity ~capacity:cfg.capacity ~partitions:cfg.partitions in
+  let arrival_epochs =
+    (cfg.flows + cfg.arrivals_per_epoch - 1) / cfg.arrivals_per_epoch
+  in
+  Exec.Service.with_service ~workers:cfg.shards
+    ~init:(fun sid -> make_shard cfg ~sid caps)
+    (fun svc ->
+      let epoch = ref 0 in
+      let active = ref 0 in
+      let continue () =
+        (!epoch < arrival_epochs || !active > 0) && !epoch < cfg.max_epochs
+      in
+      while continue () do
+        let counts = Exec.Service.round svc ~f:(fun _ sh -> step sh ~epoch:!epoch) in
+        active := List.fold_left ( + ) 0 counts;
+        incr epoch
+      done;
+      let outs = Exec.Service.round svc ~f:(fun _ sh -> summarize sh) in
+      (* merge: per-shard epoch series fold cell-wise (integer sums are
+         order-independent); partition summaries sort by pid; the
+         report checksum folds partition checksums in pid order — all
+         three are invariant to how partitions were grouped over
+         shards *)
+      let series = Obs.Epochs.create ~columns in
+      List.iter (fun o -> Obs.Epochs.merge ~into:series o.out_series) outs;
+      let sink = Obs.Sink.create () in
+      List.iter (fun o -> Obs.Sink.merge ~into:sink o.out_sink) outs;
+      let parts =
+        List.sort
+          (fun a b -> compare a.pid b.pid)
+          (List.concat_map (fun o -> o.out_parts) outs)
+      in
+      let per_partition = Array.of_list parts in
+      let checksum =
+        Array.fold_left (fun a p -> mix_checksum a p.part_checksum) 0 per_partition
+      in
+      let total f = Array.fold_left (fun a p -> a + f p.part_stats) 0 per_partition in
+      let tot name = List.assoc name (Obs.Epochs.totals series) in
+      let epochs = Obs.Epochs.epochs series in
+      let evicted = total (fun s -> s.evicted_lru + s.evicted_idle) in
+      {
+        shards = cfg.shards;
+        partitions = cfg.partitions;
+        capacity = cfg.capacity;
+        policy = cfg.policy;
+        datapath = cfg.datapath;
+        field = cfg.field;
+        bits = cfg.bits;
+        threshold = cfg.threshold;
+        flows = cfg.flows;
+        arrivals_per_epoch = cfg.arrivals_per_epoch;
+        epochs;
+        unfinished = !active;
+        packets = tot "packets";
+        tracked = tot "tracked";
+        degraded = tot "degraded";
+        quacks = tot "quacks";
+        completed = tot "completed";
+        admitted = total (fun s -> s.admitted);
+        evicted;
+        denied = total (fun s -> s.denied);
+        removed = total (fun s -> s.removed);
+        hits = total (fun s -> s.hits);
+        peak_concurrent = Obs.Epochs.peak series "active";
+        peak_occupancy = Obs.Epochs.peak series "occupancy";
+        eviction_churn_per_epoch =
+          (if epochs = 0 then 0. else float_of_int evicted /. float_of_int epochs);
+        checksum;
+        per_partition;
+        series;
+        sink;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                          *)
+
+let policy_string = function
+  | Lru -> "lru"
+  | Idle_epochs e -> Printf.sprintf "idle:%d" e
+
+let json_tstats (s : tstats) =
+  Obs.Json.Obj
+    [
+      ("admitted", Obs.Json.Int s.admitted);
+      ("evicted_lru", Obs.Json.Int s.evicted_lru);
+      ("evicted_idle", Obs.Json.Int s.evicted_idle);
+      ("removed", Obs.Json.Int s.removed);
+      ("denied", Obs.Json.Int s.denied);
+      ("hits", Obs.Json.Int s.hits);
+      ("misses", Obs.Json.Int s.misses);
+    ]
+
+(* [deterministic] output is the invariance artifact: it must be
+   byte-identical for any [shards] (placement) and for either
+   datapath / field backend (implementation choices with equivalence
+   contracts), so those echoes and anything wall-clock-derived are
+   omitted. *)
+let json_report ?(deterministic = false) r =
+  let base =
+    [
+      ("schema", Obs.Json.String "sidecar-shard-1");
+      ("partitions", Obs.Json.Int r.partitions);
+      ("capacity", Obs.Json.Int r.capacity);
+      ("policy", Obs.Json.String (policy_string r.policy));
+      ("bits", Obs.Json.Int r.bits);
+      ("threshold", Obs.Json.Int r.threshold);
+      ("flows", Obs.Json.Int r.flows);
+      ("arrivals_per_epoch", Obs.Json.Int r.arrivals_per_epoch);
+      ("epochs", Obs.Json.Int r.epochs);
+      ("unfinished", Obs.Json.Int r.unfinished);
+      ("packets", Obs.Json.Int r.packets);
+      ("tracked", Obs.Json.Int r.tracked);
+      ("degraded", Obs.Json.Int r.degraded);
+      ("quacks", Obs.Json.Int r.quacks);
+      ("completed", Obs.Json.Int r.completed);
+      ("admitted", Obs.Json.Int r.admitted);
+      ("evicted", Obs.Json.Int r.evicted);
+      ("denied", Obs.Json.Int r.denied);
+      ("removed", Obs.Json.Int r.removed);
+      ("hits", Obs.Json.Int r.hits);
+      ("peak_concurrent", Obs.Json.Int r.peak_concurrent);
+      ("peak_occupancy", Obs.Json.Int r.peak_occupancy);
+      ("eviction_churn_per_epoch", Obs.Json.Float r.eviction_churn_per_epoch);
+      ("checksum", Obs.Json.Int r.checksum);
+      ( "per_partition",
+        Obs.Json.List
+          (Array.to_list
+             (Array.map
+                (fun p ->
+                  Obs.Json.Obj
+                    [
+                      ("partition", Obs.Json.Int p.pid);
+                      ("capacity", Obs.Json.Int p.part_capacity);
+                      ("peak_occupancy", Obs.Json.Int p.part_peak);
+                      ("checksum", Obs.Json.Int p.part_checksum);
+                      ("table", json_tstats p.part_stats);
+                    ])
+                r.per_partition)) );
+      ("per_epoch", Obs.Epochs.to_json r.series);
+    ]
+  in
+  Obs.Json.Obj
+    (if deterministic then base
+     else
+       ("shards", Obs.Json.Int r.shards)
+       :: ( "datapath",
+            Obs.Json.String
+              (match r.datapath with `Ref -> "ref" | `Flat -> "flat") )
+       :: ( "field",
+            Obs.Json.String
+              (match r.field with `Modular -> "modular" | `Log -> "log") )
+       :: base)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>sharded runtime: %d shard%s over %d partitions, %d-slot table (%s, \
+     %s datapath)@,\
+     %d flows over %d epochs (%d arrivals/epoch): %d packets, peak %d \
+     concurrent, peak occupancy %d@,\
+     admission: %d admitted, %d denied, %d evicted (%.1f/epoch), %d released \
+     clean@,\
+     quacks: %d emitted from %d tracked packets (%d degraded); checksum %x%s@]"
+    r.shards
+    (if r.shards = 1 then "" else "s")
+    r.partitions r.capacity (policy_string r.policy)
+    (match r.datapath with `Ref -> "ref" | `Flat -> "flat")
+    r.flows r.epochs r.arrivals_per_epoch r.packets r.peak_concurrent
+    r.peak_occupancy r.admitted r.denied r.evicted r.eviction_churn_per_epoch
+    r.removed r.quacks r.tracked r.degraded r.checksum
+    (if r.unfinished = 0 then ""
+     else Printf.sprintf " (%d flows unfinished at horizon)" r.unfinished)

@@ -142,6 +142,120 @@ let test_golden_sweep_jobs_invariant () =
   check string "reduced sweep byte-identical at jobs=1 and jobs=4" one four
 
 (* ------------------------------------------------------------------ *)
+(* Service: persistent workers with state affinity                      *)
+
+let test_service_affinity () =
+  (* init runs in the owning worker's domain, the state persists
+     across rounds, and only worker i ever touches state i *)
+  Exec.Service.with_service ~workers:3
+    ~init:(fun i -> ((Domain.self () :> int), ref (100 * i)))
+    (fun svc ->
+      check int "worker count" 3 (Exec.Service.workers svc);
+      let homes =
+        Exec.Service.round svc ~f:(fun i (home, cell) ->
+            check int "round runs on the init domain" home
+              ((Domain.self () :> int));
+            cell := !cell + i;
+            home)
+      in
+      check int "three distinct worker domains" 3
+        (List.length (List.sort_uniq compare homes));
+      let again =
+        Exec.Service.round svc ~f:(fun _ (home, cell) -> (home, !cell))
+      in
+      let homes = Array.of_list homes in
+      List.iteri
+        (fun i (home, v) ->
+          check int "same domain every round" homes.(i) home;
+          check int "state persisted across rounds" (100 * i + i) v)
+        again)
+
+let test_service_worker_order () =
+  Exec.Service.with_service ~workers:4 ~init:Fun.id (fun svc ->
+      let r = Exec.Service.round svc ~f:(fun i s -> (i, s)) in
+      check
+        Alcotest.(list (pair int int))
+        "results in worker order"
+        [ (0, 0); (1, 1); (2, 2); (3, 3) ]
+        r)
+
+let test_service_single_worker_inline () =
+  (* workers = 1 is the determinism baseline: same code path, run
+     inline in the caller's domain *)
+  let here = (Domain.self () :> int) in
+  Exec.Service.with_service ~workers:1
+    ~init:(fun i ->
+      check int "init inline" here ((Domain.self () :> int));
+      ref i)
+    (fun svc ->
+      let r =
+        Exec.Service.round svc ~f:(fun i cell ->
+            check int "round inline" here ((Domain.self () :> int));
+            !cell + i)
+      in
+      check Alcotest.(list int) "single inline result" [ 0 ] r)
+
+let test_service_round_exception () =
+  Exec.Service.with_service ~workers:4 ~init:Fun.id (fun svc ->
+      let ran = Array.make 4 false in
+      (match
+         Exec.Service.round svc ~f:(fun i _ ->
+             ran.(i) <- true;
+             if i = 1 || i = 3 then raise (Boom i);
+             i)
+       with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom i -> check int "lowest-indexed failure wins" 1 i);
+      check int "every worker still ran the round" 4
+        (Array.fold_left (fun a b -> if b then a + 1 else a) 0 ran);
+      let r = Exec.Service.round svc ~f:(fun i s -> i + s) in
+      check Alcotest.(list int) "service usable after failure"
+        [ 0; 2; 4; 6 ] r)
+
+let test_service_init_failure_parked () =
+  Exec.Service.with_service ~workers:3
+    ~init:(fun i -> if i = 1 then raise (Boom i) else i)
+    (fun svc ->
+      match Exec.Service.round svc ~f:(fun _ s -> s) with
+      | _ -> Alcotest.fail "expected parked init failure"
+      | exception Boom i -> check int "init exception re-raised" 1 i)
+
+let test_service_validation () =
+  (match Exec.Service.create ~workers:0 ~init:Fun.id () with
+  | exception Invalid_argument _ -> ()
+  | svc ->
+      Exec.Service.shutdown svc;
+      Alcotest.fail "workers:0 accepted");
+  let svc = Exec.Service.create ~workers:2 ~init:Fun.id () in
+  Exec.Service.shutdown svc;
+  Exec.Service.shutdown svc;
+  (* idempotent *)
+  match Exec.Service.round svc ~f:(fun _ s -> s) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "round on shut-down service accepted"
+
+let qcheck_service =
+  let open QCheck in
+  [
+    (* Worker [i]'s result is a pure function of (i, state i): domains
+       and scheduling never show through, so every round equals the
+       inline sequential map over the per-worker states — the same
+       baseline the [workers = 1] code path runs. *)
+    Test.make ~name:"round = sequential map over per-worker states" ~count:30
+      (make
+         ~print:Print.(pair int int)
+         Gen.(pair (int_range 1 6) (int_bound 10_000)))
+      (fun (workers, seed) ->
+        let state i = Netsim.Rng.derive seed ~index:i in
+        let expect_a = List.init workers (fun i -> state i lxor i) in
+        let expect_b = List.init workers (fun i -> state i + i) in
+        Exec.Service.with_service ~workers ~init:state (fun svc ->
+            let a = Exec.Service.round svc ~f:(fun i s -> s lxor i) in
+            let b = Exec.Service.round svc ~f:(fun i s -> s + i) in
+            a = expect_a && b = expect_b));
+  ]
+
+(* ------------------------------------------------------------------ *)
 
 let test_recommended_jobs_positive () =
   check Alcotest.bool "at least one job" true (Exec.recommended_jobs () >= 1)
@@ -168,6 +282,22 @@ let () =
           Alcotest.test_case "reduced runtime sweep jobs-invariant" `Quick
             test_golden_sweep_jobs_invariant;
         ] );
+      ( "service",
+        [
+          Alcotest.test_case "state affinity across rounds" `Quick
+            test_service_affinity;
+          Alcotest.test_case "results in worker order" `Quick
+            test_service_worker_order;
+          Alcotest.test_case "workers=1 runs inline" `Quick
+            test_service_single_worker_inline;
+          Alcotest.test_case "round exceptions, no deadlock" `Quick
+            test_service_round_exception;
+          Alcotest.test_case "init failure parked" `Quick
+            test_service_init_failure_parked;
+          Alcotest.test_case "validation + shutdown" `Quick
+            test_service_validation;
+        ]
+        @ q qcheck_service );
       ( "config",
         [
           Alcotest.test_case "recommended_jobs" `Quick

@@ -1,0 +1,20 @@
+(* A clean persistent-worker module: shard state is allocated inside
+   the per-worker init function, and the one deliberate module-level
+   cell is blessed. Must lint clean under the exec-isolation rule. *)
+
+[@@@sidespec
+  "state service_generation: process-wide service counter, bumped once per \
+   with_service so stale worker handles are detectable; never read on the \
+   packet path"]
+
+let service_generation = ref 0
+
+let make_shard_state ~partitions =
+  (* built in the worker domain by init: owned, never shared *)
+  let tables = Array.init partitions (fun _ -> Hashtbl.create 64) in
+  let inflight = Queue.create () in
+  (tables, inflight)
+
+let round_on_shard (tables, inflight) pid packet =
+  Queue.push packet inflight;
+  Hashtbl.replace tables.(pid) packet ()

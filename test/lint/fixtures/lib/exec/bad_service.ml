@@ -1,0 +1,17 @@
+(* Seeded violations for the sidelint self-test: exec-isolation rule,
+   persistent-worker flavour. Module-level mutable state in the
+   service engine is shared by every long-lived worker domain; shard
+   state must be allocated inside the per-worker init closure.
+   This file is never compiled, only parsed by the linter. *)
+
+let inflight = Queue.create ()
+let shard_tables = Array.make 16 None
+let scratch = Bytes.create 4096
+let round_lock = Mutex.create ()
+let slot = Domain.DLS.new_key (fun () -> 0)
+
+let init_is_fine shard =
+  (* allocation inside the init closure is per-worker, not shared *)
+  let table = Hashtbl.create 64 in
+  Hashtbl.replace table shard 0;
+  table

@@ -104,6 +104,31 @@ let check_row path i = function
           [ "flows"; "pkts_per_sec"; "proxy_us_per_pkt"; "alloc_words_per_pkt";
             "quacks"; "checksum" ]
       end;
+      (* The sharded-runtime rows: admission-control and churn columns
+         are required (a row without occupancy_peak or
+         eviction_churn_per_epoch recorded no pressure evidence), and
+         every simulation-derived column must be non-negative. The
+         shards=1 vs shards=N invariance is checked across rows
+         below. *)
+      if section = Some (Obs.Json.String "runtime_shard") then begin
+        enum "scenario" ~section:"runtime_shard" [ "sustained"; "churn" ];
+        enum "policy" ~section:"runtime_shard" [ "lru"; "idle" ];
+        let check_nonneg name =
+          match num name ~section:"runtime_shard" with
+          | Some v when v < 0. ->
+              err path "row %d: runtime_shard field %S is negative" i name
+          | Some _ | None -> ()
+        in
+        List.iter check_nonneg
+          [ "shards"; "partitions"; "capacity"; "flows"; "arrivals_per_epoch";
+            "epochs"; "packets"; "peak_concurrent"; "occupancy_peak";
+            "admitted"; "evicted"; "denied"; "completed"; "quacks";
+            "eviction_churn_per_epoch"; "checksum"; "wall_s" ];
+        match num "shards" ~section:"runtime_shard" with
+        | Some v when v < 1. ->
+            err path "row %d: runtime_shard field \"shards\" must be >= 1" i
+        | Some _ | None -> ()
+      end;
       if section = Some (Obs.Json.String "runtime_field") then begin
         enum "datapath" ~section:"runtime_field" [ "ref"; "flat" ];
         enum "field" ~section:"runtime_field" [ "modular"; "log" ];
@@ -162,12 +187,69 @@ let check_datapath_pairs path rows =
       end)
     tbl
 
+(* Cross-row: each runtime_shard scenario must carry a shards=1 row
+   (the invariance baseline) and at least one shards>1 row, and every
+   simulation-derived column must agree across the group — a scenario
+   missing the pairing proves nothing about shard-count invariance,
+   and a disagreeing column means a shard boundary leaked into a
+   flow-table decision. *)
+let check_shard_pairs path rows =
+  let invariant_fields =
+    [ "partitions"; "capacity"; "flows"; "arrivals_per_epoch"; "epochs";
+      "packets"; "peak_concurrent"; "occupancy_peak"; "admitted"; "evicted";
+      "denied"; "completed"; "quacks"; "checksum" ]
+  in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun row ->
+      match row with
+      | Obs.Json.Obj fields
+        when List.assoc_opt "section" fields
+             = Some (Obs.Json.String "runtime_shard") -> (
+          match
+            (List.assoc_opt "scenario" fields, List.assoc_opt "shards" fields)
+          with
+          | Some (Obs.Json.String sc), Some (Obs.Json.Int shards) ->
+              let key =
+                List.map (fun f -> List.assoc_opt f fields) invariant_fields
+              in
+              Hashtbl.add tbl sc (shards, key)
+          | _ -> () (* field-level errors already reported *))
+      | _ -> ())
+    rows;
+  let seen = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun sc _ ->
+      if not (Hashtbl.mem seen sc) then begin
+        Hashtbl.add seen sc ();
+        let runs = Hashtbl.find_all tbl sc in
+        let base = List.filter (fun (s, _) -> s = 1) runs in
+        let multi = List.filter (fun (s, _) -> s > 1) runs in
+        match (base, multi) with
+        | [ (_, bkey) ], _ :: _ ->
+            List.iter
+              (fun (shards, key) ->
+                if key <> bkey then
+                  err path
+                    "runtime_shard: scenario %S diverges from shards=1 at \
+                     shards=%d"
+                    sc shards)
+              multi
+        | bs, ms ->
+            err path
+              "runtime_shard: scenario %S has %d shards=1 / %d shards>1 rows \
+               (want exactly 1 baseline and at least 1 comparison)"
+              sc (List.length bs) (List.length ms)
+      end)
+    tbl
+
 let check_bench path doc =
   match Obs.Json.member "rows" doc with
   | Some (Obs.Json.List []) -> err path "empty \"rows\""
   | Some (Obs.Json.List rows) ->
       List.iteri (check_row path) rows;
       check_datapath_pairs path rows;
+      check_shard_pairs path rows;
       if !errors = 0 then
         Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
   | _ -> err path "missing \"rows\" list"
