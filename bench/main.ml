@@ -90,6 +90,7 @@ let measure_ns ?(quota = 0.2) ~name f =
 let quack_rows : Obs.Json.t list ref = ref []
 let runtime_rows : Obs.Json.t list ref = ref []
 let shard_rows : Obs.Json.t list ref = ref []
+let handover_rows : Obs.Json.t list ref = ref []
 
 let add_row rows ~section fields =
   rows := Obs.Json.Obj (("section", Obs.Json.String section) :: fields) :: !rows
@@ -1018,6 +1019,107 @@ let runtime_field _pool =
    single-CPU host it honestly reports ~1x. BENCH_SHARD_FLOWS scales
    the sustained flow count (arrivals and the churn scenario scale
    proportionally) so CI smoke stays fast. *)
+
+(* ------------------------------------------------------------------ *)
+(* Mobility + multipath scenario families (ROADMAP item 3)             *)
+
+(* The handover family's three arms (stay on A / resync takeover /
+   snapshot-transfer takeover) and the multipath family's two (1:1
+   split with folded decode / everything on path 1), one row each in
+   BENCH_HANDOVER.json. Every run is a pure function of its config, so
+   the rows are byte-stable and benchcheck can assert the cross-arm
+   relations (the transfer arm's continuity must cost fewer server
+   resyncs than the resync arm's restart; the split arm aggregates
+   both cells' bandwidth). *)
+let runtime_handover pool =
+  let module H = Sidecar_runtime.Handover in
+  let module M = Sidecar_runtime.Multipath in
+  section "Runtime: handover + multipath scenario families";
+  let fct_fields ~p50 ~p95 ~p99 ~mean =
+    [
+      ("fct_p50_s", Obs.Json.Float p50);
+      ("fct_p95_s", Obs.Json.Float p95);
+      ("fct_p99_s", Obs.Json.Float p99);
+      ("fct_mean_s", Obs.Json.Float mean);
+    ]
+  in
+  let h_arms =
+    [
+      ("baseline", { H.default_config with H.migrate = false });
+      ("resync", { H.default_config with H.strategy = H.Resync });
+      ("transfer", { H.default_config with H.strategy = H.Transfer });
+    ]
+  in
+  let h_reports =
+    Exec.Pool.map pool ~f:(fun _ctx (_, c) -> H.run c) h_arms
+  in
+  List.iter2
+    (fun (arm, _) (r : H.report) ->
+      Printf.printf
+        "  handover %-8s: %d/%d done  fct p50 %.3fs mean %.3fs  migr %d  \
+         resyncs %d  retx %d (spurious %d)\n"
+        arm r.H.completed r.H.flows r.H.fct_p50 r.H.fct_mean r.H.migrations
+        r.H.srv_resyncs r.H.retransmissions r.H.spurious_retx;
+      add_row handover_rows ~section:"runtime_handover"
+        ([
+           ("scenario", Obs.Json.String "handover");
+           ("arm", Obs.Json.String arm);
+           ("strategy", Obs.Json.String (H.strategy_name r.H.strategy));
+           ("migrated", Obs.Json.Bool r.H.migrated);
+           ("flows", Obs.Json.Int r.H.flows);
+           ("completed", Obs.Json.Int r.H.completed);
+         ]
+        @ fct_fields ~p50:r.H.fct_p50 ~p95:r.H.fct_p95 ~p99:r.H.fct_p99
+            ~mean:r.H.fct_mean
+        @ [
+            ("migrations", Obs.Json.Int r.H.migrations);
+            ("transfers", Obs.Json.Int r.H.transfers);
+            ("transfer_bytes", Obs.Json.Int r.H.transfer_bytes);
+            ("install_merges", Obs.Json.Int r.H.install_merges);
+            ("srv_resyncs", Obs.Json.Int r.H.srv_resyncs);
+            ("retransmissions", Obs.Json.Int r.H.retransmissions);
+            ("timeouts", Obs.Json.Int r.H.timeouts);
+            ("spurious_retx", Obs.Json.Int r.H.spurious_retx);
+            ("delivered_bytes", Obs.Json.Int r.H.data_delivered_bytes);
+          ]))
+    h_arms h_reports;
+  let m_arms =
+    [
+      ("split", M.default_config);
+      ("single_path", { M.default_config with M.split = (1, 0) });
+    ]
+  in
+  let m_reports =
+    Exec.Pool.map pool ~f:(fun _ctx (_, c) -> M.run c) m_arms
+  in
+  List.iter2
+    (fun (arm, _) (r : M.report) ->
+      Printf.printf
+        "  multipath %-11s: %d/%d done  fct p50 %.3fs mean %.3fs  split \
+         %d/%d  folds %d  resyncs %d\n"
+        arm r.M.completed r.M.flows r.M.fct_p50 r.M.fct_mean r.M.path1_pkts
+        r.M.path2_pkts r.M.folded_decodes r.M.srv_resyncs;
+      add_row handover_rows ~section:"runtime_handover"
+        ([
+           ("scenario", Obs.Json.String "multipath");
+           ("arm", Obs.Json.String arm);
+           ("flows", Obs.Json.Int r.M.flows);
+           ("completed", Obs.Json.Int r.M.completed);
+         ]
+        @ fct_fields ~p50:r.M.fct_p50 ~p95:r.M.fct_p95 ~p99:r.M.fct_p99
+            ~mean:r.M.fct_mean
+        @ [
+            ("path1_pkts", Obs.Json.Int r.M.path1_pkts);
+            ("path2_pkts", Obs.Json.Int r.M.path2_pkts);
+            ("folded_decodes", Obs.Json.Int r.M.folded_decodes);
+            ("srv_resyncs", Obs.Json.Int r.M.srv_resyncs);
+            ("retransmissions", Obs.Json.Int r.M.retransmissions);
+            ("timeouts", Obs.Json.Int r.M.timeouts);
+            ("duplicates", Obs.Json.Int r.M.duplicates);
+            ("delivered_bytes", Obs.Json.Int r.M.data_delivered_bytes);
+          ]))
+    m_arms m_reports
+
 let runtime_shard _pool =
   let module Sr = Sidecar_runtime.Shard_runtime in
   section "Runtime: sharded always-on flow runtime (shards 1/2/4)";
@@ -1368,6 +1470,7 @@ let sections =
     ("runtime_datapath", runtime_datapath);
     ("runtime_field", runtime_field);
     ("runtime_shard", runtime_shard);
+    ("runtime_handover", runtime_handover);
     ("ablation", ablation);
     ("extensions", extensions);
   ]
@@ -1407,4 +1510,5 @@ let () =
         requested);
   write_rows "BENCH_QUACK.json" quack_rows;
   write_rows "BENCH_RUNTIME.json" runtime_rows;
-  write_rows "BENCH_SHARD.json" shard_rows
+  write_rows "BENCH_SHARD.json" shard_rows;
+  write_rows "BENCH_HANDOVER.json" handover_rows

@@ -399,14 +399,125 @@ let run_sharded ~shards ~partitions ~flows ~table ~eviction ~idle_epochs
   let deterministic = Sys.getenv_opt "BENCH_DETERMINISTIC" = Some "1" in
   finish ~traced:false json (Sr.json_report ~deterministic r)
 
+(* runtime --scenario handover|multipath: the §5 mobility and
+   multipath families. Each runs a fixed list of arms (handover:
+   no-migration baseline vs. Resync vs. Transfer; multipath: split
+   vs. single-path) fanned over an [Exec] pool whose width comes from
+   --jobs or --shards — arms are merged in submission order, so the
+   report is byte-identical for any pool width. *)
+let run_scenario_family ~family ~flows ~table ~seed ~json ~pool_jobs
+    ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every =
+  let module H = Sidecar_runtime.Handover in
+  let module M = Sidecar_runtime.Multipath in
+  let with_crowd arrival =
+    match (crowd, arrival) with
+    | Some c, Netsim.Workload.Flash_crowd { base_mean_s; at_s; crowd = _; spread_s }
+      ->
+        Netsim.Workload.Flash_crowd { base_mean_s; at_s; crowd = c; spread_s }
+    | Some c, Netsim.Workload.Poisson _ ->
+        Netsim.Workload.Flash_crowd
+          { base_mean_s = 0.05; at_s = 0.4; crowd = c; spread_s = 0.05 }
+    | None, a -> a
+  in
+  let arms_json name arms =
+    Obs.Json.Obj [ ("scenario", Obs.Json.String name); ("arms", Obs.Json.Obj arms) ]
+  in
+  match family with
+  | "handover" ->
+      let d = H.default_config in
+      let base =
+        {
+          d with
+          H.flows = Option.value flows ~default:d.H.flows;
+          table_flows = Option.value table ~default:d.H.table_flows;
+          arrival = with_crowd d.H.arrival;
+          migrate_after =
+            Option.value migrate_after ~default:d.H.migrate_after;
+          ctrl_delay = Option.value ctrl_delay ~default:d.H.ctrl_delay;
+          quack_every = Option.value quack_every ~default:d.H.quack_every;
+          seed;
+        }
+      in
+      let arms =
+        [
+          ("baseline", { base with H.migrate = false });
+          ("resync", { base with H.strategy = H.Resync });
+          ("transfer", { base with H.strategy = H.Transfer });
+        ]
+      in
+      let reports =
+        Exec.map ?jobs:pool_jobs ~f:(fun _ctx (_, c) -> H.run c) arms
+      in
+      List.iter (fun r -> Format.printf "%a@." H.pp_report r) reports;
+      finish ~traced:false json
+        (arms_json "handover"
+           (List.map2
+              (fun (name, _) r -> (name, H.json_report r))
+              arms reports))
+  | "multipath" ->
+      let d = M.default_config in
+      let base =
+        {
+          d with
+          M.flows = Option.value flows ~default:d.M.flows;
+          table_flows = Option.value table ~default:d.M.table_flows;
+          arrival = with_crowd d.M.arrival;
+          split = Option.value split ~default:d.M.split;
+          quack_every = Option.value quack_every ~default:d.M.quack_every;
+          seed;
+        }
+      in
+      let arms =
+        [ ("split", base); ("single_path", { base with M.split = (1, 0) }) ]
+      in
+      let reports =
+        Exec.map ?jobs:pool_jobs ~f:(fun _ctx (_, c) -> M.run c) arms
+      in
+      List.iter (fun r -> Format.printf "%a@." M.pp_report r) reports;
+      finish ~traced:false json
+        (arms_json "multipath"
+           (List.map2
+              (fun (name, _) r -> (name, M.json_report r))
+              arms reports))
+  | s ->
+      Format.eprintf "unknown scenario %S (expected handover|multipath)@." s;
+      exit 2
+
 let runtime_cmd =
   let run protocol flows table eviction idle_ms seed far_loss per_flow
       datapath field bits json trace replications jobs shards partitions
-      arrivals idle_epochs quack_every =
+      arrivals idle_epochs quack_every scenario migrate_after ctrl_delay crowd
+      split =
+    match scenario with
+    | Some family ->
+        let pool_jobs =
+          match shards with Some n -> check_jobs (Some n) | None -> check_jobs jobs
+        in
+        let split =
+          match split with
+          | None -> None
+          | Some s -> (
+              match String.split_on_char ':' s with
+              | [ a; b ] -> (
+                  match (int_of_string_opt a, int_of_string_opt b) with
+                  | Some a, Some b when a >= 0 && b >= 0 && a + b > 0 ->
+                      Some (a, b)
+                  | _ ->
+                      Format.eprintf "bad --split %S (expected A:B)@." s;
+                      exit 2)
+              | _ ->
+                  Format.eprintf "bad --split %S (expected A:B)@." s;
+                  exit 2)
+        in
+        run_scenario_family ~family ~flows ~table ~seed ~json ~pool_jobs
+          ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every
+    | None ->
     match shards with
     | Some shards ->
         run_sharded ~shards ~partitions ~flows ~table ~eviction ~idle_epochs
-          ~arrivals ~quack_every ~datapath ~field ~bits ~seed ~json
+          ~arrivals
+          ~quack_every:(Option.value quack_every ~default:16)
+          ~datapath ~field ~bits ~seed ~json
     | None ->
     let jobs = check_jobs jobs in
     if replications < 1 then begin
@@ -583,7 +694,7 @@ let runtime_cmd =
              ~doc:"Idle span, in epochs, for --shards mode's idle policy.")
   in
   let quack_every =
-    Arg.(value & opt int 16
+    Arg.(value & opt (some int) None
          & info [ "quack-every" ] ~docv:"K"
              ~doc:"A tracked flow emits a quACK every $(docv)-th packet \
                    (--shards mode).")
@@ -600,6 +711,38 @@ let runtime_cmd =
              ~doc:"Identifier width for the proxy sketches (default: the \
                    planner's choice).")
   in
+  let scenario =
+    Arg.(value & opt (some string) None
+         & info [ "scenario" ] ~docv:"FAMILY"
+             ~doc:"Run a scenario family instead of the single-proxy \
+                   runtime: handover (no-migration/resync/transfer arms) or \
+                   multipath (split/single-path arms). Arms are fanned over \
+                   the --jobs (or --shards) pool; the report is \
+                   byte-identical for any pool width.")
+  in
+  let migrate_after =
+    Arg.(value & opt (some msarg) None
+         & info [ "migrate-after" ] ~docv:"MS"
+             ~doc:"handover: migrate each flow this long into its life \
+                   (default 600).")
+  in
+  let ctrl_delay =
+    Arg.(value & opt (some msarg) None
+         & info [ "ctrl-delay" ] ~docv:"MS"
+             ~doc:"handover: modeled control-channel delay for the Transfer \
+                   snapshot (default 5).")
+  in
+  let crowd =
+    Arg.(value & opt (some int) None
+         & info [ "crowd" ] ~docv:"N"
+             ~doc:"Scenario families: flash-crowd burst size (default 16).")
+  in
+  let split =
+    Arg.(value & opt (some string) None
+         & info [ "split" ] ~docv:"A:B"
+             ~doc:"multipath: of every A+B data packets, the first A take \
+                   path 1 (default 1:1).")
+  in
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"Many flows through bounded-table sidecar proxy state.")
@@ -607,7 +750,8 @@ let runtime_cmd =
           $ loss ~name:"far-loss" ~default:0.01 "Proxy-client loss probability."
           $ per_flow $ datapath $ field $ bits $ json_arg $ trace_arg
           $ replications $ jobs_arg $ shards $ partitions $ arrivals
-          $ idle_epochs $ quack_every)
+          $ idle_epochs $ quack_every $ scenario $ migrate_after $ ctrl_delay
+          $ crowd $ split)
 
 (* ------------------------------------------------------------------ *)
 

@@ -94,5 +94,8 @@ let decode_between ?strategy ?count_bits ~sent ~quack ~candidates () =
     | Some c -> { quack with Quack.count_bits = c }
   in
   let num_missing = Quack.missing_count q ~sender_count:(Psum.count sent) in
-  let diff_sums = Psum.difference ~sent ~received_sums:q.Quack.sums () in
+  let diff_sums =
+    Psum.difference ~received_modulus:q.Quack.modulus ~sent
+      ~received_sums:q.Quack.sums ()
+  in
   decode ?strategy ~field:(Psum.field sent) ~diff_sums ~num_missing ~candidates ()

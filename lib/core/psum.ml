@@ -136,12 +136,15 @@ let reset t =
 let set_state t ~sums ~count =
   if Array.length sums <> t.threshold then
     invalid_arg "Psum.set_state: threshold mismatch";
-  Array.iteri
-    (fun i s ->
+  (* Validate every sum before writing any: a mid-array failure must
+     not leave the sketch half-overwritten (the caller catches the
+     exception and keeps using [t]). *)
+  Array.iter
+    (fun s ->
       if s < 0 || s >= t.modulus then
-        invalid_arg "Psum.set_state: sum out of field range"
-      else t.sums.(i) <- s)
+        invalid_arg "Psum.set_state: sum out of field range")
     sums;
+  Array.blit sums 0 t.sums 0 t.threshold;
   t.count <- count
 
 let merge a b =

@@ -4,17 +4,31 @@
 
 type t = {
   bits : int;  (** identifier width [b] *)
+  modulus : int;
+      (** the prime field the power sums live in. Equal [bits] does not
+          imply the same prime (65521 vs. 65519 are both 16-bit), and
+          consumers that adopt or difference against these sums must
+          reject a foreign field rather than silently corrupt their
+          sketch. Not encoded on the wire: the packed format fixes the
+          canonical prime for each width. *)
   count_bits : int;
       (** width [c] of the count on the wire; [0] means the count is
           omitted entirely (the ACK-reduction mode of §4.3 where the
           count is always the fixed [n]). *)
   sums : int array;  (** the [t] power sums, exponent [i+1] at index [i] *)
-  count : int;  (** receiver count, truncated to [count_bits] when wired *)
+  count : int;
+      (** receiver count, already truncated to [count_bits]: a quACK
+          always carries the canonical wire representative, so the
+          in-memory value and its wire round-trip agree even after a
+          [Psum.merge] whose full-precision count crosses the wrap
+          boundary. *)
 }
 
 val of_psum : ?count_bits:int -> Psum.t -> t
 (** Snapshot a receiver sketch as a transmittable quACK.
-    [count_bits] defaults to 16 (the paper's [c]). *)
+    [count_bits] defaults to 16 (the paper's [c]). The sketch count is
+    wrapped to [count_bits] here — this is the merge->quACK seam, so
+    merged path sketches yield the same quACK a wire round-trip would. *)
 
 val threshold : t -> int
 val size_bits : t -> int

@@ -103,6 +103,13 @@ let reset t =
 let resync_to t (q : Quack.t) =
   if q.Quack.bits <> t.cfg.bits || Quack.threshold q <> t.cfg.threshold then
     invalid_arg "Sender_state.resync_to: incompatible quACK";
+  (* Same width does not mean same field: a 16-bit quACK over 65519
+     would pass the [bits] guard yet its sums are meaningless in a
+     65521 sketch — adopting them via [set_state] silently corrupts
+     every subsequent difference (the bug class Psum.merge/difference
+     already reject). *)
+  if q.Quack.modulus <> Psum.modulus t.psum then
+    invalid_arg "Sender_state.resync_to: mismatched moduli";
   let abandoned = List.rev_map (fun e -> e.meta) t.log in
   let q = { q with Quack.count_bits = t.cfg.count_bits } in
   let receiver_count =
@@ -118,6 +125,13 @@ let resync_to t (q : Quack.t) =
   t.log <- [];
   t.log_len <- 0;
   t.last_receiver_count <- receiver_count;
+  (* Positions are log-relative; the log was just abandoned, so the
+     position space restarts too (as in [reset]). Leaving
+     [max_acked_pos] at a pre-resync position would judge post-takeover
+     sends against a watermark from the abandoned log and deny them the
+     tail-in-flight grace of §3.3. *)
+  t.next_pos <- 0;
+  t.max_acked_pos <- -1;
   abandoned
 
 let remove_entry t entry =
@@ -160,6 +174,11 @@ let on_quack t (q : Quack.t) =
     Error (`Config_mismatch (Printf.sprintf "quACK bits %d, sender bits %d" q.Quack.bits t.cfg.bits))
   else if Quack.threshold q > t.cfg.threshold then
     Error (`Config_mismatch "receiver threshold exceeds sender threshold")
+  else if q.Quack.modulus <> Psum.modulus t.psum then
+    Error
+      (`Config_mismatch
+        (Printf.sprintf "quACK modulus %d, sender modulus %d" q.Quack.modulus
+           (Psum.modulus t.psum)))
   else begin
     let sender_count = Psum.count t.psum in
     let q = { q with Quack.count_bits = t.cfg.count_bits } in
@@ -186,7 +205,10 @@ let on_quack t (q : Quack.t) =
       else begin
         let in_flight = if m > t_eff then m - t_eff else 0 in
         let prefix_len = n - in_flight in
-        let diff = Psum.difference ~sent:t.psum ~received_sums:q.Quack.sums () in
+        let diff =
+          Psum.difference ~received_modulus:q.Quack.modulus ~sent:t.psum
+            ~received_sums:q.Quack.sums ()
+        in
         let diff =
           if in_flight = 0 then diff
           else begin

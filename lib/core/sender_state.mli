@@ -105,6 +105,12 @@ val resync_to : 'meta t -> Quack.t -> 'meta list
     packet arriving {e after} the adopted quACK perturbs the next
     decode, which then triggers one more resync — the process
     converges once stragglers drain (documented trade-off; the paper's
-    alternative is a full connection reset).
-    @raise Invalid_argument if the quACK's width or threshold differs
-    from the sender's configuration. *)
+    alternative is a full connection reset). The send-position space is
+    log-relative, so resync also resets it ([next_pos] to 0,
+    [max_acked_pos] to none) exactly as {!reset} does — post-takeover
+    sends must never be judged against watermarks from the abandoned
+    log.
+    @raise Invalid_argument if the quACK's width, threshold, or field
+    modulus differs from the sender's configuration (equal width does
+    not imply the same prime, and adopting foreign-field sums would
+    silently corrupt the sketch). *)

@@ -58,7 +58,7 @@ let decode_packed ~bits ~threshold ~count_bits s =
       let count =
         if count_bits = 0 then 0 else get_le s (threshold * nb) (count_bits / 8)
       in
-      Ok { Quack.bits; count_bits; sums; count }
+      Ok { Quack.bits; modulus; count_bits; sums; count }
   end
 
 (* Framed format:

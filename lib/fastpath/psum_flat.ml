@@ -295,7 +295,15 @@ let to_quack ?(count_bits = 16) t =
   if count_bits < 0 || count_bits > 62 then
     invalid_arg "Psum_flat.to_quack: count_bits must be in [0, 62]";
   flush t;
-  { Quack.bits = bits t; count_bits; sums = sums t; count = count t }
+  let wrapped =
+    let c = count t in
+    if count_bits = 0 || count_bits >= 62 then c
+    else c land ((1 lsl count_bits) - 1)
+  in
+  (* Mirror Quack.of_psum: the quACK carries the canonical wire
+     representative of the count, so ref and flat datapaths agree. *)
+  { Quack.bits = bits t; modulus = modulus t; count_bits; sums = sums t;
+    count = wrapped }
 
 let reset t =
   for i = 0 to t.th - 1 do

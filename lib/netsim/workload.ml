@@ -29,6 +29,41 @@ let sample_exponential rng ~mean =
 
 let web_flows = Lognormal { mu = 2.5; sigma = 1.5 }
 
+type arrival =
+  | Poisson of { mean_s : float }
+  | Flash_crowd of {
+      base_mean_s : float;
+      at_s : float;
+      crowd : int;
+      spread_s : float;
+    }
+
+let arrival_times rng spec ~n =
+  if n < 0 then invalid_arg "Workload.arrival_times: negative n";
+  match spec with
+  | Poisson { mean_s } ->
+      let t = ref 0. in
+      Array.init n (fun _ ->
+          t := !t +. sample_exponential rng ~mean:mean_s;
+          !t)
+  | Flash_crowd { base_mean_s; at_s; crowd; spread_s } ->
+      if at_s < 0. then invalid_arg "Workload.arrival_times: negative at_s";
+      if crowd < 0 then invalid_arg "Workload.arrival_times: negative crowd";
+      if spread_s <= 0. then
+        invalid_arg "Workload.arrival_times: non-positive spread_s";
+      let crowd = min crowd n in
+      let base = n - crowd in
+      let t = ref 0. in
+      Array.init n (fun i ->
+          if i < base then begin
+            t := !t +. sample_exponential rng ~mean:base_mean_s;
+            !t
+          end
+          else
+            (* The crowd lands together: a pulse at [at_s] whose
+               stragglers decay exponentially over [spread_s]. *)
+            at_s +. sample_exponential rng ~mean:spread_s)
+
 let percentile xs ~p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Workload.percentile: empty";

@@ -24,6 +24,25 @@ val web_flows : size_dist
 (** A standard web-flow mix: lognormal with a ~12-unit median and a
     long tail (mu = 2.5, sigma = 1.5). *)
 
+type arrival =
+  | Poisson of { mean_s : float }  (** exponential inter-arrival gaps *)
+  | Flash_crowd of {
+      base_mean_s : float;  (** background Poisson mean gap *)
+      at_s : float;  (** when the crowd arrives *)
+      crowd : int;  (** how many of the [n] flows are in the pulse *)
+      spread_s : float;  (** exponential decay of the pulse's stragglers *)
+    }
+      (** A background Poisson process plus a synchronized pulse of
+          [crowd] flows at [at_s] — the flash-crowd arrival shape the
+          mobility/multipath scenarios run under. *)
+
+val arrival_times : Rng.t -> arrival -> n:int -> float array
+(** Start times (seconds, not sorted for [Flash_crowd]: the first
+    [n - crowd] entries are the background process, the rest the
+    pulse) for [n] flows. Deterministic given the [Rng.t].
+    @raise Invalid_argument on negative [n]/[at_s]/[crowd] or
+    non-positive [spread_s]. *)
+
 val percentile : float array -> p:float -> float
 (** [percentile xs ~p] with [p] in [0, 100]; nearest-rank on a sorted
     copy. @raise Invalid_argument on an empty array. *)

@@ -111,7 +111,7 @@ let on_ingress t p =
 let on_return t p =
   timed t (fun () ->
       match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst; index }
+      | Sframes.Quack_frame { quack; dst; index; _ }
         when String.equal dst t.protocol.Protocol.addr ->
           Demux.feedback t.demux ~flow:p.Packet.flow
             ~tracked:(fun fl -> fl.Protocol.on_feedback ~index quack)

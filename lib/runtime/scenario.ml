@@ -312,8 +312,9 @@ let run ?cost_clock (cfg : config) =
     client_quack_index.(i) <- client_quack_index.(i) + 1;
     ignore
       (Link.send rev.(0)
-         (Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:client_quack_index.(i)
-            ~count_omitted:false ~flow:i ~now:(Engine.now engine)))
+         (Sframes.quack_packet ~src:"client" ~quack:q ~dst:"proxy"
+            ~index:client_quack_index.(i) ~count_omitted:false ~flow:i
+            ~now:(Engine.now engine) ()))
   in
   let receivers_ref = ref [||] in
   let on_client_data i =
@@ -406,7 +407,7 @@ let run ?cost_clock (cfg : config) =
   in
   let deliver_server p =
     match p.Packet.payload with
-    | Sframes.Quack_frame { quack; dst = "server"; index } ->
+    | Sframes.Quack_frame { quack; dst = "server"; index; _ } ->
         if p.Packet.flow >= 0 && p.Packet.flow < n then
           on_server_quack p.Packet.flow ~index quack
     | _ ->

@@ -129,3 +129,8 @@ val pp_report : Format.formatter -> report -> unit
 val json_report : report -> Obs.Json.t
 (** Schema-stable JSON mirror of {!report} (per-flow rows summarised
     to a count; [`Retx]-only sections null otherwise). *)
+
+val json_proxy_stats : Proxy.stats -> Obs.Json.t
+val pp_proxy_stats : Format.formatter -> Proxy.stats -> unit
+(** Shared renderings of one proxy's counter snapshot — the handover
+    and multipath scenario families reuse them per sidecar. *)

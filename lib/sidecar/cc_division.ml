@@ -145,8 +145,9 @@ let run cfg =
       incr client_quack_index;
       incr quacks_from_client;
       let pkt =
-        Sframes.quack_packet ~quack:q ~dst:"proxy" ~index:!client_quack_index
-          ~count_omitted:false ~flow:0 ~now:(Engine.now cp.Chain.engine)
+        Sframes.quack_packet ~src:"client" ~quack:q ~dst:"proxy"
+          ~index:!client_quack_index ~count_omitted:false ~flow:0
+          ~now:(Engine.now cp.Chain.engine) ()
       in
       client_quack_bytes := !client_quack_bytes + pkt.Packet.size;
       cp.Chain.inject pkt;

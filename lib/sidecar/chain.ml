@@ -91,7 +91,7 @@ let run ?(seed = 1) ?(units = 2000) ?(mss = 1460) ?(ack_every = 2)
       let on_quack = mk ~sender in
       Link.set_deliver rev.(n - 1) (fun p ->
           match p.Packet.payload with
-          | Sframes.Quack_frame { quack; dst; index }
+          | Sframes.Quack_frame { quack; dst; index; _ }
             when String.equal dst Protocol.server_addr ->
               on_quack ~index quack
           | _ -> Transport.Sender.deliver_ack sender p));

@@ -222,7 +222,7 @@ let run cfg =
       Transport.Receiver.deliver receivers.(p.Packet.flow) p);
   Link.set_deliver c2p (fun p ->
       match p.Packet.payload with
-      | Sframes.Quack_frame { quack; dst = "proxy"; index } ->
+      | Sframes.Quack_frame { quack; dst = "proxy"; index; _ } ->
           flows.(p.Packet.flow).Protocol.on_feedback ~index quack
       | _ -> ignore (Link.send p2s.(p.Packet.flow) p));
   let all_done () =
@@ -237,8 +237,9 @@ let run cfg =
     quack_idx.(i) <- quack_idx.(i) + 1;
     ignore
       (Link.send c2p
-         (Sframes.quack_packet ~quack:cq ~dst:"proxy" ~index:quack_idx.(i)
-            ~count_omitted:false ~flow:i ~now:(Engine.now engine)));
+         (Sframes.quack_packet ~src:"client" ~quack:cq ~dst:"proxy"
+            ~index:quack_idx.(i) ~count_omitted:false ~flow:i
+            ~now:(Engine.now engine) ()));
     flows.(i).Protocol.on_timer ();
     if Engine.now engine < cfg.until && not (all_done ()) then
       Engine.schedule engine ~delay:quack_interval (timers i)

@@ -52,7 +52,7 @@ let of_protocol ?(flow_id = 0) ?counters ?expose (proto : Protocol.t) : spec =
   in
   let rev p =
     match p.Packet.payload with
-    | Sframes.Quack_frame { quack; dst; index }
+    | Sframes.Quack_frame { quack; dst; index; _ }
       when String.equal dst proto.Protocol.addr ->
         fl.Protocol.on_feedback ~index quack
     | _ -> ports.backward p

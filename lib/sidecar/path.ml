@@ -58,6 +58,33 @@ let segment ?(loss = No_loss) ?(rev_loss = No_loss) ?(codel = false) ~rate_bps ~
 
 let rtt segments = 2 * List.fold_left (fun acc s -> acc + s.delay) 0 segments
 
+(* High-BDP presets for the mobility/multipath scenario families
+   (paper §5): long-delay links whose loss comes in bursts, so the
+   quACK threshold and the tail-in-flight grace actually get
+   exercised. Values are representative, not measured: a GEO satellite
+   hop (~280 ms one-way, deep but rare bad states) and a cellular/LTE
+   last mile (~40 ms, shallower but more frequent bursts). *)
+let satellite =
+  segment ~rate_bps:20_000_000 ~delay:(Time.ms 280)
+    ~loss:
+      (Gilbert { p_good_to_bad = 0.002; p_bad_to_good = 0.3; loss_bad = 0.5 })
+    ()
+
+let cellular =
+  segment ~rate_bps:30_000_000 ~delay:(Time.ms 40)
+    ~loss:
+      (Gilbert { p_good_to_bad = 0.01; p_bad_to_good = 0.25; loss_bad = 0.3 })
+    ()
+
+(* A congested cell: same delay class as [cellular] (handing over or
+   splitting across it keeps the sender's one RTT estimator honest)
+   but a markedly worse loss regime. *)
+let congested_cell =
+  segment ~rate_bps:25_000_000 ~delay:(Time.ms 50)
+    ~loss:
+      (Gilbert { p_good_to_bad = 0.02; p_bad_to_good = 0.2; loss_bad = 0.3 })
+    ()
+
 type built = { engine : Engine.t; fwd : Link.t array; rev : Link.t array }
 
 let build ?(seed = 1) segments =

@@ -35,6 +35,21 @@ val segment :
 val rtt : segment list -> Netsim.Sim_time.span
 (** End-to-end round-trip propagation of the path. *)
 
+val satellite : segment
+(** High-BDP GEO-like hop: 20 Mbps, 280 ms one-way, rare deep
+    Gilbert-Elliott bursts. A preset for the mobility/multipath
+    scenario families (§5). *)
+
+val cellular : segment
+(** Cellular/LTE-like last mile: 30 Mbps, 40 ms one-way, frequent
+    shallow Gilbert-Elliott bursts. *)
+
+val congested_cell : segment
+(** A congested cell: [cellular]'s delay class but a markedly worse
+    loss regime (25 Mbps, 50 ms, burstier). The default handover
+    target and second multipath branch — same delay class, so one
+    end-to-end RTT estimator stays valid across both. *)
+
 type built = {
   engine : Netsim.Engine.t;
   fwd : Netsim.Link.t array;  (** forward links, sender side first *)

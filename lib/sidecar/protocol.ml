@@ -87,10 +87,10 @@ end
 let trace ctx ev =
   Obs.Trace.record (Engine.trace ctx.engine) ~time:(Engine.now ctx.engine) ev
 
-let send_quack ctx ~dst ~index ~count_omitted quack =
+let send_quack ?src ctx ~dst ~index ~count_omitted quack =
   let pkt =
-    Sframes.quack_packet ~quack ~dst ~index ~count_omitted ~flow:ctx.flow
-      ~now:(Engine.now ctx.engine)
+    Sframes.quack_packet ?src ~quack ~dst ~index ~count_omitted ~flow:ctx.flow
+      ~now:(Engine.now ctx.engine) ()
   in
   Counter.incr ctx.counters.quacks_tx;
   Counter.add ctx.counters.quack_bytes pkt.Packet.size;

@@ -123,11 +123,14 @@ module type S = sig
 end
 
 val send_quack :
+  ?src:string ->
   ctx -> dst:string -> index:int -> count_omitted:bool ->
   Sidecar_quack.Quack.t -> unit
 (** Emit one quACK on the return path ([ctx.backward]), tallying
     [quacks_tx] and [quack_bytes] and recording a [Quack_sent] trace
-    event when the [Quack] category is enabled. *)
+    event when the [Quack] category is enabled. [src] (default
+    ["proxy"]) names the emitting sidecar so a sender merging feedback
+    from several paths can attribute the quACK. *)
 
 val trace : ctx -> Obs.Trace.event -> unit
 (** Record a trace event on the engine's ring at the current clock

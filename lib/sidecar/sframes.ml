@@ -3,7 +3,7 @@ module Quack = Sidecar_quack.Quack
 module Wire = Sidecar_quack.Wire
 
 type Packet.payload +=
-  | Quack_frame of { quack : Quack.t; dst : string; index : int }
+  | Quack_frame of { quack : Quack.t; src : string; dst : string; index : int }
   | Freq_update of { dst : string; interval_packets : int }
 
 let encapsulation = 28 (* UDP + IPv4 *)
@@ -13,10 +13,11 @@ let quack_wire_size q ~count_omitted =
   Wire.packed_size ~bits:q.Quack.bits ~threshold:(Quack.threshold q) ~count_bits
   + Wire.frame_overhead + encapsulation
 
-let quack_packet ~quack ~dst ~index ~count_omitted ~flow ~now =
+let quack_packet ?(src = "proxy") ~quack ~dst ~index ~count_omitted ~flow ~now
+    () =
   Packet.make ~uid:(-2) ~flow ~id:0 ~seq:index
     ~size:(quack_wire_size quack ~count_omitted)
-    ~payload:(Quack_frame { quack; dst; index })
+    ~payload:(Quack_frame { quack; src; dst; index })
     ~sent_at:now ()
 
 let freq_packet ~dst ~interval_packets ~flow ~now =

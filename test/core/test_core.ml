@@ -177,7 +177,10 @@ let test_quack_sizes_match_paper () =
     (Wire.packed_size ~bits:32 ~threshold:20 ~count_bits:16)
 
 let test_quack_count_wraparound () =
-  let q = { Quack.bits = 32; count_bits = 16; sums = [||]; count = 65535 } in
+  let q =
+    { Quack.bits = 32; modulus = 4294967291; count_bits = 16; sums = [||];
+      count = 65535 }
+  in
   (* sender has sent 65540 total; receiver count wrapped *)
   check int "m across wrap" 5 (Quack.missing_count q ~sender_count:65540);
   let q2 = { q with Quack.count = 10 } in

@@ -140,6 +140,46 @@ let check_row path i = function
         in
         List.iter check_nonneg
           [ "bits"; "pkts_per_sec"; "proxy_us_per_pkt"; "checksum" ]
+      end;
+      if section = Some (Obs.Json.String "runtime_handover") then begin
+        let check_nonneg names =
+          List.iter
+            (fun name ->
+              match num name ~section:"runtime_handover" with
+              | Some v when v < 0. ->
+                  err path "row %d: runtime_handover field %S is negative" i
+                    name
+              | Some _ | None -> ())
+            names
+        in
+        check_nonneg
+          [ "flows"; "completed"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s";
+            "fct_mean_s"; "srv_resyncs"; "retransmissions"; "timeouts";
+            "delivered_bytes" ];
+        (match (num "completed" ~section:"runtime_handover",
+                num "flows" ~section:"runtime_handover") with
+        | Some c, Some f when c > f ->
+            err path "row %d: runtime_handover completed > flows" i
+        | _ -> ());
+        match List.assoc_opt "scenario" fields with
+        | Some (Obs.Json.String "handover") ->
+            enum "arm" ~section:"runtime_handover"
+              [ "baseline"; "resync"; "transfer" ];
+            enum "strategy" ~section:"runtime_handover"
+              [ "resync"; "transfer" ];
+            check_nonneg
+              [ "migrations"; "transfers"; "transfer_bytes"; "install_merges";
+                "spurious_retx" ]
+        | Some (Obs.Json.String "multipath") ->
+            enum "arm" ~section:"runtime_handover"
+              [ "split"; "single_path" ];
+            check_nonneg
+              [ "path1_pkts"; "path2_pkts"; "folded_decodes"; "duplicates" ]
+        | _ ->
+            err path
+              "row %d: runtime_handover field \"scenario\" missing or not one \
+               of {handover, multipath}"
+              i
       end
   | _ -> err path "row %d: not an object" i
 
@@ -243,6 +283,102 @@ let check_shard_pairs path rows =
       end)
     tbl
 
+(* Cross-row: the handover family must carry all three arms exactly
+   once and the multipath family both of its arms; and the relations
+   the families exist to demonstrate must actually hold in the data —
+   the transfer arm's state continuity costs no more server resyncs
+   than the resync arm's restart, only the transfer arm pays control
+   bytes, only migrated arms migrate, and the split arm's folded
+   decode must have fired (a split run that never folds proved
+   nothing about Psum.merge). *)
+let check_handover_arms path rows =
+  let handover = Hashtbl.create 4 and multipath = Hashtbl.create 4 in
+  List.iter
+    (fun row ->
+      match row with
+      | Obs.Json.Obj fields
+        when List.assoc_opt "section" fields
+             = Some (Obs.Json.String "runtime_handover") -> (
+          match
+            (List.assoc_opt "scenario" fields, List.assoc_opt "arm" fields)
+          with
+          | Some (Obs.Json.String "handover"), Some (Obs.Json.String arm) ->
+              Hashtbl.add handover arm fields
+          | Some (Obs.Json.String "multipath"), Some (Obs.Json.String arm) ->
+              Hashtbl.add multipath arm fields
+          | _ -> () (* field-level errors already reported *))
+      | _ -> ())
+    rows;
+  if Hashtbl.length handover = 0 && Hashtbl.length multipath = 0 then ()
+  else begin
+    let get tbl arm =
+      match Hashtbl.find_all tbl arm with
+      | [ fields ] -> Some fields
+      | l ->
+          err path "runtime_handover: %d %S rows (want exactly 1)"
+            (List.length l) arm;
+          None
+    in
+    let int_field fields name =
+      match List.assoc_opt name fields with
+      | Some (Obs.Json.Int v) -> Some v
+      | _ -> None
+    in
+    (match (get handover "baseline", get handover "resync",
+            get handover "transfer") with
+    | Some base, Some resync, Some transfer ->
+        (match int_field base "migrations" with
+        | Some 0 -> ()
+        | Some m ->
+            err path "runtime_handover: baseline arm migrated %d flows" m
+        | None -> ());
+        (match (int_field resync "transfers", int_field transfer "transfers",
+                int_field transfer "migrations") with
+        | Some 0, Some t, Some m when t = m && m > 0 -> ()
+        | Some rt, Some t, Some m ->
+            err path
+              "runtime_handover: transfers resync=%d (want 0), transfer=%d \
+               (want = migrations %d > 0)"
+              rt t m
+        | _ -> ());
+        (match (int_field transfer "srv_resyncs",
+                int_field resync "srv_resyncs") with
+        | Some t, Some r when t > r ->
+            err path
+              "runtime_handover: transfer arm resyncs (%d) exceed resync \
+               arm's (%d) — snapshot continuity is not helping"
+              t r
+        | _ -> ());
+        (match (int_field transfer "install_merges",
+                int_field transfer "transfers") with
+        | Some im, Some t when im > t ->
+            err path
+              "runtime_handover: install_merges (%d) exceed transfers (%d)"
+              im t
+        | _ -> ())
+    | _ -> ());
+    match (get multipath "split", get multipath "single_path") with
+    | Some split, Some single ->
+        (match (int_field split "path2_pkts", int_field split "folded_decodes")
+         with
+        | Some p2, Some f when p2 = 0 || f = 0 ->
+            err path
+              "runtime_handover: split arm never exercised the fold \
+               (path2_pkts=%d folded_decodes=%d)"
+              p2 f
+        | _ -> ());
+        (match (int_field single "path2_pkts",
+                int_field single "folded_decodes") with
+        | Some 0, Some 0 -> ()
+        | Some p2, Some f ->
+            err path
+              "runtime_handover: single_path arm used path 2 \
+               (path2_pkts=%d folded_decodes=%d)"
+              p2 f
+        | _ -> ())
+    | _ -> ()
+  end
+
 let check_bench path doc =
   match Obs.Json.member "rows" doc with
   | Some (Obs.Json.List []) -> err path "empty \"rows\""
@@ -250,6 +386,7 @@ let check_bench path doc =
       List.iteri (check_row path) rows;
       check_datapath_pairs path rows;
       check_shard_pairs path rows;
+      check_handover_arms path rows;
       if !errors = 0 then
         Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
   | _ -> err path "missing \"rows\" list"
