@@ -91,6 +91,7 @@ let quack_rows : Obs.Json.t list ref = ref []
 let runtime_rows : Obs.Json.t list ref = ref []
 let shard_rows : Obs.Json.t list ref = ref []
 let handover_rows : Obs.Json.t list ref = ref []
+let adversary_rows : Obs.Json.t list ref = ref []
 
 let add_row rows ~section fields =
   rows := Obs.Json.Obj (("section", Obs.Json.String section) :: fields) :: !rows
@@ -1120,6 +1121,161 @@ let runtime_handover pool =
           ]))
     m_arms m_reports
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial + leakage scenario families (ROADMAP item 4)            *)
+
+(* The adversary family's four arms (unauthenticated at attack rates
+   0, R/2 and R, plus the authenticated defence at R) and the leakage
+   probe's two (unshaped / shaped quACK channel), one row each in
+   BENCH_ADVERSARY.json, plus one HMAC sign/verify micro row. Every
+   run is a pure function of its config, so the rows are byte-stable
+   and benchcheck can assert the cross-arm relations: attack and
+   damage counts monotone in the rate, the top-rate unauthenticated
+   arm admits attacker quACKs, the authenticated arm admits exactly
+   zero (while rejecting forgeries and dropping replays), and shaping
+   buys observer accuracy down at a measurable byte cost. *)
+let runtime_adversary pool =
+  let module A = Sidecar_runtime.Adversary in
+  let module L = Sidecar_runtime.Leakage in
+  section "Runtime: adversary + leakage scenario families";
+  (* BENCH_ADVERSARY_FLOWS caps the per-arm flow count (CI smoke). *)
+  let flows =
+    match Sys.getenv_opt "BENCH_ADVERSARY_FLOWS" with
+    | Some s -> (
+        try max 8 (int_of_string s)
+        with Failure _ -> A.default_config.A.flows)
+    | None -> A.default_config.A.flows
+  in
+  let fct_fields ~p50 ~p95 ~p99 ~mean =
+    [
+      ("fct_p50_s", Obs.Json.Float p50);
+      ("fct_p95_s", Obs.Json.Float p95);
+      ("fct_p99_s", Obs.Json.Float p99);
+      ("fct_mean_s", Obs.Json.Float mean);
+    ]
+  in
+  let rate = 0.2 in
+  let base = { A.default_config with A.flows; table_flows = flows } in
+  let a_arms =
+    [
+      ("unauth_rate0", { base with A.auth = false; attack_rate = 0. });
+      ( "unauth_rate_half",
+        { base with A.auth = false; attack_rate = rate /. 2. } );
+      ("unauth", { base with A.auth = false; attack_rate = rate });
+      ("auth", { base with A.auth = true; attack_rate = rate });
+    ]
+  in
+  let a_reports =
+    Exec.Pool.map pool ~f:(fun _ctx (_, c) -> A.run c) a_arms
+  in
+  List.iter2
+    (fun (arm, _) (r : A.report) ->
+      Printf.printf
+        "  adversary %-16s: %d/%d done  admitted %d  resyncs %d (attacker \
+         %d)  rejected %d  replays dropped %d  malformed %d\n"
+        arm r.A.completed r.A.flows r.A.attacker_admitted r.A.srv_resyncs
+        r.A.attacker_resyncs r.A.auth_rejected r.A.replays_dropped
+        r.A.malformed;
+      add_row adversary_rows ~section:"runtime_adversary"
+        ([
+           ("scenario", Obs.Json.String "adversary");
+           ("arm", Obs.Json.String arm);
+           ("auth", Obs.Json.Bool r.A.auth);
+           ("attack_rate", Obs.Json.Float r.A.attack_rate);
+           ("flows", Obs.Json.Int r.A.flows);
+           ("completed", Obs.Json.Int r.A.completed);
+           ("wedged", Obs.Json.Int r.A.wedged);
+         ]
+        @ fct_fields ~p50:r.A.fct_p50 ~p95:r.A.fct_p95 ~p99:r.A.fct_p99
+            ~mean:r.A.fct_mean
+        @ [
+            ("quacks_sealed", Obs.Json.Int r.A.quacks_sealed);
+            ("auth_bytes_overhead", Obs.Json.Int r.A.auth_bytes_overhead);
+            ( "attacks_spoofed",
+              Obs.Json.Int r.A.attacks.Sidecar_protocols.Adversary.spoofs );
+            ( "attacks_replayed",
+              Obs.Json.Int r.A.attacks.Sidecar_protocols.Adversary.replays );
+            ( "attacks_truncated",
+              Obs.Json.Int r.A.attacks.Sidecar_protocols.Adversary.truncations
+            );
+            ( "attacks_bitflipped",
+              Obs.Json.Int r.A.attacks.Sidecar_protocols.Adversary.bitflips );
+            ("attacker_admitted", Obs.Json.Int r.A.attacker_admitted);
+            ("attacker_resyncs", Obs.Json.Int r.A.attacker_resyncs);
+            ("auth_rejected", Obs.Json.Int r.A.auth_rejected);
+            ("replays_dropped", Obs.Json.Int r.A.replays_dropped);
+            ("malformed", Obs.Json.Int r.A.malformed);
+            ("srv_resyncs", Obs.Json.Int r.A.srv_resyncs);
+            ("retransmissions", Obs.Json.Int r.A.retransmissions);
+            ("timeouts", Obs.Json.Int r.A.timeouts);
+            ("spurious_retx", Obs.Json.Int r.A.spurious_retx);
+            ("delivered_bytes", Obs.Json.Int r.A.data_delivered_bytes);
+          ]))
+    a_arms a_reports;
+  let l_base = { L.default_config with L.flows; table_flows = flows } in
+  let l_arms =
+    [
+      ("unshaped", { l_base with L.shape = false });
+      ("shaped", { l_base with L.shape = true });
+    ]
+  in
+  let l_reports =
+    Exec.Pool.map pool ~f:(fun _ctx (_, c) -> L.run c) l_arms
+  in
+  List.iter2
+    (fun (arm, _) (r : L.report) ->
+      Printf.printf
+        "  leakage %-9s: %d/%d done  observer accuracy %.2f  %d quACKs \
+         (%d B, %d dummies)  fct p50 %.3fs\n"
+        arm r.L.completed r.L.flows r.L.observer_accuracy r.L.quacks_on_wire
+        r.L.quack_bytes_on_wire r.L.dummy_quacks r.L.fct_p50;
+      add_row adversary_rows ~section:"runtime_adversary"
+        ([
+           ("scenario", Obs.Json.String "leakage");
+           ("arm", Obs.Json.String arm);
+           ("shaped", Obs.Json.Bool r.L.shaped);
+           ("flows", Obs.Json.Int r.L.flows);
+           ("completed", Obs.Json.Int r.L.completed);
+         ]
+        @ fct_fields ~p50:r.L.fct_p50 ~p95:r.L.fct_p95 ~p99:r.L.fct_p99
+            ~mean:r.L.fct_mean
+        @ [
+            ("quacks_on_wire", Obs.Json.Int r.L.quacks_on_wire);
+            ("quack_bytes_on_wire", Obs.Json.Int r.L.quack_bytes_on_wire);
+            ("dummy_quacks", Obs.Json.Int r.L.dummy_quacks);
+            ("replays_dropped", Obs.Json.Int r.L.replays_dropped);
+            ("observer_accuracy", Obs.Json.Float r.L.observer_accuracy);
+            ("srv_resyncs", Obs.Json.Int r.L.srv_resyncs);
+            ("retransmissions", Obs.Json.Int r.L.retransmissions);
+            ("timeouts", Obs.Json.Int r.L.timeouts);
+          ]))
+    l_arms l_reports;
+  (* The per-quACK price of the defence: one HMAC-SHA256 sign at the
+     proxy, one verify at the server, 16 tag bytes on the wire. *)
+  let mac_key = String.make 32 '\x0b' in
+  let msg = String.make 147 'q' in
+  let tag = Sidecar_hash.Hmac.mac_truncated ~key:mac_key msg in
+  let sign_us, verify_us =
+    if deterministic then (0.0, 0.0)
+    else
+      ( measure_ns ~name:"hmac-sign" (fun () ->
+            Sidecar_hash.Hmac.mac_truncated ~key:mac_key msg)
+        /. 1e3,
+        measure_ns ~name:"hmac-verify" (fun () ->
+            Sidecar_hash.Hmac.verify ~key:mac_key ~tag msg)
+        /. 1e3 )
+  in
+  Printf.printf "  hmac: sign %.2f us, verify %.2f us, %d tag bytes\n" sign_us
+    verify_us (String.length tag);
+  add_row adversary_rows ~section:"runtime_adversary"
+    [
+      ("scenario", Obs.Json.String "hmac");
+      ("arm", Obs.Json.String "micro");
+      ("tag_bytes", Obs.Json.Int (String.length tag));
+      ("sign_us", Obs.Json.Float sign_us);
+      ("verify_us", Obs.Json.Float verify_us);
+    ]
+
 let runtime_shard _pool =
   let module Sr = Sidecar_runtime.Shard_runtime in
   section "Runtime: sharded always-on flow runtime (shards 1/2/4)";
@@ -1471,6 +1627,7 @@ let sections =
     ("runtime_field", runtime_field);
     ("runtime_shard", runtime_shard);
     ("runtime_handover", runtime_handover);
+    ("runtime_adversary", runtime_adversary);
     ("ablation", ablation);
     ("extensions", extensions);
   ]
@@ -1511,4 +1668,5 @@ let () =
   write_rows "BENCH_QUACK.json" quack_rows;
   write_rows "BENCH_RUNTIME.json" runtime_rows;
   write_rows "BENCH_SHARD.json" shard_rows;
-  write_rows "BENCH_HANDOVER.json" handover_rows
+  write_rows "BENCH_HANDOVER.json" handover_rows;
+  write_rows "BENCH_ADVERSARY.json" adversary_rows

@@ -406,9 +406,11 @@ let run_sharded ~shards ~partitions ~flows ~table ~eviction ~idle_epochs
    --jobs or --shards — arms are merged in submission order, so the
    report is byte-identical for any pool width. *)
 let run_scenario_family ~family ~flows ~table ~seed ~json ~pool_jobs
-    ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every =
+    ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every ~attack_rate =
   let module H = Sidecar_runtime.Handover in
   let module M = Sidecar_runtime.Multipath in
+  let module A = Sidecar_runtime.Adversary in
+  let module L = Sidecar_runtime.Leakage in
   let with_crowd arrival =
     match (crowd, arrival) with
     | Some c, Netsim.Workload.Flash_crowd { base_mean_s; at_s; crowd = _; spread_s }
@@ -479,15 +481,80 @@ let run_scenario_family ~family ~flows ~table ~seed ~json ~pool_jobs
            (List.map2
               (fun (name, _) r -> (name, M.json_report r))
               arms reports))
+  | "adversary" ->
+      let d = A.default_config in
+      let rate = Option.value attack_rate ~default:d.A.attack_rate in
+      if not (rate >= 0. && rate <= 1.) then begin
+        Format.eprintf "--attack-rate must be in [0, 1]@.";
+        exit 2
+      end;
+      let base =
+        {
+          d with
+          A.flows = Option.value flows ~default:d.A.flows;
+          table_flows = Option.value table ~default:d.A.table_flows;
+          arrival = with_crowd d.A.arrival;
+          quack_every = Option.value quack_every ~default:d.A.quack_every;
+          seed;
+        }
+      in
+      (* damage curve (unauth at 0, r/2, r) plus the defence at r *)
+      let arms =
+        [
+          ("unauth_rate0", { base with A.auth = false; attack_rate = 0. });
+          ( "unauth_rate_half",
+            { base with A.auth = false; attack_rate = rate /. 2. } );
+          ("unauth", { base with A.auth = false; attack_rate = rate });
+          ("auth", { base with A.auth = true; attack_rate = rate });
+        ]
+      in
+      let reports =
+        Exec.map ?jobs:pool_jobs ~f:(fun _ctx (_, c) -> A.run c) arms
+      in
+      List.iter (fun r -> Format.printf "%a@." A.pp_report r) reports;
+      finish ~traced:false json
+        (arms_json "adversary"
+           (List.map2
+              (fun (name, _) r -> (name, A.json_report r))
+              arms reports))
+  | "leakage" ->
+      let d = L.default_config in
+      let base =
+        {
+          d with
+          L.flows = Option.value flows ~default:d.L.flows;
+          table_flows = Option.value table ~default:d.L.table_flows;
+          arrival = with_crowd d.L.arrival;
+          quack_every = Option.value quack_every ~default:d.L.quack_every;
+          seed;
+        }
+      in
+      let arms =
+        [
+          ("unshaped", { base with L.shape = false });
+          ("shaped", { base with L.shape = true });
+        ]
+      in
+      let reports =
+        Exec.map ?jobs:pool_jobs ~f:(fun _ctx (_, c) -> L.run c) arms
+      in
+      List.iter (fun r -> Format.printf "%a@." L.pp_report r) reports;
+      finish ~traced:false json
+        (arms_json "leakage"
+           (List.map2
+              (fun (name, _) r -> (name, L.json_report r))
+              arms reports))
   | s ->
-      Format.eprintf "unknown scenario %S (expected handover|multipath)@." s;
+      Format.eprintf
+        "unknown scenario %S (expected handover|multipath|adversary|leakage)@."
+        s;
       exit 2
 
 let runtime_cmd =
   let run protocol flows table eviction idle_ms seed far_loss per_flow
       datapath field bits json trace replications jobs shards partitions
       arrivals idle_epochs quack_every scenario migrate_after ctrl_delay crowd
-      split =
+      split attack_rate =
     match scenario with
     | Some family ->
         let pool_jobs =
@@ -510,7 +577,7 @@ let runtime_cmd =
                   exit 2)
         in
         run_scenario_family ~family ~flows ~table ~seed ~json ~pool_jobs
-          ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every
+          ~migrate_after ~ctrl_delay ~crowd ~split ~quack_every ~attack_rate
     | None ->
     match shards with
     | Some shards ->
@@ -715,8 +782,11 @@ let runtime_cmd =
     Arg.(value & opt (some string) None
          & info [ "scenario" ] ~docv:"FAMILY"
              ~doc:"Run a scenario family instead of the single-proxy \
-                   runtime: handover (no-migration/resync/transfer arms) or \
-                   multipath (split/single-path arms). Arms are fanned over \
+                   runtime: handover (no-migration/resync/transfer arms), \
+                   multipath (split/single-path arms), adversary \
+                   (unauth damage curve vs. authenticated defence under an \
+                   on-path quACK attacker) or leakage (unshaped/shaped \
+                   quACK side-channel probe). Arms are fanned over \
                    the --jobs (or --shards) pool; the report is \
                    byte-identical for any pool width.")
   in
@@ -743,6 +813,14 @@ let runtime_cmd =
              ~doc:"multipath: of every A+B data packets, the first A take \
                    path 1 (default 1:1).")
   in
+  let attack_rate =
+    Arg.(value & opt (some float) None
+         & info [ "attack-rate" ] ~docv:"R"
+             ~doc:"adversary: per-quACK bernoulli rate for each of the four \
+                   attacks (spoof/replay/truncate/bit-flip), in [0, 1] \
+                   (default 0.1). The family sweeps 0, R/2, R \
+                   unauthenticated plus R authenticated.")
+  in
   Cmd.v
     (Cmd.info "runtime"
        ~doc:"Many flows through bounded-table sidecar proxy state.")
@@ -751,7 +829,7 @@ let runtime_cmd =
           $ per_flow $ datapath $ field $ bits $ json_arg $ trace_arg
           $ replications $ jobs_arg $ shards $ partitions $ arrivals
           $ idle_epochs $ quack_every $ scenario $ migrate_after $ ctrl_delay
-          $ crowd $ split)
+          $ crowd $ split $ attack_rate)
 
 (* ------------------------------------------------------------------ *)
 

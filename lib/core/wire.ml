@@ -46,6 +46,12 @@ let decode_packed ~bits ~threshold ~count_bits s =
   if bits mod 8 <> 0 || bits <= 0 || bits > 32 then Error (`Unsupported_bits bits)
   else if count_bits mod 8 <> 0 || count_bits < 0 || count_bits > 56 then
     Error (`Unsupported_bits count_bits)
+  else if threshold < 0 || threshold > 0xFFFF then
+    (* A hostile threshold must surface as a decode error, not an
+       [Invalid_argument] from [Array.init] (negative) or an
+       overflowing [packed_size] product: the framed header carries a
+       u16, so anything outside it is a forgery by construction. *)
+    Error `Truncated
   else if String.length s < packed_size ~bits ~threshold ~count_bits then Error `Truncated
   else begin
     let modulus = Primes.modulus_for_bits bits in
@@ -85,6 +91,26 @@ let encode_authed ~key q =
   let framed = encode_framed q in
   framed ^ Sidecar_hash.Hmac.mac_truncated ~key ~len:auth_overhead framed
 
+(* Detached authentication for quACKs that travel inside richer
+   envelopes (the runtime's sealed frames): the tag binds the framed
+   encoding to the flow and emission index it was produced for, so a
+   valid quACK cannot be replayed onto another flow or re-labelled
+   with a fresher index — only byte-for-byte replay remains, which the
+   sender-side replay guard handles. *)
+let tag_aad ~flow ~index =
+  let buf = Buffer.create 16 in
+  put_le buf flow 8;
+  put_le buf index 8;
+  Buffer.contents buf
+
+let tag ~key ~flow ~index framed =
+  Sidecar_hash.Hmac.mac_truncated ~key ~len:auth_overhead
+    (tag_aad ~flow ~index ^ framed)
+
+let verify_tag ~key ~flow ~index ~tag framed =
+  Sidecar_hash.Hmac.verify ~key ~len:auth_overhead ~tag
+    (tag_aad ~flow ~index ^ framed)
+
 let decode_framed s =
   if String.length s < frame_overhead then Error `Truncated
   else if String.sub s 0 2 <> "QK" then Error `Bad_magic
@@ -105,7 +131,8 @@ let decode_authed ~key s =
   else begin
     let framed = String.sub s 0 (n - auth_overhead) in
     let tag = String.sub s (n - auth_overhead) auth_overhead in
-    if not (Sidecar_hash.Hmac.verify ~key ~tag framed) then Error `Bad_tag
+    if not (Sidecar_hash.Hmac.verify ~key ~len:auth_overhead ~tag framed) then
+      Error `Bad_tag
     else
       match decode_framed framed with
       | Ok q -> Ok q

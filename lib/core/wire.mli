@@ -50,3 +50,14 @@ val decode_authed :
 
 val auth_overhead : int
 (** Bytes added on top of the framed encoding (the tag). *)
+
+val tag : key:string -> flow:int -> index:int -> string -> string
+(** Detached [auth_overhead]-byte tag over a framed encoding, bound to
+    the flow and emission index it authenticates (the AAD). A quACK
+    signed for one flow/index cannot be transplanted onto another —
+    only byte-for-byte replay remains, which {!Replay_guard} covers. *)
+
+val verify_tag :
+  key:string -> flow:int -> index:int -> tag:string -> string -> bool
+(** Constant-time check of a detached tag; the expected length is
+    always [auth_overhead], never taken from the presented tag. *)

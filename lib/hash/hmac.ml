@@ -1,5 +1,12 @@
 let block_size = 64
 
+(* The shortest tag a verifier may demand. Below this, brute-forcing a
+   tag online is trivial (2^-64 per guess at 8 bytes is already the
+   floor RFC 2104 §5 tolerates); the old API let the *attacker* pick
+   the length via the tag it presented, which made a 1-byte forgery
+   verify with probability 2^-8. *)
+let min_tag_len = 8
+
 let normalize_key key =
   let key = if String.length key > block_size then Sha256.digest_string key else key in
   let padded = Bytes.make block_size '\000' in
@@ -22,12 +29,17 @@ let mac_truncated ~key ?(len = 16) msg =
   if len < 1 || len > 32 then invalid_arg "Hmac.mac_truncated: bad length";
   String.sub (mac ~key msg) 0 len
 
-let verify ~key ~tag msg =
-  let expected = mac_truncated ~key ~len:(String.length tag) msg in
-  (* constant-time fold over all bytes *)
-  String.length tag > 0
-  && String.length tag <= 32
+let verify ~key ?(len = 16) ~tag msg =
+  (* The expected length is the VERIFIER's parameter, never derived
+     from the presented tag: deriving it from [tag] hands the attacker
+     the truncation knob (present 1 byte, verify against 1 byte). A
+     tag of the wrong length fails outright, before any comparison. *)
+  if len < min_tag_len || len > 32 then
+    invalid_arg "Hmac.verify: expected tag length out of [8, 32]";
+  String.length tag = len
   &&
+  let expected = mac_truncated ~key ~len msg in
+  (* constant-time fold over all bytes *)
   let acc = ref 0 in
   String.iteri (fun i c -> acc := !acc lor (Char.code c lxor Char.code expected.[i])) tag;
   !acc = 0

@@ -29,7 +29,10 @@ let derive seed ~index =
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  Random.State.int t bound
+  (* Random.State.int caps its bound at 2^30; wide draws (e.g. power
+     sums below a 32-bit field modulus) need full_int *)
+  if bound < 1 lsl 30 then Random.State.int t bound
+  else Random.State.full_int t bound
 
 let float t = Random.State.float t 1.0
 let bool t ~p = Random.State.float t 1.0 < p

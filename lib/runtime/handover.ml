@@ -79,6 +79,7 @@ type report = {
   transfer_bytes : int;  (** modeled control-channel cost *)
   install_merges : int;  (** transfers that raced with migrated data *)
   srv_resyncs : int;
+  srv_replays_dropped : int;
   retransmissions : int;
   timeouts : int;
   spurious_retx : int;  (** duplicate deliveries at the client *)
@@ -172,7 +173,7 @@ let run (cfg : config) =
   in
 
   (* ---- server sidecar: quACKs -> provisional window credit -------- *)
-  let srv_last_index = Array.make n 0 in
+  let srv_guards = Array.init n (fun _ -> Q.Replay_guard.create ()) in
   let on_srv_report i quack =
     match Q.Sender_state.on_quack srv_ss.(i) quack with
     | Ok rep when not rep.Q.Sender_state.stale -> (
@@ -186,15 +187,19 @@ let run (cfg : config) =
     | Error (`Config_mismatch _) -> ()
   in
   let on_server_quack i ~index quack =
-    if index <= srv_last_index.(i) then begin
-      (* A regressed emission index means the emitting sidecar's state
-         restarted — under [Resync] that is sidecar B's first fresh
-         quACK after the handover (§3.3: adopt its sums as baseline). *)
-      incr srv_resyncs;
-      ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
-    end
-    else on_srv_report i quack;
-    srv_last_index.(i) <- index
+    match Q.Replay_guard.classify srv_guards.(i) ~index quack with
+    | Q.Replay_guard.Fresh -> on_srv_report i quack
+    | Q.Replay_guard.Replay ->
+        (* byte-identical re-delivery of an already-consumed emission:
+           dropped, counted — never a resync trigger *)
+        ()
+    | Q.Replay_guard.Regression ->
+        (* A regressed emission index with novel contents means the
+           emitting sidecar's state restarted — under [Resync] that is
+           sidecar B's first fresh quACK after the handover (§3.3:
+           adopt its sums as baseline). *)
+        incr srv_resyncs;
+        ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
   in
 
   (* ---- wiring ------------------------------------------------------ *)
@@ -316,6 +321,8 @@ let run (cfg : config) =
     transfer_bytes = !transfer_bytes;
     install_merges = Migration.install_merges handle_b;
     srv_resyncs = !srv_resyncs;
+    srv_replays_dropped =
+      Array.fold_left (fun a g -> a + Q.Replay_guard.replays g) 0 srv_guards;
     retransmissions = !retransmissions;
     timeouts = !timeouts;
     spurious_retx = !spurious;
@@ -341,6 +348,7 @@ let json_report (r : report) =
       ("transfer_bytes", Obs.Json.Int r.transfer_bytes);
       ("install_merges", Obs.Json.Int r.install_merges);
       ("srv_resyncs", Obs.Json.Int r.srv_resyncs);
+      ("srv_replays_dropped", Obs.Json.Int r.srv_replays_dropped);
       ("retransmissions", Obs.Json.Int r.retransmissions);
       ("timeouts", Obs.Json.Int r.timeouts);
       ("spurious_retx", Obs.Json.Int r.spurious_retx);
@@ -352,12 +360,14 @@ let pp_report ppf (r : report) =
     "@[<v>handover %s%s: %d/%d completed by %a@,\
      fct p50 %.3fs p95 %.3fs p99 %.3fs mean %.3fs@,\
      migrations %d (transfers %d, %d B ctrl, %d merged on race)@,\
-     server resyncs %d, retx %d (spurious %d), timeouts %d@,\
+     server resyncs %d (replays dropped %d), retx %d (spurious %d), timeouts \
+     %d@,\
      sidecar A: %a@,sidecar B: %a@,delivered %d B@]"
     (strategy_name r.strategy)
     (if r.migrated then "" else " (baseline: no migration)")
     r.completed r.flows Time.pp r.sim_end r.fct_p50 r.fct_p95 r.fct_p99
     r.fct_mean r.migrations r.transfers r.transfer_bytes r.install_merges
-    r.srv_resyncs r.retransmissions r.spurious_retx r.timeouts
+    r.srv_resyncs r.srv_replays_dropped r.retransmissions r.spurious_retx
+    r.timeouts
     Scenario.pp_proxy_stats r.proxy_a Scenario.pp_proxy_stats r.proxy_b
     r.data_delivered_bytes

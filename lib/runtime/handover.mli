@@ -81,6 +81,10 @@ type report = {
   transfer_bytes : int;
   install_merges : int;
   srv_resyncs : int;
+  srv_replays_dropped : int;
+      (** regressed-index quACKs byte-identical to a remembered
+          emission: dropped by the server's {!Sidecar_quack.Replay_guard}
+          instead of forcing a §3.3 resync *)
   retransmissions : int;
   timeouts : int;
   spurious_retx : int;  (** duplicate deliveries observed at clients *)

@@ -70,6 +70,7 @@ type report = {
   path2_pkts : int;
   folded_decodes : int;  (** sender decodes fed a [Psum.merge] fold *)
   srv_resyncs : int;
+  srv_replays_dropped : int;
   retransmissions : int;
   timeouts : int;
   duplicates : int;
@@ -169,8 +170,9 @@ let run (cfg : config) =
      wraps the combined count to its wire width. *)
   let last_q1 : Q.Quack.t option array = Array.make n None in
   let last_q2 : Q.Quack.t option array = Array.make n None in
-  let last_idx1 = Array.make n 0 in
-  let last_idx2 = Array.make n 0 in
+  (* one guard per (flow, path): replays are per-emission-stream *)
+  let guards1 = Array.init n (fun _ -> Q.Replay_guard.create ()) in
+  let guards2 = Array.init n (fun _ -> Q.Replay_guard.create ()) in
   let folded_decodes = ref 0 in
   let srv_resyncs = ref 0 in
   let psum_of (q : Q.Quack.t) =
@@ -200,30 +202,28 @@ let run (cfg : config) =
     | Error (`Config_mismatch _) -> ()
   in
   let on_server_quack i ~src ~index quack =
-    let restarted =
-      match src with
-      | "path1" ->
-          let r = index <= last_idx1.(i) in
-          last_q1.(i) <- Some quack;
-          last_idx1.(i) <- index;
-          r
-      | _ ->
-          let r = index <= last_idx2.(i) in
-          last_q2.(i) <- Some quack;
-          last_idx2.(i) <- index;
-          r
+    let guard, slot =
+      match src with "path1" -> (guards1.(i), last_q1) | _ -> (guards2.(i), last_q2)
     in
-    match fold i with
-    | None -> ()
-    | Some folded ->
-        if restarted then begin
-          (* one path's sidecar state restarted (eviction +
-             re-admission): its fresh baseline makes the fold
-             undecodable against ours, so adopt it (§3.3) *)
-          incr srv_resyncs;
-          ignore (Q.Sender_state.resync_to srv_ss.(i) folded)
-        end
-        else on_srv_report i folded
+    match Q.Replay_guard.classify guard ~index quack with
+    | Q.Replay_guard.Replay ->
+        (* a re-delivered copy of a path emission already folded in:
+           dropped before it touches the fold state — folding it
+           again would force a spurious resync *)
+        ()
+    | (Q.Replay_guard.Fresh | Q.Replay_guard.Regression) as verdict -> (
+        slot.(i) <- Some quack;
+        match fold i with
+        | None -> ()
+        | Some folded ->
+            if verdict = Q.Replay_guard.Regression then begin
+              (* one path's sidecar state restarted (eviction +
+                 re-admission): its fresh baseline makes the fold
+                 undecodable against ours, so adopt it (§3.3) *)
+              incr srv_resyncs;
+              ignore (Q.Sender_state.resync_to srv_ss.(i) folded)
+            end
+            else on_srv_report i folded)
   in
 
   (* ---- wiring ------------------------------------------------------ *)
@@ -321,6 +321,9 @@ let run (cfg : config) =
     path2_pkts = !path2_pkts;
     folded_decodes = !folded_decodes;
     srv_resyncs = !srv_resyncs;
+    srv_replays_dropped =
+      Array.fold_left (fun a g -> a + Q.Replay_guard.replays g) 0 guards1
+      + Array.fold_left (fun a g -> a + Q.Replay_guard.replays g) 0 guards2;
     retransmissions = !retransmissions;
     timeouts = !timeouts;
     duplicates = !duplicates;
@@ -343,6 +346,7 @@ let json_report (r : report) =
       ("path2_pkts", Obs.Json.Int r.path2_pkts);
       ("folded_decodes", Obs.Json.Int r.folded_decodes);
       ("srv_resyncs", Obs.Json.Int r.srv_resyncs);
+      ("srv_replays_dropped", Obs.Json.Int r.srv_replays_dropped);
       ("retransmissions", Obs.Json.Int r.retransmissions);
       ("timeouts", Obs.Json.Int r.timeouts);
       ("duplicates", Obs.Json.Int r.duplicates);
@@ -353,10 +357,12 @@ let pp_report ppf (r : report) =
   Format.fprintf ppf
     "@[<v>multipath: %d/%d completed by %a@,\
      fct p50 %.3fs p95 %.3fs p99 %.3fs mean %.3fs@,\
-     split %d/%d pkts, %d folded decodes, %d server resyncs@,\
+     split %d/%d pkts, %d folded decodes, %d server resyncs (%d replays \
+     dropped)@,\
      retx %d, timeouts %d, duplicates %d@,\
      path 1: %a@,path 2: %a@,delivered %d B@]"
     r.completed r.flows Time.pp r.sim_end r.fct_p50 r.fct_p95 r.fct_p99
     r.fct_mean r.path1_pkts r.path2_pkts r.folded_decodes r.srv_resyncs
-    r.retransmissions r.timeouts r.duplicates Scenario.pp_proxy_stats r.proxy_1
+    r.srv_replays_dropped r.retransmissions r.timeouts r.duplicates
+    Scenario.pp_proxy_stats r.proxy_1
     Scenario.pp_proxy_stats r.proxy_2 r.data_delivered_bytes

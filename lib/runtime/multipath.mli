@@ -66,6 +66,9 @@ type report = {
   path2_pkts : int;
   folded_decodes : int;
   srv_resyncs : int;
+  srv_replays_dropped : int;
+      (** re-delivered path emissions dropped by the per-path
+          {!Sidecar_quack.Replay_guard} before touching the fold *)
   retransmissions : int;
   timeouts : int;
   duplicates : int;

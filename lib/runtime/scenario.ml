@@ -135,6 +135,7 @@ type report = {
   peak_occupancy : int;
   evictions : int;
   srv_resyncs : int;
+  srv_replays_dropped : int;
   freq_updates_sent : int;
   proxy_retransmissions : int;
   proxy_busy_s : float;
@@ -351,7 +352,7 @@ let run ?cost_clock (cfg : config) =
   (* The server-side sidecar of §2.2/§2.3: decode the proxy's upstream
      quACKs into provisional window space, and steer the proxy's quACK
      cadence toward [target_missing] losses per interval. *)
-  let srv_last_index = Array.make n 0 in
+  let srv_guards = Array.init n (fun _ -> Q.Replay_guard.create ()) in
   let on_srv_report i quack =
     match Q.Sender_state.on_quack srv_ss.(i) quack with
     | Ok rep when not rep.Q.Sender_state.stale ->
@@ -384,17 +385,23 @@ let run ?cost_clock (cfg : config) =
     | Error (`Config_mismatch _) -> ()
   in
   let on_server_quack i ~index quack =
-    if index <= srv_last_index.(i) then begin
-      (* quACK indices only regress when the proxy's per-flow state
-         restarted (eviction + re-admission): its fresh counts would
-         look permanently stale, so adopt the new power sums as the
-         baseline (§3.3) — the abandoned in-flight packets are covered
-         by end-to-end recovery. *)
-      incr srv_resyncs;
-      ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
-    end
-    else on_srv_report i quack;
-    srv_last_index.(i) <- index
+    match Q.Replay_guard.classify srv_guards.(i) ~index quack with
+    | Q.Replay_guard.Fresh -> on_srv_report i quack
+    | Q.Replay_guard.Replay ->
+        (* byte-identical re-delivery of an emission already consumed:
+           dropped. Treating it as a restart (as this seam did before
+           the guard) would resync onto stale sums — one captured
+           packet becoming a reusable rollback token. *)
+        ()
+    | Q.Replay_guard.Regression ->
+        (* quACK indices only regress with novel contents when the
+           proxy's per-flow state restarted (eviction +
+           re-admission): its fresh counts would look permanently
+           stale, so adopt the new power sums as the baseline (§3.3)
+           — the abandoned in-flight packets are covered by
+           end-to-end recovery. *)
+        incr srv_resyncs;
+        ignore (Q.Sender_state.resync_to srv_ss.(i) quack)
   in
 
   (* ---- wiring ------------------------------------------------------ *)
@@ -527,6 +534,8 @@ let run ?cost_clock (cfg : config) =
     peak_occupancy = Proxy.peak_occupancy proxy;
     evictions = table.Flow_table.evicted_lru + table.Flow_table.evicted_idle;
     srv_resyncs = !srv_resyncs;
+    srv_replays_dropped =
+      Array.fold_left (fun a g -> a + Q.Replay_guard.replays g) 0 srv_guards;
     freq_updates_sent =
       (match cfg.protocol with
       | `Cc | `Ack -> !freq_updates_sent
@@ -585,6 +594,7 @@ let json_report r =
       ("peak_occupancy", Obs.Json.Int r.peak_occupancy);
       ("evictions", Obs.Json.Int r.evictions);
       ("srv_resyncs", Obs.Json.Int r.srv_resyncs);
+      ("srv_replays_dropped", Obs.Json.Int r.srv_replays_dropped);
       ("freq_updates_sent", Obs.Json.Int r.freq_updates_sent);
       ("proxy_retransmissions", Obs.Json.Int r.proxy_retransmissions);
       ("proxy_busy_s", Obs.Json.Float r.proxy_busy_s);
@@ -614,7 +624,7 @@ let pp_report ppf r =
   | Some s -> Format.fprintf ppf "@,far proxy: %a" pp_proxy_stats s
   | None -> ());
   Format.fprintf ppf
-    "@,server sidecars: %d resyncs, %d freq updates@,\
+    "@,server sidecars: %d resyncs, %d replays dropped, %d freq updates@,\
      proxy retransmissions: %d@,delivered %d B downstream@]"
-    r.srv_resyncs r.freq_updates_sent r.proxy_retransmissions
-    r.data_delivered_bytes
+    r.srv_resyncs r.srv_replays_dropped r.freq_updates_sent
+    r.proxy_retransmissions r.data_delivered_bytes

@@ -109,6 +109,10 @@ type report = {
   peak_occupancy : int;
   evictions : int;  (** near-proxy LRU + idle evictions (not releases) *)
   srv_resyncs : int;  (** §3.3 resyncs at server-side sidecars *)
+  srv_replays_dropped : int;
+      (** regressed-index quACKs byte-identical to a remembered
+          emission: dropped by the server's {!Sidecar_quack.Replay_guard}
+          instead of forcing a §3.3 resync *)
   freq_updates_sent : int;
       (** §2.3 interval updates sent — by servers ([`Cc]/[`Ack]) or by
           the near proxy ([`Retx]) *)

@@ -50,7 +50,7 @@ let near cfg =
        local retransmission is still crossing the subpath. *)
     let resend_holdoff = cfg.subpath_rtt + Time.ms 1 in
     let last_resend : (int, Time.t) Hashtbl.t = Hashtbl.create 64 in
-    let last_index = ref 0 in
+    let guard = Q.Replay_guard.create () in
     let forward (p : Packet.t) =
       Q.Sender_state.on_send ss ~id:p.Packet.id p;
       if Hashtbl.length buffer >= cfg.buffer_pkts then begin
@@ -128,28 +128,38 @@ let near cfg =
           Obs.Metrics.Counter.incr ctx.counters.resyncs;
           Protocol.trace ctx
             (Obs.Trace.Resync
-               { node = cfg.near_addr; flow = ctx.flow; to_index = !last_index });
+               {
+                 node = cfg.near_addr;
+                 flow = ctx.flow;
+                 to_index = Q.Replay_guard.last_index guard;
+               });
           ignore (Q.Sender_state.resync_to ss q)
       | Error (`Config_mismatch _) -> ()
     in
     let on_feedback ~index q =
-      if index <= !last_index then begin
-        (* quACK indices only regress when the far proxy's receiver
-           state restarted (eviction + re-admission downstream): its
-           counts would look permanently stale, so adopt the fresh
-           power sums as the new baseline (§3.3) and drop the copies
-           of whatever was abandoned in flight — those losses fall
-           back to end-to-end recovery. *)
-        Obs.Metrics.Counter.incr ctx.counters.resyncs;
-        Protocol.trace ctx
-          (Obs.Trace.Resync
-             { node = cfg.near_addr; flow = ctx.flow; to_index = index });
-        List.iter
-          (fun (p : Packet.t) -> Hashtbl.remove buffer p.Packet.uid)
-          (Q.Sender_state.resync_to ss q)
-      end
-      else on_quack_report q;
-      last_index := index
+      match Q.Replay_guard.classify guard ~index q with
+      | Q.Replay_guard.Fresh -> on_quack_report q
+      | Q.Replay_guard.Replay ->
+          (* byte-identical re-delivery of an emission already
+             consumed: drop it. Resyncing here (as this seam did
+             before the guard) would roll the baseline back onto
+             stale sums on the say-so of one captured packet. *)
+          Obs.Metrics.Counter.incr ctx.counters.replays_dropped
+      | Q.Replay_guard.Regression ->
+          (* quACK indices only regress with novel contents when the
+             far proxy's receiver state restarted (eviction +
+             re-admission downstream): its counts would look
+             permanently stale, so adopt the fresh power sums as the
+             new baseline (§3.3) and drop the copies of whatever was
+             abandoned in flight — those losses fall back to
+             end-to-end recovery. *)
+          Obs.Metrics.Counter.incr ctx.counters.resyncs;
+          Protocol.trace ctx
+            (Obs.Trace.Resync
+               { node = cfg.near_addr; flow = ctx.flow; to_index = index });
+          List.iter
+            (fun (p : Packet.t) -> Hashtbl.remove buffer p.Packet.uid)
+            (Q.Sender_state.resync_to ss q)
     in
     let on_evict () =
       (* Copies are an optimisation, not custody: dropping them only

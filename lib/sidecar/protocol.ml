@@ -9,6 +9,7 @@ type counters = {
   quacks_tx : Counter.t;
   quack_bytes : Counter.t;
   resyncs : Counter.t;
+  replays_dropped : Counter.t;
   buffer_bypass : Counter.t;
   flushed_on_evict : Counter.t;
   freq_sent : Counter.t;
@@ -20,6 +21,7 @@ let fresh_counters () =
     quacks_tx = Counter.create ();
     quack_bytes = Counter.create ();
     resyncs = Counter.create ();
+    replays_dropped = Counter.create ();
     buffer_bypass = Counter.create ();
     flushed_on_evict = Counter.create ();
     freq_sent = Counter.create ();
@@ -31,6 +33,7 @@ let register_counters metrics ~prefix c =
   Obs.Metrics.attach_counter metrics (field "quacks_tx") c.quacks_tx;
   Obs.Metrics.attach_counter metrics (field "quack_bytes") c.quack_bytes;
   Obs.Metrics.attach_counter metrics (field "resyncs") c.resyncs;
+  Obs.Metrics.attach_counter metrics (field "replays_dropped") c.replays_dropped;
   Obs.Metrics.attach_counter metrics (field "buffer_bypass") c.buffer_bypass;
   Obs.Metrics.attach_counter metrics (field "flushed_on_evict") c.flushed_on_evict;
   Obs.Metrics.attach_counter metrics (field "freq_sent") c.freq_sent;

@@ -29,6 +29,9 @@ type counters = {
   quack_bytes : Obs.Metrics.Counter.t;  (** wire bytes of those quACKs *)
   resyncs : Obs.Metrics.Counter.t;
       (** §3.3 unilateral resyncs after decode overload *)
+  replays_dropped : Obs.Metrics.Counter.t;
+      (** regressed-index quACKs whose contents matched a remembered
+          emission: dropped by the replay guard instead of resyncing *)
   buffer_bypass : Obs.Metrics.Counter.t;
       (** packets pushed out unpaced (full buffer) *)
   flushed_on_evict : Obs.Metrics.Counter.t;

@@ -84,12 +84,12 @@ let open_in_place key b =
     xor_into b 9 (pn_mask key.header ~sample);
     let pn = Int32.to_int (Bytes.get_int32_be b 9) land 0xFFFFFFFF in
     let body_len = Bytes.length b - header_len - tag_len in
-    let expected =
-      Hmac.mac_truncated ~key:key.mac ~len:tag_len
-        (Bytes.sub_string b 0 (header_len + body_len))
-    in
     let tag = Bytes.sub_string b (header_len + body_len) tag_len in
-    if not (String.equal tag expected) then begin
+    if
+      not
+        (Hmac.verify ~key:key.mac ~len:tag_len ~tag
+           (Bytes.sub_string b 0 (header_len + body_len)))
+    then begin
       (* leave the buffer exactly as it arrived *)
       xor_into b 9 (pn_mask key.header ~sample);
       Error `Bad_tag

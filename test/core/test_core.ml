@@ -1228,11 +1228,19 @@ let qcheck_wire_fuzz =
     Test.make ~name:"decode_framed never raises" ~count:500 string (fun s ->
         match Wire.decode_framed s with Ok _ | Error _ -> true);
     Test.make ~name:"decode_packed never raises" ~count:500
-      (pair string (pair (int_bound 64) (int_bound 64)))
+      (* hostile parameters included: negative / enormous thresholds
+         and count widths must come back as [Error _], never as an
+         exception — these are attacker-reachable via a forged framed
+         header *)
+      (pair string (pair (int_range (-100) 100_000) (int_range (-64) 64)))
       (fun (s, (t, c)) ->
-        match Wire.decode_packed ~bits:32 ~threshold:t ~count_bits:(c land lnot 7) s with
-        | Ok _ | Error _ -> true
-        | exception Invalid_argument _ -> true (* absurd params may raise *));
+        match Wire.decode_packed ~bits:32 ~threshold:t ~count_bits:c s with
+        | Ok _ | Error _ -> true);
+    Test.make ~name:"decode_packed total over hostile bit widths" ~count:500
+      (pair string (pair (int_range (-8) 64) (int_range (-100) 100_000)))
+      (fun (s, (bits, t)) ->
+        match Wire.decode_packed ~bits ~threshold:t ~count_bits:16 s with
+        | Ok _ | Error _ -> true);
     Test.make ~name:"decode_authed never raises" ~count:500 string (fun s ->
         match Wire.decode_authed ~key:"k" s with Ok _ | Error _ -> true);
     Test.make ~name:"valid frame survives arbitrary prefix mangling check" ~count:200
@@ -1246,6 +1254,93 @@ let qcheck_wire_fuzz =
         match Wire.decode_framed (Bytes.to_string b) with
         | Ok _ | Error _ -> true);
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Replay guard: replays vs genuine restarts at quACK seams            *)
+
+let quack_of_ids ?(threshold = 20) ids =
+  let r = Receiver_state.create ~threshold () in
+  List.iter (fun id -> ignore (Receiver_state.on_receive r id)) ids;
+  Receiver_state.emit r
+
+let test_replay_guard_classification () =
+  let g = Replay_guard.create () in
+  let q1 = quack_of_ids (ids_of_range key ~bits:32 0 5) in
+  let q2 = quack_of_ids (ids_of_range key ~bits:32 0 10) in
+  check bool "first emission fresh" true (Replay_guard.classify g ~index:1 q1 = Replay_guard.Fresh);
+  check bool "advancing index fresh" true (Replay_guard.classify g ~index:2 q2 = Replay_guard.Fresh);
+  (* byte-identical re-delivery of emission 1 *)
+  check bool "replayed emission" true (Replay_guard.classify g ~index:1 q1 = Replay_guard.Replay);
+  check int "replay counted" 1 (Replay_guard.replays g);
+  check int "high-water mark unchanged by replay" 2 (Replay_guard.last_index g);
+  (* regressed index with contents never accepted: a genuine restart *)
+  let q_restart = quack_of_ids (ids_of_range key ~bits:32 100 103) in
+  check bool "novel regressed emission is a restart" true
+    (Replay_guard.classify g ~index:1 q_restart = Replay_guard.Regression);
+  check int "regression counted" 1 (Replay_guard.regressions g);
+  check int "restart re-bases the high-water mark" 1 (Replay_guard.last_index g);
+  Alcotest.check_raises "bad depth" (Invalid_argument "Replay_guard.create: depth must be positive")
+    (fun () -> ignore (Replay_guard.create ~depth:0 ()))
+
+(* The regression this PR pins: before the guard existed every server
+   seam treated [index <= last] as a restart and resynced onto the
+   presented sums — so ONE captured quACK, re-sent, rolled the
+   sender's baseline back and forced spurious recovery. A replayed
+   packet must now be dropped without a resync and without disturbing
+   subsequent progress. *)
+let test_replay_guard_one_packet_cannot_resync () =
+  let s = Sender_state.create (cfg ()) in
+  let g = Replay_guard.create () in
+  let resyncs = ref 0 in
+  let acked = ref 0 in
+  (* the server seam, exactly as the runtime scenarios wire it *)
+  let on_quack ~index q =
+    match Replay_guard.classify g ~index q with
+    | Replay_guard.Fresh -> (
+        match Sender_state.on_quack s q with
+        | Ok rep -> acked := !acked + List.length rep.Sender_state.acked
+        | Error _ -> ())
+    | Replay_guard.Replay -> ()
+    | Replay_guard.Regression ->
+        incr resyncs;
+        ignore (Sender_state.resync_to s q)
+  in
+  let r = Receiver_state.create ~threshold:20 () in
+  let ids = ids_of_range key ~bits:32 0 10 in
+  send_ids s ids;
+  List.iter (fun id -> ignore (Receiver_state.on_receive r id)) ids;
+  let captured = Receiver_state.emit r in
+  on_quack ~index:1 captured;
+  check int "first batch acked" 10 !acked;
+  (* the attacker re-sends the captured emission — repeatedly *)
+  for _ = 1 to 5 do
+    on_quack ~index:1 captured
+  done;
+  check int "no resync from replays" 0 !resyncs;
+  check int "replays dropped" 5 (Replay_guard.replays g);
+  (* progress continues unharmed after the replay burst *)
+  let more = ids_of_range key ~bits:32 10 20 in
+  send_ids s more;
+  List.iter (fun id -> ignore (Receiver_state.on_receive r id)) more;
+  on_quack ~index:2 (Receiver_state.emit r);
+  check int "second batch acked" 20 !acked;
+  check int "still no resyncs" 0 !resyncs
+
+let test_replay_guard_depth_eviction () =
+  (* a replay older than the remembered window degrades to Regression:
+     it costs a resync (safe, as before the guard) but is never
+     applied as fresh state *)
+  let g = Replay_guard.create ~depth:2 () in
+  let quacks =
+    List.init 4 (fun i -> quack_of_ids (ids_of_range key ~bits:32 0 (i + 1)))
+  in
+  List.iteri (fun i q -> ignore (Replay_guard.classify g ~index:(i + 1) q)) quacks;
+  (* emission 4 is still remembered *)
+  check bool "recent replay still caught" true
+    (Replay_guard.classify g ~index:4 (nth quacks 3) = Replay_guard.Replay);
+  (* emission 1 has been evicted from the 2-deep ring *)
+  check bool "evicted replay degrades to restart" true
+    (Replay_guard.classify g ~index:1 (nth quacks 0) = Replay_guard.Regression)
 
 (* ------------------------------------------------------------------ *)
 (* IBF capacity characterisation                                       *)
@@ -1470,6 +1565,14 @@ let () =
           Alcotest.test_case "rejects impossible" `Quick test_planner_rejects_impossible;
         ] );
       ("wire-fuzz", q qcheck_wire_fuzz);
+      ( "replay-guard",
+        [
+          Alcotest.test_case "classification" `Quick test_replay_guard_classification;
+          Alcotest.test_case "one replayed packet cannot resync" `Quick
+            test_replay_guard_one_packet_cannot_resync;
+          Alcotest.test_case "depth eviction degrades safely" `Quick
+            test_replay_guard_depth_eviction;
+        ] );
       ( "ibf-capacity",
         [ Alcotest.test_case "hint mostly decodes" `Quick test_ibf_capacity_hint_mostly_decodes ] );
       ( "invariant",

@@ -112,12 +112,41 @@ let test_hmac_rfc4231 () =
   check str "tc3"
     "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
     (Sha256.to_hex (Hmac.mac ~key:(String.make 20 '\xaa') (String.make 50 '\xdd')));
+  (* Test case 4: 25-byte 0x01..0x19 key, 50x 0xcd data *)
+  check str "tc4"
+    "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b"
+    (Sha256.to_hex
+       (Hmac.mac
+          ~key:(String.init 25 (fun i -> Char.chr (i + 1)))
+          (String.make 50 '\xcd')));
+  (* Test case 5: truncated output (128 bits), 0x0c key *)
+  check str "tc5 (truncated to 16 bytes)" "a3b6167473100ee06e0c796c2955552b"
+    (Sha256.to_hex
+       (Hmac.mac_truncated ~key:(String.make 20 '\x0c') ~len:16
+          "Test With Truncation"));
   (* Test case 6: 131-byte key (forces key hashing) *)
   check str "tc6"
     "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
     (Sha256.to_hex
        (Hmac.mac ~key:(String.make 131 '\xaa')
-          "Test Using Larger Than Block-Size Key - Hash Key First"))
+          "Test Using Larger Than Block-Size Key - Hash Key First"));
+  (* Test case 7: 131-byte key and long message *)
+  check str "tc7"
+    "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+    (Sha256.to_hex
+       (Hmac.mac ~key:(String.make 131 '\xaa')
+          "This is a test using a larger than block-size key and a larger \
+           than block-size data. The key needs to be hashed before being \
+           used by the HMAC algorithm."));
+  (* Degenerate inputs RFC 4231 leaves out: both key and message
+     empty. Pinned so a padding regression cannot hide behind "no
+     vector covers it". *)
+  check str "empty key and message"
+    "b613679a0814d9ec772f95d778c35fc5ff1697c493715653c6c712144292c5ad"
+    (Sha256.to_hex (Hmac.mac ~key:"" ""));
+  check str "empty message, real key"
+    "923598ca6d64af2a5dba79dcd021a8a0fe5c5f557519adaaf0ad532d4506dd30"
+    (Sha256.to_hex (Hmac.mac ~key:"Jefe" ""))
 
 let test_hmac_truncated_verify () =
   let key = "secret" and msg = "a quACK frame" in
@@ -130,6 +159,46 @@ let test_hmac_truncated_verify () =
   Bytes.set flipped 0 (Char.chr (Char.code (Bytes.get flipped 0) lxor 1));
   check Alcotest.bool "flipped tag" false
     (Hmac.verify ~key ~tag:(Bytes.to_string flipped) msg)
+
+(* The forgery regression this PR exists for: the old [verify]
+   truncated the expected MAC to the length of the ATTACKER-supplied
+   tag, so presenting only a prefix of the real tag — or brute-forcing
+   a single byte (2^-8 work) — verified. The verifier's expected
+   length is now an input ([~len], default 16), and a tag of any other
+   length fails even when every byte it does have is correct. *)
+let test_hmac_truncated_tag_forgery_rejected () =
+  let key = "secret" and msg = "a quACK frame" in
+  let tag = Hmac.mac_truncated ~key ~len:16 msg in
+  (* every proper prefix of the genuine tag matches byte-for-byte and
+     must STILL be rejected *)
+  for l = 1 to 15 do
+    check Alcotest.bool
+      (Printf.sprintf "correct %d-byte prefix rejected" l)
+      false
+      (Hmac.verify ~key ~tag:(String.sub tag 0 l) msg)
+  done;
+  (* a 1-byte brute force can never succeed: all 256 candidate tags
+     fail, including the "right" one *)
+  let hits = ref 0 in
+  for b = 0 to 255 do
+    if Hmac.verify ~key ~tag:(String.make 1 (Char.chr b)) msg then incr hits
+  done;
+  Alcotest.(check int) "no 1-byte tag verifies" 0 !hits;
+  (* over-long tags fail too, even with the genuine tag as a prefix *)
+  check Alcotest.bool "17-byte extension rejected" false
+    (Hmac.verify ~key ~tag:(tag ^ "\x00") msg);
+  (* the verifier's floor: demanding a sub-8-byte comparison is a
+     configuration error, not a negotiable parameter *)
+  Alcotest.check_raises "len below floor rejected"
+    (Invalid_argument "Hmac.verify: expected tag length out of [8, 32]")
+    (fun () ->
+      ignore (Hmac.verify ~key ~len:4 ~tag:(String.sub tag 0 4) msg));
+  (* longer verifier-chosen lengths still round-trip *)
+  let tag8 = Hmac.mac_truncated ~key ~len:8 msg in
+  check Alcotest.bool "len=8 verifies" true (Hmac.verify ~key ~len:8 ~tag:tag8 msg);
+  let tag32 = Hmac.mac ~key msg in
+  check Alcotest.bool "len=32 verifies" true
+    (Hmac.verify ~key ~len:32 ~tag:tag32 msg)
 
 let () =
   Alcotest.run "sidecar_hash"
@@ -148,5 +217,7 @@ let () =
         [
           Alcotest.test_case "RFC 4231 vectors" `Quick test_hmac_rfc4231;
           Alcotest.test_case "truncate + verify" `Quick test_hmac_truncated_verify;
+          Alcotest.test_case "truncated-tag forgery rejected" `Quick
+            test_hmac_truncated_tag_forgery_rejected;
         ] );
     ]

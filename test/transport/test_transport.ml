@@ -563,6 +563,21 @@ let qcheck_sealed =
       (fun s ->
         let k = Wire_image.key_gen ~seed:4 in
         match Wire_image.open_ k s with Ok _ | Error _ -> true);
+    Test.make ~name:"truncated sealed packet never opens" ~count:200
+      (pair small_string (int_bound 0xFFFF))
+      (fun (plaintext, pn) ->
+        (* an on-path adversary chopping bytes off a genuine packet
+           must always get a clean [Error], never an [Ok] (the tag
+           covers the length) and never an exception *)
+        let k = Wire_image.key_gen ~seed:5 in
+        let wire = Wire_image.seal k ~conn_id:7L ~packet_number:pn ~plaintext in
+        let ok = ref true in
+        for len = 0 to String.length wire - 1 do
+          match Wire_image.open_ k (String.sub wire 0 len) with
+          | Ok _ -> ok := false
+          | Error (`Too_short | `Bad_tag) -> ()
+        done;
+        !ok);
   ]
 
 let qcheck_codec =

@@ -180,6 +180,75 @@ let check_row path i = function
               "row %d: runtime_handover field \"scenario\" missing or not one \
                of {handover, multipath}"
               i
+      end;
+      if section = Some (Obs.Json.String "runtime_adversary") then begin
+        let check_nonneg names =
+          List.iter
+            (fun name ->
+              match num name ~section:"runtime_adversary" with
+              | Some v when v < 0. ->
+                  err path "row %d: runtime_adversary field %S is negative" i
+                    name
+              | Some _ | None -> ())
+            names
+        in
+        match List.assoc_opt "scenario" fields with
+        | Some (Obs.Json.String "adversary") ->
+            enum "arm" ~section:"runtime_adversary"
+              [ "unauth_rate0"; "unauth_rate_half"; "unauth"; "auth" ];
+            check_nonneg
+              [ "attack_rate"; "flows"; "completed"; "wedged"; "fct_p50_s";
+                "fct_p95_s"; "fct_p99_s"; "fct_mean_s"; "quacks_sealed";
+                "auth_bytes_overhead"; "attacks_spoofed"; "attacks_replayed";
+                "attacks_truncated"; "attacks_bitflipped"; "attacker_admitted";
+                "attacker_resyncs"; "auth_rejected"; "replays_dropped";
+                "malformed"; "srv_resyncs"; "retransmissions"; "timeouts";
+                "spurious_retx"; "delivered_bytes" ];
+            (match (num "completed" ~section:"runtime_adversary",
+                    num "flows" ~section:"runtime_adversary") with
+            | Some c, Some f when c > f ->
+                err path "row %d: runtime_adversary completed > flows" i
+            | _ -> ());
+            (match (num "auth_bytes_overhead" ~section:"runtime_adversary",
+                    num "quacks_sealed" ~section:"runtime_adversary") with
+            | Some o, Some q when o <> 16. *. q ->
+                err path
+                  "row %d: runtime_adversary auth_bytes_overhead (%g) is not \
+                   16 B per sealed quACK (%g)"
+                  i o q
+            | _ -> ())
+        | Some (Obs.Json.String "leakage") ->
+            enum "arm" ~section:"runtime_adversary" [ "unshaped"; "shaped" ];
+            check_nonneg
+              [ "flows"; "completed"; "fct_p50_s"; "fct_p95_s"; "fct_p99_s";
+                "fct_mean_s"; "quacks_on_wire"; "quack_bytes_on_wire";
+                "dummy_quacks"; "replays_dropped"; "observer_accuracy";
+                "srv_resyncs"; "retransmissions"; "timeouts" ];
+            (match num "observer_accuracy" ~section:"runtime_adversary" with
+            | Some a when a > 1. ->
+                err path "row %d: runtime_adversary observer_accuracy > 1" i
+            | _ -> ());
+            (* every shaped dummy is a byte-identical re-emission, so
+               the server's replay guard must absorb exactly that many *)
+            (match (num "dummy_quacks" ~section:"runtime_adversary",
+                    num "replays_dropped" ~section:"runtime_adversary") with
+            | Some d, Some r when d <> r ->
+                err path
+                  "row %d: runtime_adversary dummy_quacks (%g) <> \
+                   replays_dropped (%g)"
+                  i d r
+            | _ -> ())
+        | Some (Obs.Json.String "hmac") ->
+            check_nonneg [ "tag_bytes"; "sign_us"; "verify_us" ];
+            (match num "tag_bytes" ~section:"runtime_adversary" with
+            | Some t when t <> 16. ->
+                err path "row %d: runtime_adversary tag_bytes is not 16" i
+            | _ -> ())
+        | _ ->
+            err path
+              "row %d: runtime_adversary field \"scenario\" missing or not \
+               one of {adversary, leakage, hmac}"
+              i
       end
   | _ -> err path "row %d: not an object" i
 
@@ -379,6 +448,151 @@ let check_handover_arms path rows =
     | _ -> ()
   end
 
+(* Cross-row: the adversary family must carry its four arms exactly
+   once and the leakage probe both of its arms; and the relations the
+   family exists to enforce must hold in the data — the zero-rate arm
+   sees no attacks and admits nothing, attack volume and admitted
+   damage grow with the attack rate, the top-rate unauthenticated arm
+   demonstrably admits attacker quACKs, the authenticated arm admits
+   exactly zero while actually exercising the defences (tag rejections
+   and guard drops both non-zero), and shaping buys the observer's
+   accuracy down at a measurable cost in bytes. *)
+let check_adversary_arms path rows =
+  let adversary = Hashtbl.create 4 and leakage = Hashtbl.create 4 in
+  List.iter
+    (fun row ->
+      match row with
+      | Obs.Json.Obj fields
+        when List.assoc_opt "section" fields
+             = Some (Obs.Json.String "runtime_adversary") -> (
+          match
+            (List.assoc_opt "scenario" fields, List.assoc_opt "arm" fields)
+          with
+          | Some (Obs.Json.String "adversary"), Some (Obs.Json.String arm) ->
+              Hashtbl.add adversary arm fields
+          | Some (Obs.Json.String "leakage"), Some (Obs.Json.String arm) ->
+              Hashtbl.add leakage arm fields
+          | _ -> () (* field-level errors already reported *))
+      | _ -> ())
+    rows;
+  if Hashtbl.length adversary = 0 && Hashtbl.length leakage = 0 then ()
+  else begin
+    let get tbl arm =
+      match Hashtbl.find_all tbl arm with
+      | [ fields ] -> Some fields
+      | l ->
+          err path "runtime_adversary: %d %S rows (want exactly 1)"
+            (List.length l) arm;
+          None
+    in
+    let int_field fields name =
+      match List.assoc_opt name fields with
+      | Some (Obs.Json.Int v) -> Some v
+      | _ -> None
+    in
+    let float_field fields name =
+      match List.assoc_opt name fields with
+      | Some (Obs.Json.Float v) -> Some v
+      | Some (Obs.Json.Int v) -> Some (float_of_int v)
+      | _ -> None
+    in
+    (match (get adversary "unauth_rate0", get adversary "unauth_rate_half",
+            get adversary "unauth", get adversary "auth") with
+    | Some rate0, Some half, Some unauth, Some auth ->
+        let attack_names =
+          [ "attacks_spoofed"; "attacks_replayed"; "attacks_truncated";
+            "attacks_bitflipped" ]
+        in
+        List.iter
+          (fun name ->
+            match int_field rate0 name with
+            | Some 0 | None -> ()
+            | Some v ->
+                err path "runtime_adversary: zero-rate arm has %s=%d" name v)
+          ("attacker_admitted" :: "attacker_resyncs" :: "malformed"
+          :: attack_names);
+        List.iter
+          (fun name ->
+            match (int_field half name, int_field unauth name) with
+            | Some h, Some u when h > u ->
+                err path
+                  "runtime_adversary: %s not monotone in attack rate (%d at \
+                   half, %d at full)"
+                  name h u
+            | _ -> ())
+          ("attacker_admitted" :: attack_names);
+        (match int_field unauth "attacker_admitted" with
+        | Some v when v <= 0 ->
+            err path
+              "runtime_adversary: top-rate unauthenticated arm admitted no \
+               attacker quACKs — the damage arm shows no damage"
+        | _ -> ());
+        (match int_field auth "attacker_admitted" with
+        | Some 0 | None -> ()
+        | Some v ->
+            err path
+              "runtime_adversary: authenticated arm admitted %d attacker \
+               quACKs (must be 0)"
+              v);
+        (match int_field auth "malformed" with
+        | Some 0 | None -> ()
+        | Some v ->
+            err path
+              "runtime_adversary: authenticated arm decoded %d malformed \
+               quACKs (tampering must die at the tag, not the codec)"
+              v);
+        (match (int_field auth "auth_rejected", int_field auth "replays_dropped")
+         with
+        | Some r, Some d when r <= 0 || d <= 0 ->
+            err path
+              "runtime_adversary: authenticated arm never exercised the \
+               defences (auth_rejected=%d replays_dropped=%d)"
+              r d
+        | _ -> ());
+        List.iter
+          (fun (arm_name, fields) ->
+            match
+              (int_field fields "auth_rejected",
+               int_field fields "replays_dropped")
+            with
+            | Some r, Some d when r <> 0 || d <> 0 ->
+                err path
+                  "runtime_adversary: unauthenticated arm %S reports \
+                   defences firing (auth_rejected=%d replays_dropped=%d)"
+                  arm_name r d
+            | _ -> ())
+          [ ("unauth_rate0", rate0); ("unauth_rate_half", half);
+            ("unauth", unauth) ]
+    | _ -> ());
+    match (get leakage "unshaped", get leakage "shaped") with
+    | Some unshaped, Some shaped ->
+        (match (float_field unshaped "observer_accuracy",
+                float_field shaped "observer_accuracy") with
+        | Some u, Some s when s >= u ->
+            err path
+              "runtime_adversary: shaping did not reduce observer accuracy \
+               (unshaped %.2f, shaped %.2f)"
+              u s
+        | _ -> ());
+        (match (int_field unshaped "quack_bytes_on_wire",
+                int_field shaped "quack_bytes_on_wire") with
+        | Some u, Some s when s <= u ->
+            err path
+              "runtime_adversary: shaped arm claims accuracy reduction for \
+               free (bytes unshaped %d, shaped %d)"
+              u s
+        | _ -> ());
+        (match int_field unshaped "dummy_quacks" with
+        | Some 0 | None -> ()
+        | Some d ->
+            err path "runtime_adversary: unshaped arm emitted %d dummies" d);
+        (match int_field shaped "dummy_quacks" with
+        | Some d when d <= 0 ->
+            err path "runtime_adversary: shaped arm emitted no dummies"
+        | _ -> ())
+    | _ -> ()
+  end
+
 let check_bench path doc =
   match Obs.Json.member "rows" doc with
   | Some (Obs.Json.List []) -> err path "empty \"rows\""
@@ -387,6 +601,7 @@ let check_bench path doc =
       check_datapath_pairs path rows;
       check_shard_pairs path rows;
       check_handover_arms path rows;
+      check_adversary_arms path rows;
       if !errors = 0 then
         Printf.printf "benchcheck: %s: %d rows ok\n" path (List.length rows)
   | _ -> err path "missing \"rows\" list"
